@@ -1,0 +1,69 @@
+"""Shared benchmark fixtures: scaled dataset collections.
+
+Collections are session-scoped: each dataset is generated once and every
+table/figure benchmark analyses the same trace — exactly how the paper's
+post-processing reused the same aggregated logs.  Durations are
+time-compressed (DESIGN.md Section 6); set ``REPRO_BENCH_HOURS`` to run
+longer collections.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.testbed import RON2003, RONNARROW, RONWIDE, collect
+from repro.trace import apply_standard_filters
+
+BENCH_HOURS = float(os.environ.get("REPRO_BENCH_HOURS", "6"))
+SEED = int(os.environ.get("REPRO_BENCH_SEED", "1"))
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def write_output(name: str, text: str) -> None:
+    """Persist a rendered table/figure next to printing it."""
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+    print("\n" + text)
+
+
+@pytest.fixture(scope="session")
+def ron2003_run():
+    """Scaled RON2003 collection *with* its scheduled incidents."""
+    return collect(
+        RON2003, duration_s=BENCH_HOURS * 3600.0, seed=SEED, include_events=True
+    )
+
+
+@pytest.fixture(scope="session")
+def ron2003_trace(ron2003_run):
+    return apply_standard_filters(ron2003_run.trace)
+
+
+@pytest.fixture(scope="session")
+def ron2003_quiet_run():
+    """Scaled RON2003 collection without incidents (loss-statistics
+    benches: a fixed-length incident would dominate a compressed mean)."""
+    return collect(
+        RON2003, duration_s=BENCH_HOURS * 3600.0, seed=SEED, include_events=False
+    )
+
+
+@pytest.fixture(scope="session")
+def ron2003_quiet_trace(ron2003_quiet_run):
+    return apply_standard_filters(ron2003_quiet_run.trace)
+
+
+@pytest.fixture(scope="session")
+def ronnarrow_trace():
+    res = collect(RONNARROW, duration_s=BENCH_HOURS * 3600.0, seed=SEED)
+    return apply_standard_filters(res.trace)
+
+
+@pytest.fixture(scope="session")
+def ronwide_trace():
+    res = collect(RONWIDE, duration_s=BENCH_HOURS * 3600.0, seed=SEED)
+    return apply_standard_filters(res.trace)

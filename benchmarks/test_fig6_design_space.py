@@ -1,0 +1,65 @@
+"""Figure 6 — when to use reactive vs redundant routing.
+
+The analytic design space: desired loss-rate improvement vs capacity
+already used by the flow, bounded by the Best Expected Path, Capacity
+and Independence limits.  Rendered as a region map.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models import DesignSpace
+
+from .conftest import write_output
+
+GLYPH = {"reactive": "R", "redundant": "D", "none": ".", "both": "B"}
+
+
+def _render(space: DesignSpace, n: int = 21) -> str:
+    lines = [
+        "Figure 6: cheaper scheme by (improvement, utilisation)",
+        f"  R = reactive cheaper, D = redundant cheaper, . = infeasible",
+        f"  independence limit (redundant) at improvement "
+        f"{space.redundant_limit():.2f}; best-path limit at {space.reactive_limit():.2f}",
+        "  improvement ->",
+    ]
+    improvements = np.linspace(0.0, 1.0, n)
+    utilisations = np.linspace(0.0, 1.0, n)
+    header = "util  " + "".join(f"{i:.1f}"[-2] for i in improvements)
+    for u in utilisations:
+        row = []
+        for i in improvements:
+            p = space.evaluate(float(i), float(u))
+            row.append(GLYPH[p.cheaper])
+        lines.append(f"{u:4.2f}  " + "".join(row))
+    return "\n".join(lines)
+
+
+def test_fig6(benchmark):
+    space = DesignSpace(
+        n_nodes=30,
+        link_capacity_pps=2000.0,
+        best_path_improvement=0.75,
+        cross_clp=0.60,  # the Section 4.4 measurement
+    )
+    text = benchmark(_render, space)
+    write_output("fig6_design_space", text)
+
+    # the paper's qualitative regions:
+    # (1) beyond the independence limit only reactive routing remains
+    deep = space.evaluate(0.6, 0.05)
+    assert deep.reactive_feasible and not deep.redundant_feasible
+    # (2) at full utilisation neither scheme can act
+    full = space.evaluate(0.2, 1.0)
+    assert full.cheaper == "none"
+    # (3) thin flows duplicate, thick flows probe
+    thin = space.evaluate(0.15, 0.001)
+    thick = space.evaluate(0.15, 0.6)
+    assert thin.cheaper == "redundant"
+    assert thick.cheaper == "reactive"
+    # (4) redundant overhead is linear in the flow; reactive's is flat
+    assert space.redundant_overhead_pps(0.2, 1000.0) > 10 * space.redundant_overhead_pps(
+        0.2, 50.0
+    )
+    assert space.reactive_overhead_pps(0.2) == space.reactive_overhead_pps(0.2)

@@ -1,0 +1,45 @@
+"""Section 4.2 scalar findings: overall loss, quiescence, the worst hour.
+
+"The overall loss rate we observed on directly-sent single packets in
+2003 was 0.42%. [...] During the worst one-hour period we monitored, the
+average loss rate on our testbed was over 13%."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import render_comparison, window_loss_rates
+from repro.analysis.windows import testbed_hourly_loss as hourly_loss
+
+from .conftest import write_output
+from .paper_values import SEC4_FINDINGS
+
+
+def _stats(quiet_trace, incident_trace):
+    mask = quiet_trace.method_mask("direct_direct")
+    overall = quiet_trace.lost1[mask].mean() * 100
+    w = window_loss_rates(quiet_trace, "direct_direct", window_s=1200.0)
+    frac_zero = (w.rates == 0).mean()
+    hourly = hourly_loss(incident_trace, "direct")
+    worst = np.nanmax(hourly) * 100
+    return overall, frac_zero, worst
+
+
+def test_sec42(benchmark, ron2003_quiet_trace, ron2003_trace):
+    overall, frac_zero, worst = benchmark(
+        _stats, ron2003_quiet_trace, ron2003_trace
+    )
+    text = render_comparison(
+        [
+            ("overall direct loss (%)", overall, SEC4_FINDINGS["overall_direct_loss_pct_2003"]),
+            ("fraction of 20-min windows at 0 loss", frac_zero, SEC4_FINDINGS["frac_20min_windows_zero_loss"]),
+            ("worst one-hour testbed loss (%)", worst, SEC4_FINDINGS["worst_hour_loss_pct"]),
+        ],
+        "Section 4.2 base network statistics",
+    )
+    write_output("sec42_base_stats", text)
+
+    assert 0.15 < overall < 1.0, "overall loss in the sub-1% band"
+    assert frac_zero > 0.90, "the Internet is mostly quiescent"
+    assert worst > 4.0, "the incident run must show a pronounced worst hour"

@@ -1,0 +1,72 @@
+"""Table 5 — one-way loss percentages per routing method (2003 + 2002).
+
+Regenerates both blocks of the paper's central table: 1lp/2lp/totlp/clp
+and latency for the eight 2003 methods (with direct*/lat* inferred from
+first packets of pairs) and the five 2002 RONnarrow methods.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import method_stats_table, render_loss_table
+
+from .conftest import write_output
+from .paper_values import TABLE5_2002, TABLE5_2003
+
+
+def test_table5_2003(benchmark, ron2003_quiet_trace):
+    stats = benchmark(method_stats_table, ron2003_quiet_trace)
+    text = render_loss_table(
+        stats, "Table 5 (2003 block, scaled RON2003 collection)", paper=TABLE5_2003
+    )
+    write_output("table5_2003", text)
+
+    by_name = {s.method: s for s in stats}
+    # shape: redundancy reduces totlp below the single direct path...
+    assert by_name["direct_rand"].totlp < by_name["direct"].totlp
+    assert by_name["direct_direct"].totlp < by_name["direct"].totlp
+    # ...and the probe+mesh combination is the best of all
+    assert by_name["lat_loss"].totlp <= min(
+        by_name["direct_rand"].totlp, by_name["direct_direct"].totlp
+    ) + 0.03
+    # loss-optimised routing beats direct; lat tracks direct
+    assert by_name["loss"].totlp < by_name["direct"].totlp
+    # CLP ordering (Section 4.4): same path > spaced > random indirect
+    assert by_name["direct_direct"].clp > by_name["dd_20ms"].clp - 6
+    assert by_name["direct_direct"].clp > by_name["direct_rand"].clp - 4
+    # all CLPs are enormous relative to the unconditional rate
+    assert by_name["direct_rand"].clp > 20 * by_name["direct"].lp1
+    # the random-relay second packet is several times lossier than direct
+    assert by_name["direct_rand"].lp2 > 2.5 * by_name["direct_rand"].lp1
+
+
+def test_table5_2002(benchmark, ronnarrow_trace):
+    stats = benchmark(method_stats_table, ronnarrow_trace)
+    text = render_loss_table(
+        stats, "Table 5 (2002 block, scaled RONnarrow collection)", paper=TABLE5_2002
+    )
+    write_output("table5_2002", text)
+
+    by_name = {s.method: s for s in stats}
+    # 2002 base loss is roughly twice the 2003 level (0.74 vs 0.42)
+    assert by_name["direct"].lp1 > 0.35
+    assert by_name["direct_rand"].totlp < by_name["direct"].lp1
+    assert by_name["lat_loss"].totlp < by_name["direct"].lp1
+
+
+def test_cross_year_clp_shift(benchmark, ron2003_quiet_trace, ronnarrow_trace):
+    """Section 4.4: the indirect CLP rose from ~51% (2002) to ~62%
+    (2003) while the same-path CLP stayed ~72% — our year presets encode
+    that via the edge/middle loss split."""
+    from repro.analysis import method_stats
+
+    clp_2003 = benchmark(
+        lambda: method_stats(ron2003_quiet_trace, "direct_rand").clp
+    )
+    clp_2002 = method_stats(ronnarrow_trace, "direct_rand").clp
+    text = (
+        "Section 4.4 cross-year indirect CLP\n"
+        f"  2003 measured {clp_2003:5.1f}%  (paper 62.5%)\n"
+        f"  2002 measured {clp_2002:5.1f}%  (paper 51.2%)"
+    )
+    write_output("sec44_cross_year_clp", text)
+    assert clp_2002 < clp_2003 + 6  # 2002 is lower (allowing noise)

@@ -1,0 +1,43 @@
+"""Table 7 — the RONwide 2002 expanded method comparison (round-trip).
+
+Twelve methods, round-trip accounting: the broader examination that
+identified loss, direct rand and lat loss as "the most interesting"
+methods, plus the noteworthy extras (rand rand's low CLP, direct lat's
+best-of-table latency).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import method_stats_table, render_loss_table
+from repro.core.methods import TABLE7_ROWS
+
+from .conftest import write_output
+from .paper_values import TABLE7
+
+
+def test_table7(benchmark, ronwide_trace):
+    stats = benchmark(method_stats_table, ronwide_trace, list(TABLE7_ROWS))
+    text = render_loss_table(
+        stats,
+        "Table 7 (RONwide 2002, round-trip; scaled collection)",
+        paper=TABLE7,
+    )
+    write_output("table7", text)
+
+    by_name = {s.method: s for s in stats}
+    # rand is several times lossier than direct and much slower (RTT)
+    assert by_name["rand"].lp1 > 2 * by_name["direct"].lp1
+    assert by_name["rand"].latency_ms > 1.4 * by_name["direct"].latency_ms
+    # two *different* random relays are nearly independent: rand rand's
+    # CLP collapses compared to direct direct's
+    if by_name["rand_rand"].clp is not None and by_name["direct_direct"].clp:
+        assert by_name["rand_rand"].clp < 0.6 * by_name["direct_direct"].clp
+    # every two-packet combination beats every single path on totlp
+    pair_totlps = [
+        by_name[m].totlp
+        for m in TABLE7_ROWS
+        if by_name[m].lp2 is not None and by_name[m].n_probes
+    ]
+    assert max(pair_totlps) <= by_name["direct"].totlp + 0.05
+    # direct lat has the best latency of the pair methods (paper: 123.9)
+    assert by_name["direct_lat"].latency_ms <= by_name["direct"].latency_ms + 2.0

@@ -1,0 +1,84 @@
+"""Tables 1-4 — the testbed and method catalogues.
+
+These tables are definitional rather than measured; the benchmarks
+regenerate them from the library's data structures so drift between the
+code and the paper's setup is caught mechanically.
+"""
+
+from __future__ import annotations
+
+from repro.core.methods import METHODS, RONWIDE_PROBE_METHODS, RouteKind
+from repro.testbed import RON2003, RONNARROW, RONWIDE, category_counts, hosts_2003
+
+from .conftest import write_output
+
+PAPER_TABLE2 = {
+    "US Universities": 7,
+    "US Large ISP": 4,
+    "US small/med ISP": 5,
+    "US Private Company": 5,
+    "US Cable/DSL": 3,
+    "Canada Private Company": 1,
+    "Int'l Universities": 3,
+    "Int'l ISP": 2,
+}
+
+PAPER_TABLE3 = {
+    "RONnarrow": (4_763_082, "8 Jul 2002 - 11 Jul 2002"),
+    "RONwide": (2_875_431, "3 Jul 2002 - 8 Jul 2002"),
+    "RON2003": (32_602_776, "30 Apr 2003 - 14 May 2003"),
+}
+
+
+def test_table1_2_hosts(benchmark):
+    hosts = benchmark(hosts_2003)
+    lines = ["Table 1: the 30 testbed hosts", f"{'name':12s} {'location':26s} {'link':14s} I2"]
+    for h in hosts:
+        lines.append(
+            f"{h.name:12s} {h.location:26s} {h.link:14s} {'*' if h.internet2 else ''}"
+        )
+    lines.append("")
+    lines.append("Table 2: category distribution (measured == paper)")
+    counts = category_counts(hosts)
+    for cat, n in sorted(counts.items()):
+        lines.append(f"  {cat:26s} {n:2d} (paper {PAPER_TABLE2[cat]})")
+    write_output("table1_2_hosts", "\n".join(lines))
+
+    assert len(hosts) == 30
+    assert counts == PAPER_TABLE2
+
+
+def test_table3_datasets(benchmark):
+    specs = benchmark(lambda: [RONNARROW, RONWIDE, RON2003])
+    lines = ["Table 3: datasets", f"{'dataset':10s} {'paper samples':>14s} {'hosts':>6s} {'methods':>8s} {'mode':>6s}"]
+    for spec in specs:
+        lines.append(
+            f"{spec.name:10s} {spec.paper_samples:14,d} {len(spec.hosts()):6d} "
+            f"{len(spec.probe_methods):8d} {spec.mode:>6s}"
+        )
+    write_output("table3_datasets", "\n".join(lines))
+
+    for spec in specs:
+        assert spec.paper_samples == PAPER_TABLE3[spec.name][0]
+    # sample-volume ordering matches the paper
+    assert RON2003.paper_samples > RONNARROW.paper_samples > RONWIDE.paper_samples
+
+
+def test_table4_route_types(benchmark):
+    methods = benchmark(lambda: dict(METHODS))
+    lines = [
+        "Table 4: route types and their combinations",
+        f"{'method':14s} {'packet 1':8s} {'packet 2':8s} {'gap':>6s} {'same path':>9s}",
+    ]
+    for m in methods.values():
+        lines.append(
+            f"{m.display:14s} {m.first.value:8s} "
+            f"{m.second.value if m.second else '-':8s} "
+            f"{m.gap_s * 1e3:4.0f}ms {'yes' if m.same_path else 'no':>9s}"
+        )
+    write_output("table4_methods", "\n".join(lines))
+
+    # the four route types of Table 4
+    assert {k.value for k in RouteKind} == {"loss", "lat", "direct", "rand"}
+    # all twelve RONwide combinations exist
+    assert all(name in methods for name in RONWIDE_PROBE_METHODS)

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Outage drill: watch reactive routing dodge a failure, live.
+
+Runs the *event-driven* RON overlay (the protocol of Section 3.1,
+probe by probe) on a five-host subset, injects a total outage on one
+path's transit segment mid-run, and prints the routing decision for the
+affected pair every probing round — the moment the last-100-probes loss
+estimate crosses the hysteresis margin, the overlay reroutes through an
+intermediate, and data packets keep flowing.
+
+Usage:  python examples/outage_drill.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.methods import METHODS
+from repro.core.selector import DIRECT
+from repro.netsim import Network, config_2003
+from repro.netsim.episodes import EpisodeSet, Timeline
+from repro.netsim.state import TimelineBank
+from repro.testbed import hosts_2003
+from repro.testbed.ron import Overlay
+
+HORIZON = 2400.0
+OUTAGE_START = 600.0
+OUTAGE_LENGTH = 1500.0
+SRC, DST = 0, 1
+
+
+def build_network() -> Network:
+    picks = ("MIT", "UCSD", "GBLX-CHI", "Intel", "NYU")
+    by_name = {h.name: h for h in hosts_2003()}
+    hosts = [by_name[n] for n in picks]
+    net = Network.build(hosts, config_2003(), horizon=HORIZON, seed=7)
+
+    # Inject a hard outage on the (MIT -> UCSD) transit segment; all
+    # other segments keep their normal (mostly quiet) behaviour.
+    topo = net.topology
+    target = topo.registry.by_name(f"mid:{picks[SRC]}:{picks[DST]}").sid
+    timelines = []
+    for seg in topo.registry:
+        if seg.sid == target:
+            eps = EpisodeSet(
+                np.array([OUTAGE_START]),
+                np.array([OUTAGE_LENGTH]),
+                np.array([0.999]),
+            )
+            timelines.append(Timeline.from_episodes(eps, HORIZON, 120.0))
+        else:
+            timelines.append(Timeline.quiet(HORIZON))
+    net.state.outage = TimelineBank(timelines, HORIZON)
+    return net
+
+
+def main() -> None:
+    net = build_network()
+    hosts = [h.name for h in net.topology.hosts]
+    overlay = Overlay(net, seed=7)
+    overlay.start()
+
+    print(f"Overlay of {len(hosts)} hosts; watching {hosts[SRC]} -> {hosts[DST]}")
+    print(f"A transit outage hits that path at t={OUTAGE_START:.0f}s.\n")
+    print(f"{'t(s)':>6s} {'loss est':>9s} {'route':>12s} {'data packet':>12s}")
+
+    previous = None
+    for t in range(0, int(HORIZON), 60):
+        overlay.run_until(float(t))
+        est = overlay.nodes[SRC].loss_estimate(DST)
+        decision = overlay.route(SRC, DST, "loss")
+        route = "direct" if decision.relay == DIRECT else f"via {hosts[decision.relay]}"
+        outcome = overlay.send_data(SRC, DST, METHODS["loss"])
+        data = "LOST" if outcome.lost else f"{outcome.latency_s * 1e3:.1f} ms"
+        marker = ""
+        if previous is not None and decision.relay != previous:
+            marker = "   <- reroute"
+        previous = decision.relay
+        print(f"{t:6d} {est * 100:8.1f}% {route:>12s} {data:>12s}{marker}")
+
+    print(
+        "\nThe loss estimate climbs one probe at a time (the 100-probe "
+        "window), crosses the switch margin within a few probe rounds, "
+        "and the overlay forwards through an intermediate until the "
+        "window forgets the outage - Section 3.1's behaviour, end to end."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: collect a scaled RON2003 dataset and print Table 5.
+
+Runs the whole pipeline end to end in under a minute:
+
+1. build the 30-host testbed on the calibrated synthetic Internet;
+2. run the probing subsystem and both routing families for a
+   time-compressed measurement campaign;
+3. apply the paper's post-processing filters;
+4. print the Table 5 statistics next to the published values.
+
+Usage:  python examples/quickstart.py [hours] [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import RON2003, apply_standard_filters, collect
+from repro.analysis import method_stats_table, render_loss_table
+
+PAPER = {
+    "direct": (0.42, None, 0.42, None, 54.13),
+    "lat": (0.43, None, 0.43, None, 48.01),
+    "loss": (0.33, None, 0.33, None, 55.62),
+    "direct_rand": (0.41, 2.66, 0.26, 62.47, 51.71),
+    "lat_loss": (0.43, 1.95, 0.23, 55.08, 46.77),
+    "direct_direct": (0.42, 0.43, 0.30, 72.15, 54.24),
+    "dd_10ms": (0.41, 0.42, 0.27, 66.08, 54.28),
+    "dd_20ms": (0.41, 0.41, 0.27, 65.28, 54.39),
+}
+
+
+def main() -> None:
+    hours = float(sys.argv[1]) if len(sys.argv) > 1 else 3.0
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 1
+
+    print(f"Collecting a {hours:g}-hour RON2003-style dataset (seed {seed})...")
+    result = collect(
+        RON2003, duration_s=hours * 3600.0, seed=seed, include_events=False
+    )
+    trace = apply_standard_filters(result.trace)
+    print(f"  {len(trace):,} probes between {len(trace.meta.host_names)} hosts\n")
+
+    stats = method_stats_table(trace)
+    print(render_loss_table(stats, "Table 5 (scaled collection vs paper)", paper=PAPER))
+
+    by = {s.method: s for s in stats}
+    saved = 100 * (1 - by["direct_rand"].totlp / by["direct"].totlp)
+    print(
+        f"\n2-redundant mesh routing removed {saved:.0f}% of losses "
+        f"(paper: ~40%), at 2x traffic."
+    )
+    print(
+        f"Conditional loss probability through a random intermediate: "
+        f"{by['direct_rand'].clp:.0f}% (paper: 62%) - "
+        "losses on 'independent' overlay paths are strongly correlated."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Interactive-application FEC planning (the Section 5.2 experiment).
+
+A VoIP-like flow (50 packets/s) between two overlay hosts must decide
+how to spend redundancy: duplicate over a second path (mesh routing),
+protect with a Reed-Solomon group on one path, or spread that group in
+time.  The paper's point: with ~70% conditional loss probability,
+same-path FEC needs ~half a second of spreading — unacceptable for
+interactive use — while multi-path redundancy pays no delay.
+
+Usage:  python examples/voip_fec_planner.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fec import (
+    DuplicationCode,
+    ReedSolomonCode,
+    simulate_group_delivery,
+    transmission_plan,
+)
+from repro.netsim import Network, RngFactory, config_2003
+from repro.testbed import hosts_2003
+
+HORIZON = 6 * 3600.0
+N_GROUPS = 40_000
+
+
+def main() -> None:
+    net = Network.build(hosts_2003(), config_2003(), horizon=HORIZON, seed=3)
+    topo = net.topology
+    rng = RngFactory(3).stream("voip")
+
+    # pick a chronically lossy pair - the kind of path that needs help
+    chronic = np.argwhere(topo.chronic_loss > 0.01)
+    s, d = (int(chronic[0][0]), int(chronic[0][1])) if len(chronic) else (0, 1)
+    names = (topo.hosts[s].name, topo.hosts[d].name)
+    direct = net.paths.direct_pid(s, d)
+    relay_host = next(r for r in range(topo.n_hosts) if r not in (s, d))
+    relay = net.paths.relay_pid(s, relay_host, d)
+    base_loss = net.path_mean_loss(direct) * 100
+
+    print(f"Flow: {names[0]} -> {names[1]}, direct-path loss {base_loss:.2f}%")
+    print(f"Relay for multi-path plans: {topo.hosts[relay_host].name}\n")
+
+    rs = ReedSolomonCode(6, 5)  # the paper's 20%-overhead code
+    dup = DuplicationCode(2)  # mesh routing's duplication
+    times = rng.uniform(0, HORIZON * 0.9, N_GROUPS)
+
+    plans = [
+        ("RS(6,5) back-to-back, one path", rs, transmission_plan(6), [direct]),
+        ("RS(6,5) spread 100 ms, one path", rs, transmission_plan(6, spacing_s=0.1), [direct]),
+        ("RS(6,5) over two paths", rs, transmission_plan(6, n_paths=2), [direct, relay]),
+        ("duplicate over two paths (mesh)", dup, transmission_plan(2, n_paths=2), [direct, relay]),
+    ]
+
+    print(f"{'plan':36s} {'recovery':>9s} {'residual loss':>14s} {'delay':>7s} {'overhead':>9s}")
+    for name, code, plan, pids in plans:
+        stats = simulate_group_delivery(net, code, plan, pids, times, rng=rng)
+        print(
+            f"{name:36s} {stats.group_recovery_rate * 100:8.2f}% "
+            f"{stats.residual_loss_rate * 100:13.3f}% "
+            f"{plan.recovery_delay_s * 1e3:5.0f}ms {code.overhead * 100:8.0f}%"
+        )
+
+    print(
+        "\nReading: on one path, a back-to-back RS group dies with its "
+        "burst; spreading rescues it but adds half a second the codec "
+        "cannot hide (Section 5.2).  Sending the copies over two paths "
+        "gets the protection without the delay - if you accept 2x "
+        "overhead and a ~60% shared-fate floor."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Evaluation pipeline: the paper's Section 4 analyses over traces."""
+
+from .cdf import Cdf, empirical_cdf
+from .latency_analysis import (
+    PathLatencies,
+    improvement_summary,
+    latency_cdf_over_paths,
+    per_path_latency,
+)
+from .lossstats import MethodStats, method_stats, method_stats_table, per_path_clp
+from .paths_report import path_loss_cdf, per_path_loss
+from .report import (
+    render_cdf_series,
+    render_comparison,
+    render_high_loss_table,
+    render_loss_table,
+)
+from .windows import (
+    TABLE6_THRESHOLDS,
+    WindowLossRates,
+    high_loss_table,
+    testbed_hourly_loss,
+    window_loss_rates,
+)
+
+__all__ = [
+    "Cdf",
+    "MethodStats",
+    "PathLatencies",
+    "TABLE6_THRESHOLDS",
+    "WindowLossRates",
+    "empirical_cdf",
+    "high_loss_table",
+    "improvement_summary",
+    "latency_cdf_over_paths",
+    "method_stats",
+    "method_stats_table",
+    "path_loss_cdf",
+    "per_path_clp",
+    "per_path_latency",
+    "per_path_loss",
+    "render_cdf_series",
+    "render_comparison",
+    "render_high_loss_table",
+    "render_loss_table",
+    "testbed_hourly_loss",
+    "window_loss_rates",
+]

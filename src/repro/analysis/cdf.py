@@ -1,0 +1,55 @@
+"""Empirical CDFs, the presentation device of Figures 2-5."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Cdf", "empirical_cdf"]
+
+
+@dataclass
+class Cdf:
+    """An empirical distribution function: P(X <= x) at sorted support."""
+
+    x: np.ndarray
+    f: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.f):
+            raise ValueError("x and f must have equal length")
+        if len(self.x) and (np.any(np.diff(self.x) < 0) or np.any(np.diff(self.f) < 0)):
+            raise ValueError("a CDF must be non-decreasing")
+
+    def at(self, q: float | np.ndarray) -> np.ndarray:
+        """Fraction of samples <= q."""
+        idx = np.searchsorted(self.x, np.asarray(q, dtype=np.float64), side="right")
+        padded = np.concatenate([[0.0], self.f])
+        return padded[idx]
+
+    def quantile(self, p: float) -> float:
+        """Smallest x with F(x) >= p."""
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("p must be in [0, 1]")
+        if len(self.x) == 0:
+            return float("nan")
+        idx = int(np.searchsorted(self.f, p, side="left"))
+        return float(self.x[min(idx, len(self.x) - 1)])
+
+    def series(self, points: np.ndarray) -> np.ndarray:
+        """Evaluate at given support points (for plotting/tables)."""
+        return self.at(points)
+
+
+def empirical_cdf(samples: np.ndarray) -> Cdf:
+    """The ECDF of a sample set (NaNs are dropped)."""
+    s = np.asarray(samples, dtype=np.float64)
+    s = np.sort(s[~np.isnan(s)])
+    if len(s) == 0:
+        return Cdf(x=np.zeros(0), f=np.zeros(0))
+    f = np.arange(1, len(s) + 1) / len(s)
+    # collapse duplicates to the last (highest) F value
+    keep = np.ones(len(s), dtype=bool)
+    keep[:-1] = s[1:] != s[:-1]
+    return Cdf(x=s[keep], f=f[keep])

@@ -1,0 +1,169 @@
+"""Loss statistics per routing method: Tables 5 and 7.
+
+For every method the paper reports:
+
+* ``1lp``/``2lp`` — loss percentage of the first/second packet;
+* ``totlp`` — probability the probe's *data* was lost (both copies for
+  two-packet methods, the single packet otherwise);
+* ``clp``  — conditional loss probability of the second packet given the
+  first was lost (Section 4.4);
+* ``lat``  — mean latency of whatever arrived first (duplicated packets
+  deliver at the earlier of their arrivals, which is how mesh routing
+  buys its latency improvement, Section 4.5).
+
+Starred rows (``direct*``, ``lat*``) are not probed alone in RON2003;
+the paper infers them "from the first packet of a two-packet pair", and
+:func:`method_stats_table` reproduces exactly that inference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trace.records import Trace
+
+__all__ = ["MethodStats", "method_stats", "method_stats_table", "per_path_clp"]
+
+#: methods whose first packet rides the direct path (used to infer the
+#: paper's direct* row).
+_DIRECT_FIRST = ("direct_rand", "direct_direct", "dd_10ms", "dd_20ms")
+
+
+@dataclass(frozen=True)
+class MethodStats:
+    """One row of Table 5 / Table 7 (percentages, milliseconds)."""
+
+    method: str
+    n_probes: int
+    lp1: float
+    lp2: float | None
+    totlp: float
+    clp: float | None
+    latency_ms: float
+    inferred: bool = False
+
+    def row(self) -> str:
+        """Render in the paper's column format."""
+        name = self.method + ("*" if self.inferred else "")
+        lp2 = f"{self.lp2:5.2f}" if self.lp2 is not None else "    -"
+        clp = f"{self.clp:6.2f}" if self.clp is not None else "     -"
+        return (
+            f"{name:15s} {self.lp1:5.2f} {lp2} {self.totlp:6.2f} "
+            f"{clp} {self.latency_ms:7.2f}"
+        )
+
+
+def _stats_from_arrays(
+    name: str,
+    lost1: np.ndarray,
+    lost2: np.ndarray | None,
+    lat1: np.ndarray,
+    lat2: np.ndarray | None,
+    inferred: bool = False,
+) -> MethodStats:
+    n = len(lost1)
+    if n == 0:
+        return MethodStats(name, 0, float("nan"), None, float("nan"), None, float("nan"), inferred)
+    lp1 = 100.0 * lost1.mean()
+    if lost2 is None:
+        delivered = ~lost1
+        lat = float(np.nanmean(lat1[delivered])) * 1e3 if delivered.any() else float("nan")
+        return MethodStats(name, n, lp1, None, lp1, None, lat, inferred)
+    lp2 = 100.0 * lost2.mean()
+    both = lost1 & lost2
+    totlp = 100.0 * both.mean()
+    n_first_lost = int(lost1.sum())
+    clp = 100.0 * both.sum() / n_first_lost if n_first_lost else None
+    # delivered latency: first arrival among surviving copies
+    assert lat2 is not None
+    l1 = np.where(lost1, np.inf, np.nan_to_num(lat1, nan=np.inf))
+    l2 = np.where(lost2, np.inf, np.nan_to_num(lat2, nan=np.inf))
+    best = np.minimum(l1, l2)
+    got = np.isfinite(best)
+    lat = float(best[got].mean()) * 1e3 if got.any() else float("nan")
+    return MethodStats(name, n, lp1, lp2, totlp, clp, lat, inferred)
+
+
+def method_stats(trace: Trace, name: str) -> MethodStats:
+    """Statistics for one probed method."""
+    from repro.core.methods import METHODS
+
+    mask = trace.method_mask(name)
+    m = METHODS[name]
+    if m.is_pair:
+        return _stats_from_arrays(
+            name,
+            trace.lost1[mask],
+            trace.lost2[mask],
+            trace.latency1[mask],
+            trace.latency2[mask],
+        )
+    return _stats_from_arrays(
+        name, trace.lost1[mask], None, trace.latency1[mask], None
+    )
+
+
+def _inferred_first_packet(trace: Trace, sources: tuple[str, ...], name: str) -> MethodStats:
+    """A starred row: the first packets of the given pair methods."""
+    masks = [trace.method_mask(s) for s in sources if s in trace.meta.method_names]
+    if not masks:
+        raise KeyError(f"no source methods for inferred row {name!r}")
+    mask = np.logical_or.reduce(masks)
+    return _stats_from_arrays(
+        name + "", trace.lost1[mask], None, trace.latency1[mask], None, inferred=True
+    )
+
+
+def method_stats_table(trace: Trace, rows: list[str] | None = None) -> list[MethodStats]:
+    """Table 5/7 rows for a trace, inferring starred rows when needed.
+
+    ``rows`` defaults to every method probed plus the standard inferred
+    rows (``direct`` from direct-first pairs, ``lat`` from lat_loss).
+    """
+    probed = set(trace.meta.method_names)
+    if rows is None:
+        rows = []
+        if "direct" not in probed and any(s in probed for s in _DIRECT_FIRST):
+            rows.append("direct")
+        if "lat" not in probed and "lat_loss" in probed:
+            rows.append("lat")
+        rows.extend(trace.meta.method_names)
+    out: list[MethodStats] = []
+    for name in rows:
+        if name in probed:
+            out.append(method_stats(trace, name))
+        elif name == "direct":
+            out.append(
+                _inferred_first_packet(
+                    trace, tuple(s for s in _DIRECT_FIRST if s in probed), "direct"
+                )
+            )
+        elif name == "lat" and "lat_loss" in probed:
+            out.append(_inferred_first_packet(trace, ("lat_loss",), "lat"))
+        else:
+            raise KeyError(f"method {name!r} neither probed nor inferrable")
+    return out
+
+
+def per_path_clp(trace: Trace, name: str, min_first_losses: int = 1) -> np.ndarray:
+    """Conditional loss probability per ordered path for one pair method.
+
+    Only paths with at least ``min_first_losses`` first-packet losses
+    are included — the paper's Figure 4 uses "the 115 paths on which we
+    observed first-packet losses".  Returns CLP values in percent.
+    """
+    from repro.core.methods import METHODS
+
+    if not METHODS[name].is_pair:
+        raise ValueError(f"{name} is not a two-packet method")
+    mask = trace.method_mask(name)
+    n = len(trace.meta.host_names)
+    pair_key = trace.src[mask].astype(np.int64) * n + trace.dst[mask]
+    lost1 = trace.lost1[mask]
+    lost2 = trace.lost2[mask]
+    first = np.bincount(pair_key[lost1], minlength=n * n)
+    both = np.bincount(pair_key[lost1 & lost2], minlength=n * n)
+    ok = first >= min_first_losses
+    return 100.0 * both[ok] / first[ok]

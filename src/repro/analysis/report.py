@@ -1,0 +1,87 @@
+"""Text rendering of the paper's tables and figure series.
+
+Benchmarks print these next to the paper's published values so a reader
+can eyeball "who wins, by roughly what factor, where crossovers fall"
+(the reproduction criterion in DESIGN.md) without plotting anything.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .cdf import Cdf
+from .lossstats import MethodStats
+
+__all__ = [
+    "render_loss_table",
+    "render_high_loss_table",
+    "render_cdf_series",
+    "render_comparison",
+]
+
+
+def render_loss_table(
+    stats: list[MethodStats],
+    title: str,
+    paper: dict[str, tuple] | None = None,
+) -> str:
+    """Table 5/7 layout.  ``paper`` maps method -> (1lp, 2lp, totlp, clp, lat)
+    published values; pass None entries inside tuples for missing cells."""
+    lines = [title, f"{'type':15s} {'1lp':>5s} {'2lp':>5s} {'totlp':>6s} {'clp':>6s} {'lat(ms)':>7s}"]
+    for s in stats:
+        lines.append(s.row())
+        if paper and s.method in paper:
+            p = paper[s.method]
+            cells = [f"{v:5.2f}" if v is not None else "    -" for v in p]
+            lines.append(
+                f"{'  (paper)':15s} {cells[0]} {cells[1]} {cells[2]:>6s} {cells[3]:>6s} {cells[4]:>7s}"
+            )
+    return "\n".join(lines)
+
+
+def render_high_loss_table(
+    counts: dict[str, dict[int, int]],
+    title: str,
+    paper: dict[str, dict[int, int]] | None = None,
+) -> str:
+    """Table 6 layout: one column per method, one row per threshold."""
+    methods = list(counts)
+    thresholds = sorted(next(iter(counts.values())))
+    head = "loss% > " + " ".join(f"{m:>14s}" for m in methods)
+    lines = [title, head]
+    for thr in thresholds:
+        row = f"{thr:7d} " + " ".join(f"{counts[m][thr]:14d}" for m in methods)
+        lines.append(row)
+    if paper:
+        lines.append("(paper, same layout)")
+        pmethods = [m for m in methods if m in paper]
+        for thr in thresholds:
+            row = f"{thr:7d} " + " ".join(
+                f"{paper[m].get(thr, 0):14d}" for m in pmethods
+            )
+            lines.append(row)
+    return "\n".join(lines)
+
+
+def render_cdf_series(
+    cdfs: dict[str, Cdf],
+    points: np.ndarray,
+    title: str,
+    fmt: str = "{:8.3f}",
+) -> str:
+    """A figure as a table: rows = support points, columns = series."""
+    names = list(cdfs)
+    lines = [title, f"{'x':>10s} " + " ".join(f"{n:>12s}" for n in names)]
+    for p in points:
+        vals = " ".join(f"{cdfs[n].at(p):12.4f}" for n in names)
+        lines.append(f"{p:10.4g} {vals}")
+    return "\n".join(lines)
+
+
+def render_comparison(rows: list[tuple[str, float, float | None]], title: str) -> str:
+    """Generic 'measured vs paper' two-column block."""
+    lines = [title, f"{'quantity':40s} {'measured':>10s} {'paper':>10s}"]
+    for name, measured, paper in rows:
+        p = f"{paper:10.3f}" if paper is not None else "         -"
+        lines.append(f"{name:40s} {measured:10.3f} {p}")
+    return "\n".join(lines)

@@ -1,0 +1,101 @@
+"""Per-path probe history: the state a RON node keeps about each peer.
+
+Section 3.1: "The paths are selected based upon the average loss rate
+over the last 100 probes."  :class:`PathHistory` is the ring buffer
+backing that average, used by the event-driven node implementation; the
+vectorised pipeline computes the same statistic with rolling sums (see
+:mod:`repro.core.reactive`) and the test suite checks they agree.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+__all__ = ["PathHistory"]
+
+
+class PathHistory:
+    """Rolling loss/latency statistics for one ordered host pair.
+
+    Parameters mirror :class:`repro.netsim.config.ProbingParams`:
+    ``loss_window`` probes for the loss average, ``latency_window``
+    *successful* probes for the latency average, and a run of
+    ``failure_detect_probes`` consecutive losses marks the path failed.
+    """
+
+    def __init__(
+        self,
+        loss_window: int = 100,
+        latency_window: int = 10,
+        failure_detect_probes: int = 4,
+    ) -> None:
+        if loss_window < 1 or latency_window < 1 or failure_detect_probes < 1:
+            raise ValueError("history windows must be positive")
+        self._losses: deque[bool] = deque(maxlen=loss_window)
+        self._latencies: deque[float] = deque(maxlen=latency_window)
+        self._failure_window = failure_detect_probes
+        self._consecutive_losses = 0
+        self._total_probes = 0
+        self._total_losses = 0
+        self._last_probe_time = -math.inf
+
+    # -- recording ------------------------------------------------------
+
+    def record(self, lost: bool, latency_s: float | None = None, now: float = 0.0) -> None:
+        """Record one probe outcome."""
+        self._losses.append(bool(lost))
+        self._total_probes += 1
+        if lost:
+            self._total_losses += 1
+            self._consecutive_losses += 1
+        else:
+            self._consecutive_losses = 0
+            if latency_s is not None:
+                if latency_s < 0:
+                    raise ValueError("latency must be non-negative")
+                self._latencies.append(float(latency_s))
+        self._last_probe_time = now
+
+    # -- estimates ------------------------------------------------------
+
+    @property
+    def probes_seen(self) -> int:
+        return self._total_probes
+
+    @property
+    def last_probe_time(self) -> float:
+        return self._last_probe_time
+
+    def loss_estimate(self) -> float:
+        """Average loss over the last ``loss_window`` probes (0 if none).
+
+        New paths start optimistic (0 loss), matching a freshly booted
+        RON node that has no reason to distrust a path.
+        """
+        if not self._losses:
+            return 0.0
+        return sum(self._losses) / len(self._losses)
+
+    def latency_estimate(self) -> float:
+        """Average latency of recent successful probes; +inf if none."""
+        if not self._latencies:
+            return math.inf
+        return sum(self._latencies) / len(self._latencies)
+
+    def looks_failed(self) -> bool:
+        """True when the last ``failure_detect_probes`` probes all died."""
+        return self._consecutive_losses >= self._failure_window
+
+    def lifetime_loss_rate(self) -> float:
+        """Loss over the whole life of the history (diagnostics only)."""
+        if self._total_probes == 0:
+            return 0.0
+        return self._total_losses / self._total_probes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PathHistory(loss={self.loss_estimate():.3f}, "
+            f"lat={self.latency_estimate() * 1e3:.1f}ms, "
+            f"probes={self._total_probes})"
+        )

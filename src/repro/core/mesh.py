@@ -1,0 +1,62 @@
+"""Redundant multi-path (mesh) routing helpers (Section 3.2).
+
+Mesh routing duplicates each packet: "the first packet is sent directly
+over the Internet, and the second is sent through a randomly chosen
+intermediate node."  These helpers pick the random intermediates,
+vectorised, with the constraints the scheme implies (the relay differs
+from both endpoints; two-relay methods use two *different* relays).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["random_relays"]
+
+
+def random_relays(
+    rng: np.random.Generator,
+    n_hosts: int,
+    src: np.ndarray,
+    dst: np.ndarray,
+    exclude: np.ndarray | None = None,
+) -> np.ndarray:
+    """Uniformly random relay per row, excluding src, dst and ``exclude``.
+
+    Sampling is done by drawing an index among the *allowed* hosts for
+    each row, so the distribution is exactly uniform over valid relays
+    (rejection-free).
+    """
+    src = np.asarray(src)
+    dst = np.asarray(dst)
+    if src.shape != dst.shape:
+        raise ValueError("src and dst must have the same shape")
+    forbidden = 2 + (0 if exclude is None else 1)
+    if n_hosts <= forbidden:
+        raise ValueError(
+            f"need more than {forbidden} hosts to pick a distinct relay"
+        )
+
+    if np.any(src == dst):
+        raise ValueError("src and dst must differ")
+    if exclude is not None and np.any((exclude == src) | (exclude == dst)):
+        raise ValueError("exclude must differ from src and dst")
+
+    # Order statistics trick: draw k uniform over the allowed count and
+    # shift it past each forbidden value in ascending order.
+    a = np.minimum(src, dst)
+    b = np.maximum(src, dst)
+    if exclude is None:
+        k = rng.integers(0, n_hosts - 2, size=src.shape)
+        k = k + (k >= a)
+        k = k + (k >= b)
+        return k
+    ex = np.asarray(exclude)
+    lo = np.minimum(a, ex)
+    hi = np.maximum(b, ex)
+    mid = a + b + ex - lo - hi
+    k = rng.integers(0, n_hosts - 3, size=src.shape)
+    k = k + (k >= lo)
+    k = k + (k >= mid)
+    k = k + (k >= hi)
+    return k

@@ -1,0 +1,174 @@
+"""Routing methods: Table 4 of the paper and their combinations.
+
+A *route kind* says how one packet travels (direct Internet path, via a
+random intermediate, or via the probe-chosen loss-/latency-optimised
+path).  A *method* is what a probe measures: one packet, or two packets
+whose route kinds, spacing and path-distinctness rule define the
+redundancy scheme (Section 3.2).
+
+The catalogue covers every combination the paper evaluates:
+
+* RON2003 probe groups (Section 4): ``loss``, ``direct_rand``,
+  ``lat_loss``, ``direct_direct``, ``dd_10ms``, ``dd_20ms`` — with
+  ``direct`` and ``lat`` inferred from first packets of pairs.
+* The RONwide expansion (Table 7): all four singles and the eight
+  two-packet combinations.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = [
+    "RouteKind",
+    "Method",
+    "METHODS",
+    "method",
+    "RON2003_PROBE_METHODS",
+    "RONNARROW_PROBE_METHODS",
+    "RONWIDE_PROBE_METHODS",
+    "TABLE5_ROWS",
+    "TABLE7_ROWS",
+]
+
+
+class RouteKind(enum.Enum):
+    """How a single packet is routed (Table 4)."""
+
+    DIRECT = "direct"  # the direct Internet path
+    RAND = "rand"  # via a uniformly random intermediate node
+    LAT = "lat"  # probe-chosen latency-optimised path
+    LOSS = "loss"  # probe-chosen loss-optimised path
+
+    @property
+    def is_reactive(self) -> bool:
+        """Does this route kind need the probing subsystem?"""
+        return self in (RouteKind.LAT, RouteKind.LOSS)
+
+
+@dataclass(frozen=True)
+class Method:
+    """One probing/routing method (a row of Tables 5-7).
+
+    ``second`` is None for single-packet methods.  ``gap_s`` is the
+    delay between the two copies (the dd 10/20 ms variants).
+    ``same_path`` pins the second copy to the exact path instance of the
+    first (back-to-back duplication); otherwise two-packet methods
+    enforce *distinct* paths — if both route kinds resolve to the same
+    path, the second copy falls back to its criterion's next-best
+    alternative, as 2-redundant multipath requires two paths.
+    """
+
+    name: str
+    first: RouteKind
+    second: RouteKind | None = None
+    gap_s: float = 0.0
+    same_path: bool = False
+
+    def __post_init__(self) -> None:
+        if self.gap_s < 0:
+            raise ValueError(f"{self.name}: gap must be non-negative")
+        if self.same_path and self.second is None:
+            raise ValueError(f"{self.name}: same_path requires a second packet")
+        if self.same_path and self.first != self.second:
+            raise ValueError(f"{self.name}: same_path requires matching route kinds")
+
+    @property
+    def is_pair(self) -> bool:
+        return self.second is not None
+
+    @property
+    def needs_probing(self) -> bool:
+        kinds = [self.first] + ([self.second] if self.second else [])
+        return any(k.is_reactive for k in kinds)
+
+    @property
+    def display(self) -> str:
+        """The paper's rendering, e.g. ``direct rand`` or ``dd 10 ms``."""
+        if self.name.startswith("dd_"):
+            return f"dd {self.name[3:-2]} ms"
+        return self.name.replace("_", " ")
+
+
+METHODS: dict[str, Method] = {
+    m.name: m
+    for m in [
+        # singles
+        Method("direct", RouteKind.DIRECT),
+        Method("rand", RouteKind.RAND),
+        Method("lat", RouteKind.LAT),
+        Method("loss", RouteKind.LOSS),
+        # same-path redundancy
+        Method("direct_direct", RouteKind.DIRECT, RouteKind.DIRECT, same_path=True),
+        Method("dd_10ms", RouteKind.DIRECT, RouteKind.DIRECT, gap_s=0.010, same_path=True),
+        Method("dd_20ms", RouteKind.DIRECT, RouteKind.DIRECT, gap_s=0.020, same_path=True),
+        # multi-path redundancy
+        Method("direct_rand", RouteKind.DIRECT, RouteKind.RAND),
+        Method("rand_rand", RouteKind.RAND, RouteKind.RAND),
+        Method("direct_lat", RouteKind.DIRECT, RouteKind.LAT),
+        Method("direct_loss", RouteKind.DIRECT, RouteKind.LOSS),
+        Method("rand_lat", RouteKind.RAND, RouteKind.LAT),
+        Method("rand_loss", RouteKind.RAND, RouteKind.LOSS),
+        # probe-based 2-redundant multipath; the paper's Table 5 infers
+        # the lat* row from this method's first packet.
+        Method("lat_loss", RouteKind.LAT, RouteKind.LOSS),
+    ]
+}
+
+
+def method(name: str) -> Method:
+    """Look up a method by name, accepting paper-style spellings."""
+    key = name.strip().lower().replace(" ", "_").replace("dd_10_ms", "dd_10ms").replace(
+        "dd_20_ms", "dd_20ms"
+    )
+    try:
+        return METHODS[key]
+    except KeyError:
+        known = ", ".join(sorted(METHODS))
+        raise KeyError(f"unknown method {name!r}; known methods: {known}") from None
+
+
+#: the six probe groups collected in RON2003 (Section 4).
+RON2003_PROBE_METHODS = [
+    "loss",
+    "direct_rand",
+    "lat_loss",
+    "direct_direct",
+    "dd_10ms",
+    "dd_20ms",
+]
+
+#: RONnarrow measured "the three most promising methods" one-way.
+RONNARROW_PROBE_METHODS = ["loss", "direct_rand", "lat_loss"]
+
+#: RONwide's broader examination (Table 7).
+RONWIDE_PROBE_METHODS = [
+    "direct",
+    "rand",
+    "lat",
+    "loss",
+    "direct_direct",
+    "rand_rand",
+    "direct_rand",
+    "direct_lat",
+    "direct_loss",
+    "rand_lat",
+    "rand_loss",
+    "lat_loss",
+]
+
+#: row order of Table 5 (the starred rows are inferred, see analysis).
+TABLE5_ROWS = [
+    "direct",
+    "lat",
+    "loss",
+    "direct_rand",
+    "lat_loss",
+    "direct_direct",
+    "dd_10ms",
+    "dd_20ms",
+]
+
+#: row order of Table 7.
+TABLE7_ROWS = RONWIDE_PROBE_METHODS

@@ -1,0 +1,218 @@
+"""Probe-based reactive overlay routing, vectorised (Section 3.1).
+
+"In the system we evaluate, every node probes every other node once
+every 15 seconds.  [...] The paths are selected based upon the average
+loss rate over the last 100 probes."
+
+:func:`run_probing` simulates that probing subsystem for a whole
+collection run at once: one direct probe per ordered pair per 15-second
+grid slot (with a stable per-pair phase), evaluated against the network
+substrate.  :func:`build_routing_tables` turns the outcome series into
+per-grid-slot best/runner-up path choices for both optimisation
+criteria.  The event-driven node in :mod:`repro.testbed.ron` implements
+the identical protocol probe-by-probe; tests cross-validate the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.netsim.config import ProbingParams
+from repro.netsim.network import Network
+from repro.netsim.rng import RngFactory
+
+from .selector import DIRECT, SelectionTables, select_paths
+
+__all__ = ["ProbeSeries", "RoutingTables", "run_probing", "build_routing_tables"]
+
+
+@dataclass
+class ProbeSeries:
+    """Outcomes of the probing subsystem on the 15-second grid.
+
+    ``lost``/``latency`` are (G, n, n); the diagonal is meaningless.
+    ``latency`` is NaN where the probe died.
+    """
+
+    interval: float
+    lost: np.ndarray
+    latency: np.ndarray
+
+    @property
+    def n_slots(self) -> int:
+        return self.lost.shape[0]
+
+    @property
+    def n_hosts(self) -> int:
+        return self.lost.shape[1]
+
+
+@dataclass
+class RoutingTables:
+    """Best/runner-up choices per grid slot, pair and criterion.
+
+    Entries are relay indices or :data:`~repro.core.selector.DIRECT`.
+    ``lookup`` maps packet send times to the table in force at that
+    moment (the newest grid slot at or before the send time), which
+    reproduces the staleness of real probe-driven routing.
+    """
+
+    interval: float
+    loss_best: np.ndarray  # (G, n, n) int16
+    loss_second: np.ndarray
+    lat_best: np.ndarray
+    lat_second: np.ndarray
+    loss_est: np.ndarray  # (G, n, n) float32 leg estimates (diagnostics)
+    failed: np.ndarray  # (G, n, n) bool
+
+    @property
+    def n_slots(self) -> int:
+        return self.loss_best.shape[0]
+
+    def slot_of(self, times: np.ndarray) -> np.ndarray:
+        g = (np.asarray(times, dtype=np.float64) // self.interval).astype(np.int64)
+        return np.clip(g, 0, self.n_slots - 1)
+
+    def lookup(
+        self,
+        criterion: str,
+        times: np.ndarray,
+        src: np.ndarray,
+        dst: np.ndarray,
+        alternate: bool = False,
+    ) -> np.ndarray:
+        """Relay chosen for (src, dst) at each time; DIRECT for direct."""
+        g = self.slot_of(times)
+        table = {
+            ("loss", False): self.loss_best,
+            ("loss", True): self.loss_second,
+            ("lat", False): self.lat_best,
+            ("lat", True): self.lat_second,
+        }.get((criterion, alternate))
+        if table is None:
+            raise ValueError(f"unknown criterion {criterion!r} (use 'loss' or 'lat')")
+        return table[g, src, dst]
+
+
+def run_probing(
+    network: Network,
+    params: ProbingParams,
+    rngs: RngFactory,
+) -> ProbeSeries:
+    """Simulate the all-pairs probing subsystem over the whole horizon.
+
+    Each ordered pair is probed once per ``probe_interval_s`` with a
+    stable per-pair phase.  Probes to or from a failed host are counted
+    as lost — which is exactly what lets reactive routing route around
+    host and access failures.
+    """
+    n = network.topology.n_hosts
+    interval = params.probe_interval_s
+    n_slots = max(int(network.horizon // interval), 1)
+    rng = rngs.stream("probing")
+
+    src, dst = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+    off_diag = src != dst
+    src = src[off_diag]
+    dst = dst[off_diag]
+    n_pairs = len(src)
+    pids = network.paths.direct_pids(src, dst)
+    phase = rng.uniform(0.0, interval, n_pairs)
+
+    lost = np.zeros((n_slots, n, n), dtype=bool)
+    latency = np.full((n_slots, n, n), np.nan, dtype=np.float32)
+
+    # evaluate slot-blocks in batches to bound memory
+    block = max(1, int(2_000_000 // max(n_pairs, 1)))
+    for g0 in range(0, n_slots, block):
+        g1 = min(g0 + block, n_slots)
+        slots = np.arange(g0, g1)
+        times = (slots[:, None] * interval + phase[None, :]).ravel()
+        b_pids = np.tile(pids, g1 - g0)
+        out = network.sample_packets(b_pids, times, rng=rng)
+        b_lost = out.lost.reshape(g1 - g0, n_pairs)
+        b_lat = out.latency.reshape(g1 - g0, n_pairs)
+
+        # host failures take whole nodes out: probes die
+        down = network.state.host_down_at(
+            np.tile(dst, g1 - g0), times
+        ) | network.state.host_down_at(np.tile(src, g1 - g0), times)
+        b_lost |= down.reshape(g1 - g0, n_pairs)
+
+        lost[g0:g1, src, dst] = b_lost
+        latency[g0:g1, src, dst] = np.where(b_lost, np.nan, b_lat)
+
+    return ProbeSeries(interval=interval, lost=lost, latency=latency)
+
+
+def _rolling_mean_excl(
+    x: np.ndarray, window: int
+) -> np.ndarray:
+    """Rolling mean over the last ``window`` entries *before* each index.
+
+    ``x`` is (G, ...); output[g] averages x[max(0, g-window) : g], and
+    output[0] is 0 (a fresh node trusts every path).
+    """
+    cs = np.cumsum(x, axis=0, dtype=np.float64)
+    cs = np.concatenate([np.zeros((1,) + x.shape[1:]), cs], axis=0)  # cs[g] = sum x[:g]
+    g = np.arange(x.shape[0])
+    lo = np.maximum(g - window, 0)
+    counts = (g - lo).astype(np.float64)
+    counts[0] = 1.0  # avoid 0/0; numerator is 0 there anyway
+    sums = cs[g] - cs[lo]
+    return sums / counts.reshape((-1,) + (1,) * (x.ndim - 1))
+
+
+def build_routing_tables(
+    series: ProbeSeries,
+    params: ProbingParams,
+) -> RoutingTables:
+    """Turn probe outcomes into per-slot best-path choices.
+
+    The estimate in force during slot ``g`` uses probes from slots
+    ``< g`` only — routing reacts with at least one probe interval of
+    lag, like the real system.
+    """
+    g_total, n, _ = series.lost.shape
+    lost = series.lost.astype(np.float64)
+
+    loss_est = _rolling_mean_excl(lost, params.loss_window)
+
+    # latency: mean over delivered probes among the last latency_window
+    lat_vals = np.nan_to_num(series.latency.astype(np.float64), nan=0.0)
+    delivered = ~np.isnan(series.latency)
+    sum_lat = _rolling_mean_excl(lat_vals, params.latency_window)
+    frac_ok = _rolling_mean_excl(delivered.astype(np.float64), params.latency_window)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        lat_est = np.where(frac_ok > 0, sum_lat / frac_ok, np.inf)
+
+    # failure detection: last F probes all lost
+    frac_lost_f = _rolling_mean_excl(lost, params.failure_detect_probes)
+    g = np.arange(g_total)
+    enough = (np.minimum(g, params.failure_detect_probes) == params.failure_detect_probes)
+    failed = (frac_lost_f >= 1.0) & enough.reshape(-1, 1, 1)
+
+    loss_best = np.empty((g_total, n, n), dtype=np.int16)
+    loss_second = np.empty_like(loss_best)
+    lat_best = np.empty_like(loss_best)
+    lat_second = np.empty_like(loss_best)
+    for slot in range(g_total):
+        tables: SelectionTables = select_paths(
+            loss_est[slot], lat_est[slot], failed[slot], params.selection_margin
+        )
+        loss_best[slot] = tables.loss_best
+        loss_second[slot] = tables.loss_second
+        lat_best[slot] = tables.lat_best
+        lat_second[slot] = tables.lat_second
+
+    return RoutingTables(
+        interval=series.interval,
+        loss_best=loss_best,
+        loss_second=loss_second,
+        lat_best=lat_best,
+        lat_second=lat_second,
+        loss_est=loss_est.astype(np.float32),
+        failed=failed,
+    )

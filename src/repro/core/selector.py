@@ -1,0 +1,153 @@
+"""Best-path selection from per-leg estimates (Section 3.1).
+
+RON-style reactive routing estimates the quality of a one-hop indirect
+path ``s -> r -> d`` by composing the probe statistics of its two legs:
+
+* loss:     ``l = 1 - (1 - l_sr) * (1 - l_rd)``
+* latency:  ``lat = lat_sr + lat_rd``
+
+and then picks the best option among {direct} + {all relays}, with two
+RON behaviours reproduced here:
+
+* **hysteresis** — an indirect path is only chosen when it beats the
+  direct path by an absolute margin, avoiding route flapping;
+* **failure avoidance** — the latency optimiser skips legs whose recent
+  probes all died ("avoids completely failed links", Section 4).
+
+The selector also returns each criterion's *runner-up*, which the
+combined two-packet methods use to guarantee path distinctness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Choice", "SelectionTables", "combine_loss", "select_paths"]
+
+#: sentinel meaning "use the direct path" in choice arrays.
+DIRECT = -1
+
+
+@dataclass(frozen=True)
+class Choice:
+    """Best and runner-up option for one criterion on one pair."""
+
+    best: int  # relay index, or DIRECT
+    second: int
+
+    def option(self, want_alternate: bool) -> int:
+        return self.second if want_alternate else self.best
+
+
+@dataclass
+class SelectionTables:
+    """Vectorised selection results for all ordered pairs.
+
+    Arrays are (n, n) int16: entry [s, d] is a relay index or DIRECT.
+    ``*_second`` is the best option distinct from ``*_best``.
+    """
+
+    loss_best: np.ndarray
+    loss_second: np.ndarray
+    lat_best: np.ndarray
+    lat_second: np.ndarray
+
+
+def combine_loss(l_sr: np.ndarray, l_rd: np.ndarray) -> np.ndarray:
+    """Loss estimate of a two-leg path from its legs' estimates."""
+    return l_sr + l_rd - l_sr * l_rd
+
+
+#: a value worse than any real estimate but better than "forbidden";
+#: unprobed/failed options must still rank above degenerate relays.
+_UNATTRACTIVE = 1e30
+
+
+def _top2(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Indices of the smallest and second-smallest entries along axis 1.
+
+    ``values`` is (n_pairs, n_options).  Callers encode *forbidden*
+    options (relay == endpoint) as +inf and merely unattractive ones
+    (failed/unprobed) as :data:`_UNATTRACTIVE`, so the runner-up is
+    always a legal path even when every option looks terrible.
+    """
+    order = np.argsort(values, axis=1, kind="stable")
+    return order[:, 0], order[:, 1]
+
+
+def select_paths(
+    loss_est: np.ndarray,
+    lat_est: np.ndarray,
+    failed: np.ndarray,
+    margin: float = 0.005,
+) -> SelectionTables:
+    """Compute best/runner-up choices for every ordered pair.
+
+    Parameters
+    ----------
+    loss_est, lat_est:
+        (n, n) per-ordered-pair leg estimates (direct probes); the
+        diagonal is ignored.  ``lat_est`` may contain +inf for legs with
+        no successful probes.
+    failed:
+        (n, n) bool; legs considered down (run of lost probes).
+    margin:
+        hysteresis: an indirect option must beat direct loss by this
+        absolute amount to be selected.
+    """
+    n = loss_est.shape[0]
+    if loss_est.shape != (n, n) or lat_est.shape != (n, n) or failed.shape != (n, n):
+        raise ValueError("estimate matrices must all be (n, n)")
+
+    idx = np.arange(n)
+
+    # --- candidate matrices: option axis = [direct] + relays ----------
+    # loss of s->r->d for all (s, r, d)
+    l1 = loss_est[:, :, None]  # (s, r, 1)
+    l2 = loss_est[None, :, :]  # (1, r, d)
+    relay_loss = combine_loss(l1, l2)  # (s, r, d)
+    relay_lat = lat_est[:, :, None] + lat_est[None, :, :]
+
+    # forbid r == s and r == d
+    relay_loss[idx, idx, :] = np.inf
+    relay_lat[idx, idx, :] = np.inf
+    relay_loss[:, idx, idx] = np.inf
+    relay_lat[:, idx, idx] = np.inf
+
+    # the latency optimiser "avoids completely failed links"; failed or
+    # never-probed options stay *legal* (rank above forbidden relays)
+    leg_failed = failed[:, :, None] | failed[None, :, :]
+    relay_lat = np.where(leg_failed | ~np.isfinite(relay_lat), _UNATTRACTIVE, relay_lat)
+    relay_lat[idx, idx, :] = np.inf  # re-forbid r == s / r == d
+    relay_lat[:, idx, idx] = np.inf
+    direct_lat = np.where(failed | ~np.isfinite(lat_est), _UNATTRACTIVE, lat_est)
+
+    # --- loss criterion ------------------------------------------------
+    # options: direct (with a hysteresis *bonus*) vs relays; we subtract
+    # the margin from direct's effective loss so relays only win when
+    # they are better by > margin.
+    n_pairs = n * n
+    direct_col = (loss_est - margin).reshape(n_pairs, 1)
+    relay_cols = relay_loss.transpose(0, 2, 1).reshape(n_pairs, n)
+    loss_options = np.concatenate([direct_col, relay_cols], axis=1)
+    best, second = _top2(loss_options)
+    loss_best = (best - 1).astype(np.int16).reshape(n, n)  # option 0 -> DIRECT
+    loss_second = (second - 1).astype(np.int16).reshape(n, n)
+
+    # --- latency criterion ---------------------------------------------
+    # direct wins ties (subtract a tiny epsilon rather than a loss margin)
+    direct_col = (direct_lat - 1e-4).reshape(n_pairs, 1)
+    relay_cols = relay_lat.transpose(0, 2, 1).reshape(n_pairs, n)
+    lat_options = np.concatenate([direct_col, relay_cols], axis=1)
+    best, second = _top2(lat_options)
+    lat_best = (best - 1).astype(np.int16).reshape(n, n)
+    lat_second = (second - 1).astype(np.int16).reshape(n, n)
+
+    return SelectionTables(
+        loss_best=loss_best,
+        loss_second=loss_second,
+        lat_best=lat_best,
+        lat_second=lat_second,
+    )

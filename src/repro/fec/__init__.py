@@ -1,0 +1,43 @@
+"""Packet-level FEC: GF(256), Reed-Solomon erasure codes, interleaving.
+
+Built to run the Section 5.2 analysis: how much protection FEC needs
+under correlated (bursty) loss, and what temporal/path spreading buys.
+"""
+
+from .duplication import DuplicationCode
+from .gf256 import (
+    GF_POLY,
+    gf_add,
+    gf_div,
+    gf_inv,
+    gf_mat_inverse,
+    gf_matmul,
+    gf_mul,
+    gf_mul_bytes,
+    gf_pow,
+)
+from .interleave import (
+    GroupDeliveryStats,
+    TransmissionPlan,
+    simulate_group_delivery,
+    transmission_plan,
+)
+from .reed_solomon import ReedSolomonCode
+
+__all__ = [
+    "DuplicationCode",
+    "GF_POLY",
+    "GroupDeliveryStats",
+    "ReedSolomonCode",
+    "TransmissionPlan",
+    "gf_add",
+    "gf_div",
+    "gf_inv",
+    "gf_mat_inverse",
+    "gf_matmul",
+    "gf_mul",
+    "gf_mul_bytes",
+    "gf_pow",
+    "simulate_group_delivery",
+    "transmission_plan",
+]

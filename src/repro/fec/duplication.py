@@ -1,0 +1,46 @@
+"""N-redundant duplication: the mesh-routing code (Section 3.2/5.2).
+
+"As a simpler case, packets can simply be duplicated and sent along
+multiple paths, as is done in mesh routing."  Duplication is the
+(N, 1) repetition code; it needs no algebra, but expressing it in the
+same interface as Reed-Solomon lets the Section 5.2 benchmarks compare
+the two under identical loss processes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["DuplicationCode"]
+
+
+class DuplicationCode:
+    """An (n, 1) repetition code: n copies, any one reconstructs."""
+
+    def __init__(self, copies: int) -> None:
+        if copies < 1:
+            raise ValueError("need at least one copy")
+        self.n = copies
+        self.k = 1
+
+    @property
+    def overhead(self) -> float:
+        return float(self.n - 1)
+
+    def encode(self, packets: np.ndarray) -> np.ndarray:
+        packets = np.asarray(packets, dtype=np.uint8)
+        if packets.ndim != 2 or packets.shape[0] != 1:
+            raise ValueError("duplication encodes one packet at a time")
+        return np.repeat(packets, self.n, axis=0)
+
+    def decode(self, received: np.ndarray, indices: np.ndarray) -> np.ndarray:
+        received = np.asarray(received, dtype=np.uint8)
+        if received.shape[0] < 1:
+            raise ValueError("unrecoverable: no copies survived")
+        return received[:1].copy()
+
+    def recoverable(self, received_mask: np.ndarray) -> bool:
+        mask = np.asarray(received_mask, dtype=bool)
+        if mask.shape != (self.n,):
+            raise ValueError(f"mask must have shape ({self.n},)")
+        return bool(mask.any())

@@ -1,0 +1,147 @@
+"""GF(2^8) arithmetic for Reed-Solomon erasure coding.
+
+The field is GF(256) with the AES polynomial x^8 + x^4 + x^3 + x + 1
+(0x11B).  Multiplication/division run through log/antilog tables, with
+vectorised variants for whole-packet operations — erasure coding works
+byte-wise across packets, so the hot path is table lookups over numpy
+arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "GF_POLY",
+    "gf_add",
+    "gf_mul",
+    "gf_div",
+    "gf_inv",
+    "gf_pow",
+    "gf_mul_bytes",
+    "gf_matmul",
+    "gf_mat_inverse",
+]
+
+GF_POLY = 0x11B
+_ORDER = 255
+
+
+def _build_tables() -> tuple[np.ndarray, np.ndarray]:
+    # generator 3 (= x + 1): 2 is *not* primitive in the AES field, so
+    # the classic double-and-reduce walk would only visit a 51-element
+    # subgroup.  Multiplying by 3 (x + xtime(x)) visits all 255.
+    exp = np.zeros(512, dtype=np.uint8)
+    log = np.zeros(256, dtype=np.int32)
+    x = 1
+    for i in range(_ORDER):
+        exp[i] = x
+        log[x] = i
+        doubled = x << 1
+        if doubled & 0x100:
+            doubled ^= GF_POLY
+        x ^= doubled
+    exp[_ORDER : 2 * _ORDER] = exp[:_ORDER]  # wrap-around for cheap mod
+    exp[2 * _ORDER :] = exp[: 512 - 2 * _ORDER]
+    return exp, log
+
+
+_EXP, _LOG = _build_tables()
+
+
+def gf_add(a, b):
+    """Addition in GF(2^8) is XOR (also subtraction)."""
+    return np.bitwise_xor(a, b)
+
+
+def gf_mul(a, b):
+    """Element-wise multiplication (scalars or arrays)."""
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    out = _EXP[(_LOG[a].astype(np.int64) + _LOG[b]) % _ORDER].astype(np.uint8)
+    zero = (a == 0) | (b == 0)
+    if np.isscalar(zero) or zero.ndim == 0:
+        return np.uint8(0) if zero else out[()]
+    out = np.where(zero, np.uint8(0), out)
+    return out
+
+
+def gf_pow(a: int, n: int) -> int:
+    """a**n in the field."""
+    if a == 0:
+        if n == 0:
+            return 1
+        return 0
+    return int(_EXP[(_LOG[a] * (n % _ORDER)) % _ORDER])
+
+
+def gf_inv(a):
+    """Multiplicative inverse; raises on zero."""
+    a_arr = np.asarray(a, dtype=np.uint8)
+    if np.any(a_arr == 0):
+        raise ZeroDivisionError("0 has no inverse in GF(256)")
+    out = _EXP[(_ORDER - _LOG[a_arr]) % _ORDER].astype(np.uint8)
+    return out[()] if np.isscalar(a) or np.ndim(a) == 0 else out
+
+
+def gf_div(a, b):
+    """Element-wise division; raises on division by zero."""
+    b_arr = np.asarray(b, dtype=np.uint8)
+    if np.any(b_arr == 0):
+        raise ZeroDivisionError("division by zero in GF(256)")
+    a_arr = np.asarray(a, dtype=np.uint8)
+    out = _EXP[(_LOG[a_arr].astype(np.int64) - _LOG[b_arr]) % _ORDER].astype(np.uint8)
+    out = np.where(a_arr == 0, np.uint8(0), out)
+    return out[()] if np.isscalar(a) or np.ndim(a) == 0 else out
+
+
+def gf_mul_bytes(coeff: int, data: np.ndarray) -> np.ndarray:
+    """Multiply a byte vector by a scalar coefficient (hot path)."""
+    if coeff == 0:
+        return np.zeros_like(data)
+    if coeff == 1:
+        return data.copy()
+    table = _EXP[(_LOG[np.arange(256)] + _LOG[coeff]) % _ORDER].astype(np.uint8)
+    table[0] = 0
+    return table[data]
+
+
+def gf_matmul(m: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Matrix product over GF(256): (r, k) x (k, n_bytes) -> (r, n_bytes)."""
+    m = np.asarray(m, dtype=np.uint8)
+    v = np.asarray(v, dtype=np.uint8)
+    if m.ndim != 2 or v.ndim != 2 or m.shape[1] != v.shape[0]:
+        raise ValueError(f"shape mismatch: {m.shape} x {v.shape}")
+    out = np.zeros((m.shape[0], v.shape[1]), dtype=np.uint8)
+    for i in range(m.shape[0]):
+        acc = np.zeros(v.shape[1], dtype=np.uint8)
+        for j in range(m.shape[1]):
+            acc ^= gf_mul_bytes(int(m[i, j]), v[j])
+        out[i] = acc
+    return out
+
+
+def gf_mat_inverse(m: np.ndarray) -> np.ndarray:
+    """Invert a square matrix over GF(256) by Gauss-Jordan elimination."""
+    m = np.asarray(m, dtype=np.uint8)
+    k = m.shape[0]
+    if m.shape != (k, k):
+        raise ValueError("matrix must be square")
+    a = m.astype(np.uint8).copy()
+    inv = np.eye(k, dtype=np.uint8)
+    for col in range(k):
+        pivot = next((r for r in range(col, k) if a[r, col] != 0), None)
+        if pivot is None:
+            raise np.linalg.LinAlgError("singular matrix over GF(256)")
+        if pivot != col:
+            a[[col, pivot]] = a[[pivot, col]]
+            inv[[col, pivot]] = inv[[pivot, col]]
+        scale = gf_inv(int(a[col, col]))
+        a[col] = gf_mul_bytes(int(scale), a[col])
+        inv[col] = gf_mul_bytes(int(scale), inv[col])
+        for r in range(k):
+            if r != col and a[r, col] != 0:
+                f = int(a[r, col])
+                a[r] ^= gf_mul_bytes(f, a[col])
+                inv[r] ^= gf_mul_bytes(f, inv[col])
+    return inv

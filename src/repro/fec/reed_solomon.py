@@ -1,0 +1,120 @@
+"""Systematic Reed-Solomon erasure codes over GF(256).
+
+Section 5.2: "Reed-Solomon erasure codes are a standard FEC method that
+provide a framework with which to apply variable amounts of redundancy
+to groups of packets.  An efficient FEC sends the original packets
+first, to avoid adding latency in the no-loss case — the so called
+standard codes."
+
+This implementation is exactly that: a systematic (n, k) code built
+from a Cauchy generator (any k of the n coded packets reconstruct the
+group), with the data packets transmitted verbatim ahead of the parity
+packets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .gf256 import gf_inv, gf_mat_inverse, gf_matmul
+
+__all__ = ["ReedSolomonCode"]
+
+_FIELD = 256
+
+
+class ReedSolomonCode:
+    """Systematic (n, k) erasure code: k data packets, n - k parity.
+
+    >>> rs = ReedSolomonCode(n=6, k=5)       # Section 5.2's 20% scheme
+    >>> coded = rs.encode(packets)           # packets: (5, size) uint8
+    >>> data = rs.decode(coded, received_idx)
+    """
+
+    def __init__(self, n: int, k: int) -> None:
+        if not 1 <= k <= n:
+            raise ValueError(f"need 1 <= k <= n, got n={n} k={k}")
+        if n > _FIELD:
+            raise ValueError(f"n must be <= {_FIELD} for GF(256)")
+        self.n = n
+        self.k = k
+        self._parity = self._cauchy_rows(n - k, k)
+
+    @property
+    def overhead(self) -> float:
+        """Redundancy fraction: (n - k) / k (Section 5.2's cost metric)."""
+        return (self.n - self.k) / self.k
+
+    @staticmethod
+    def _cauchy_rows(r: int, k: int) -> np.ndarray:
+        """A Cauchy matrix: every square submatrix is invertible, so any
+        k surviving rows of [I; C] reconstruct the data."""
+        if r == 0:
+            return np.zeros((0, k), dtype=np.uint8)
+        if r + k > _FIELD:
+            raise ValueError("n too large for a Cauchy construction over GF(256)")
+        x = np.arange(r, dtype=np.int64) + k  # x_i and y_j must be disjoint
+        y = np.arange(k, dtype=np.int64)
+        denom = (x[:, None] ^ y[None, :]).astype(np.uint8)  # x_i - y_j in GF(2^8)
+        inv = np.zeros_like(denom)
+        for i in range(r):
+            inv[i] = gf_inv(denom[i])
+        return inv
+
+    # -- encoding --------------------------------------------------------
+
+    def encode(self, packets: np.ndarray) -> np.ndarray:
+        """Encode k data packets into n coded packets (systematic).
+
+        ``packets`` is (k, size) uint8; rows 0..k-1 of the result are the
+        originals, rows k..n-1 the parity packets.
+        """
+        packets = np.asarray(packets, dtype=np.uint8)
+        if packets.ndim != 2 or packets.shape[0] != self.k:
+            raise ValueError(f"expected (k={self.k}, size) array, got {packets.shape}")
+        parity = gf_matmul(self._parity, packets)
+        return np.concatenate([packets, parity], axis=0)
+
+    # -- decoding --------------------------------------------------------
+
+    def decode(self, received: np.ndarray, indices: np.ndarray) -> np.ndarray:
+        """Reconstruct the k data packets from any k received coded packets.
+
+        ``received`` is (m, size) with m >= k; ``indices`` gives each
+        row's position in the codeword (0..n-1).  Raises ValueError when
+        fewer than k packets survive.
+        """
+        received = np.asarray(received, dtype=np.uint8)
+        indices = np.asarray(indices, dtype=np.int64)
+        if received.ndim != 2 or len(indices) != received.shape[0]:
+            raise ValueError("received rows and indices must correspond")
+        if len(np.unique(indices)) != len(indices):
+            raise ValueError("duplicate packet indices")
+        if np.any((indices < 0) | (indices >= self.n)):
+            raise ValueError("packet index out of range")
+        if received.shape[0] < self.k:
+            raise ValueError(
+                f"unrecoverable: {received.shape[0]} of k={self.k} packets survive"
+            )
+        # prefer systematic rows; fill gaps from parity rows
+        order = np.argsort(np.where(indices < self.k, indices, indices + self.n))
+        use = order[: self.k]
+        idx = indices[use]
+        rows = received[use]
+        if np.all(idx == np.arange(self.k)):
+            return rows.copy()  # all data packets arrived; no algebra needed
+        full = np.concatenate(
+            [np.eye(self.k, dtype=np.uint8), self._parity], axis=0
+        )
+        matrix = full[idx]
+        return gf_matmul(gf_mat_inverse(matrix), rows)
+
+    def recoverable(self, received_mask: np.ndarray) -> bool:
+        """Can the group be reconstructed from this delivery pattern?"""
+        mask = np.asarray(received_mask, dtype=bool)
+        if mask.shape != (self.n,):
+            raise ValueError(f"mask must have shape ({self.n},)")
+        return int(mask.sum()) >= self.k
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ReedSolomonCode(n={self.n}, k={self.k})"

@@ -1,0 +1,34 @@
+"""Section 5's analytic models: benefits, costs and the design space."""
+
+from .design_space import DesignPoint, DesignSpace
+from .overhead import AllocationPlan, estimate_loss, recommend_allocation
+from .reactive_model import (
+    detection_delay_s,
+    probing_overhead_fraction,
+    probing_overhead_pps,
+    reactive_loss,
+)
+from .redundant_model import (
+    correlated_redundant_loss,
+    expected_2redundant_loss,
+    independence_limit,
+    redundancy_overhead,
+    redundant_loss_independent,
+)
+
+__all__ = [
+    "AllocationPlan",
+    "DesignPoint",
+    "DesignSpace",
+    "correlated_redundant_loss",
+    "detection_delay_s",
+    "estimate_loss",
+    "expected_2redundant_loss",
+    "independence_limit",
+    "probing_overhead_fraction",
+    "probing_overhead_pps",
+    "reactive_loss",
+    "recommend_allocation",
+    "redundancy_overhead",
+    "redundant_loss_independent",
+]

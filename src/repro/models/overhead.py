@@ -1,0 +1,109 @@
+"""Bandwidth-budget allocation between probing and redundancy (Section 5).
+
+"In our model, application designers have a certain 'bandwidth budget'
+that they can spend to attempt to meet their goals.  They can spend
+this bandwidth via probing, packet duplication, or a combination."
+
+:func:`recommend_allocation` answers the paper's closing question for a
+concrete flow: given a budget, how should it split between reactive
+probing and redundant copies?  The loss model composes the two effects:
+probing avoids the avoidable (path-specific) losses, duplication masks
+the remaining independent share of what's left.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .reactive_model import probing_overhead_pps
+
+__all__ = ["AllocationPlan", "estimate_loss", "recommend_allocation"]
+
+
+@dataclass(frozen=True)
+class AllocationPlan:
+    """A point in the budget split, with its predicted loss."""
+
+    probe_interval_s: float | None  # None = no probing
+    duplicate_fraction: float  # fraction of data packets duplicated
+    overhead_pps: float
+    predicted_loss: float
+
+
+def estimate_loss(
+    base_loss: float,
+    avoidable_fraction: float,
+    cross_clp: float,
+    probing: bool,
+    duplicate_fraction: float,
+    reaction_effectiveness: float = 0.8,
+) -> float:
+    """Predicted loss under a (probing, duplication) combination.
+
+    * probing removes ``avoidable_fraction`` of losses (path-specific
+      pathologies), discounted by how quickly it reacts;
+    * duplicating a fraction f of packets multiplies their loss by the
+      cross-path CLP (the shared-fate floor).
+    """
+    if not 0 <= base_loss <= 1:
+        raise ValueError("base_loss must be a probability")
+    if not 0 <= duplicate_fraction <= 1:
+        raise ValueError("duplicate_fraction must be in [0, 1]")
+    loss = base_loss
+    if probing:
+        loss = loss * (1.0 - avoidable_fraction * reaction_effectiveness)
+    return loss * (1.0 - duplicate_fraction * (1.0 - cross_clp))
+
+
+def recommend_allocation(
+    flow_pps: float,
+    budget_pps: float,
+    n_nodes: int,
+    base_loss: float = 0.0042,
+    avoidable_fraction: float = 0.25,
+    cross_clp: float = 0.60,
+    probe_interval_s: float = 15.0,
+) -> AllocationPlan:
+    """Choose the best split of an overhead budget (Section 5.3's trade).
+
+    Candidates: duplication only, probing only, and probing plus
+    duplicating whatever budget remains.  Returns the plan with the
+    lowest predicted loss that fits the budget — reproducing the
+    figure-6 conclusion that thin flows favour redundancy and thick
+    flows favour probing.
+    """
+    if flow_pps <= 0 or budget_pps < 0:
+        raise ValueError("flow rate must be positive, budget non-negative")
+    probing_cost = probing_overhead_pps(n_nodes, probe_interval_s)
+    candidates: list[AllocationPlan] = []
+
+    # duplication only
+    dup = min(budget_pps / flow_pps, 1.0)
+    candidates.append(
+        AllocationPlan(
+            probe_interval_s=None,
+            duplicate_fraction=dup,
+            overhead_pps=dup * flow_pps,
+            predicted_loss=estimate_loss(
+                base_loss, avoidable_fraction, cross_clp, False, dup
+            ),
+        )
+    )
+    # probing only / probing + leftover duplication
+    if probing_cost <= budget_pps:
+        left = budget_pps - probing_cost
+        dup = min(left / flow_pps, 1.0)
+        for d in {0.0, dup}:
+            candidates.append(
+                AllocationPlan(
+                    probe_interval_s=probe_interval_s,
+                    duplicate_fraction=d,
+                    overhead_pps=probing_cost + d * flow_pps,
+                    predicted_loss=estimate_loss(
+                        base_loss, avoidable_fraction, cross_clp, True, d
+                    ),
+                )
+            )
+    return min(candidates, key=lambda p: (p.predicted_loss, p.overhead_pps))

@@ -1,0 +1,82 @@
+"""Analytic model of probe-based reactive routing (Section 5.1).
+
+* Benefit: ``p_reactive = min_i(p_i)`` over the N available one-hop
+  paths — probing can at best find the current best path.
+* Cost: all-pairs probing and route dissemination is O(N^2) per node
+  per probing round, independent of the data rate ("it can be large in
+  comparison to a thin data stream, or negligible when used in
+  conjunction with a high bandwidth stream").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "reactive_loss",
+    "probing_overhead_pps",
+    "probing_overhead_fraction",
+    "detection_delay_s",
+]
+
+
+def reactive_loss(path_loss: np.ndarray) -> float:
+    """The benefit bound: loss of the best available path."""
+    p = np.asarray(path_loss, dtype=np.float64)
+    if p.size == 0:
+        raise ValueError("need at least one path")
+    if np.any((p < 0) | (p > 1)):
+        raise ValueError("loss probabilities must be in [0, 1]")
+    return float(p.min())
+
+
+def probing_overhead_pps(n_nodes: int, probe_interval_s: float = 15.0) -> float:
+    """Probe packets per second each node sends (and receives).
+
+    Every node probes every other node once per interval: N - 1 probes
+    sent per interval, so the *system* cost grows as N^2.
+    """
+    if n_nodes < 2:
+        raise ValueError("an overlay needs at least two nodes")
+    if probe_interval_s <= 0:
+        raise ValueError("probe interval must be positive")
+    return (n_nodes - 1) / probe_interval_s
+
+
+def probing_overhead_fraction(
+    n_nodes: int,
+    flow_pps: float,
+    probe_interval_s: float = 15.0,
+) -> float:
+    """Probing overhead relative to a data flow's packet rate.
+
+    This is the `1 + N^2/Bandwidth` term of Section 5.3 (per-node form):
+    overhead is constant in the flow, so thin flows pay proportionally
+    more.
+    """
+    if flow_pps <= 0:
+        raise ValueError("flow rate must be positive")
+    return probing_overhead_pps(n_nodes, probe_interval_s) / flow_pps
+
+
+def detection_delay_s(
+    outage_loss: float,
+    baseline_loss: float,
+    margin: float,
+    loss_window: int = 100,
+    probe_interval_s: float = 15.0,
+) -> float:
+    """Expected time for the loss estimate to cross the switch margin.
+
+    With a rolling-window estimate, each lost probe moves the estimate
+    by 1/window; an outage of severity ``outage_loss`` needs roughly
+    ``margin * window`` additional lost probes to trigger a reroute —
+    "reactive routing circumvents path failures in time proportional to
+    its probing rate."
+    """
+    if not 0 <= baseline_loss <= 1 or not 0 < outage_loss <= 1:
+        raise ValueError("loss rates must be probabilities")
+    if outage_loss <= baseline_loss:
+        return float("inf")
+    probes_needed = np.ceil(margin * loss_window / (outage_loss - baseline_loss))
+    return float(max(probes_needed, 1.0) * probe_interval_s)

@@ -1,0 +1,76 @@
+"""Analytic model of redundant multi-path routing (Section 5.2).
+
+* Independent paths: ``p_redundant = prod_i(p_i)``; for 2-redundant
+  routing over random paths, ``E[p] = (E[p_i])^2``.
+* Correlated paths: the paper's Independence Limit — when a fraction of
+  losses strike segments shared by every path, no amount of redundancy
+  removes them.  :func:`correlated_redundant_loss` gives the two-path
+  loss under a shared-fate fraction, the quantity our substrate's edge
+  budget controls.
+* Cost: a factor of N in traffic, independent of network size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "redundant_loss_independent",
+    "expected_2redundant_loss",
+    "correlated_redundant_loss",
+    "redundancy_overhead",
+    "independence_limit",
+]
+
+
+def redundant_loss_independent(path_loss: np.ndarray) -> float:
+    """P(all copies lost) when losses are independent: the product."""
+    p = np.asarray(path_loss, dtype=np.float64)
+    if p.size == 0:
+        raise ValueError("need at least one path")
+    if np.any((p < 0) | (p > 1)):
+        raise ValueError("loss probabilities must be in [0, 1]")
+    return float(np.prod(p))
+
+
+def expected_2redundant_loss(mean_loss: float) -> float:
+    """E[p^2] ~ (E[p])^2 for 2-redundant routing on random paths."""
+    if not 0 <= mean_loss <= 1:
+        raise ValueError("mean loss must be a probability")
+    return mean_loss * mean_loss
+
+
+def correlated_redundant_loss(
+    p1: float, p2: float, shared_fraction: float
+) -> float:
+    """Two-path loss when ``shared_fraction`` of path-1 losses are shared.
+
+    A shared loss (edge outage/burst) takes both copies; the remainder
+    of path 2's exposure is independent.  This reduces to the product
+    formula at ``shared_fraction = 0`` and to ``p1`` at 1.
+    """
+    if not (0 <= p1 <= 1 and 0 <= p2 <= 1 and 0 <= shared_fraction <= 1):
+        raise ValueError("arguments must be probabilities")
+    independent_part = (1.0 - shared_fraction) * p1 * min(p2 / max(1e-12, 1 - shared_fraction * p1), 1.0)
+    return shared_fraction * p1 + independent_part
+
+
+def redundancy_overhead(n_copies: int) -> float:
+    """Traffic multiplier of N-redundant routing ("a factor of N")."""
+    if n_copies < 1:
+        raise ValueError("need at least one copy")
+    return float(n_copies)
+
+
+def independence_limit(clp_cross: float) -> float:
+    """Best possible loss-rate improvement given cross-path CLP.
+
+    If the second copy still dies with conditional probability
+    ``clp_cross`` when the first does, duplication can remove at most
+    ``1 - clp_cross`` of the losses.  The paper measures ~60% cross-path
+    CLP and concludes "having 50% of failures and losses occur
+    independently would be a reasonable upper limit for designers".
+    """
+    if not 0 <= clp_cross <= 1:
+        raise ValueError("clp must be a probability")
+    return 1.0 - clp_cross

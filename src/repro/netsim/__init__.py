@@ -1,0 +1,79 @@
+"""Internet substrate simulator.
+
+This subpackage replaces the live Internet under the RON testbed with a
+segment-based path model whose loss/latency statistics are calibrated to
+the measurements published in the paper (see DESIGN.md for the mapping).
+
+Typical use::
+
+    from repro.netsim import Network, config_2003
+    from repro.testbed import hosts_2003
+
+    net = Network.build(hosts_2003(), config_2003(), horizon=4 * 3600, seed=1)
+    pid = net.paths.direct_pid(0, 5)
+    outcome = net.sample_packets([pid] * 1000, times)
+"""
+
+from .config import (
+    ChronicLossParams,
+    CongestionParams,
+    HostFailureParams,
+    MajorEvent,
+    NetworkConfig,
+    OutageParams,
+    PathologyParams,
+    ProbingParams,
+    SegmentClassConfig,
+    SeverityMixture,
+    config_2002,
+    config_2002_wide,
+    config_2003,
+    ron2003_events,
+)
+from .episodes import EpisodeSet, Timeline, generate_poisson_episodes
+from .events import EventLoop
+from .links import LINK_CLASSES, AccessLinkClass, link_class
+from .network import Network, PacketOutcome, PairOutcome, conditional_loss_prob
+from .rng import RngFactory
+from .segments import Segment, SegmentKind, SegmentRegistry
+from .state import SegmentState, TimelineBank, build_state
+from .topology import HostSpec, PathTable, Topology, build_topology
+
+__all__ = [
+    "AccessLinkClass",
+    "ChronicLossParams",
+    "CongestionParams",
+    "EpisodeSet",
+    "EventLoop",
+    "HostFailureParams",
+    "HostSpec",
+    "LINK_CLASSES",
+    "MajorEvent",
+    "Network",
+    "NetworkConfig",
+    "OutageParams",
+    "PacketOutcome",
+    "PairOutcome",
+    "PathTable",
+    "PathologyParams",
+    "ProbingParams",
+    "RngFactory",
+    "Segment",
+    "SegmentClassConfig",
+    "SegmentKind",
+    "SegmentRegistry",
+    "SegmentState",
+    "SeverityMixture",
+    "Timeline",
+    "TimelineBank",
+    "Topology",
+    "build_state",
+    "build_topology",
+    "conditional_loss_prob",
+    "config_2002",
+    "config_2002_wide",
+    "config_2003",
+    "generate_poisson_episodes",
+    "link_class",
+    "ron2003_events",
+]

@@ -1,0 +1,421 @@
+"""Calibration knobs for the synthetic Internet substrate.
+
+The paper measured the real Internet; we rebuild its *statistical
+structure* from the numbers the paper itself publishes.  The configuration
+below encodes an explicit loss budget for a direct one-way path (2003
+values, Section 4 / Table 5):
+
+======================  =========  ===============================================
+loss component          share      role in the reproduction
+======================  =========  ===============================================
+edge episodic           ~0.29%     congestion bursts + outages on access links and
+                                   first-hop ISP aggregation; *shared* between the
+                                   direct path and every one-hop indirect path —
+                                   this is what keeps the cross-path conditional
+                                   loss probability near 60% (Section 4.4)
+middle transient        ~0.03%     bursts/outages on backbone trunks and
+                                   pair-specific transit; avoidable by reactive
+                                   routing once its probe window notices
+middle chronic          ~0.08%     persistently lossy transit on a minority of
+                                   pairs (the Fig. 2 tail); the main win for
+                                   loss-optimised path selection (0.42% -> 0.33%)
+random background       ~0.04%     memoryless per-packet loss; bounds the
+                                   conditional loss probability below 100%
+======================  =========  ===============================================
+
+Within congestion episodes losses are bursty with a short correlation
+length; that single knob (`corr_length`) reproduces the back-to-back CLP
+decay measured in Section 4.4 (72% at 0 ms, 66% at 10 ms, 65% at 20 ms).
+
+Two presets are provided: :func:`config_2003` (RON2003: 30 hosts, lower
+base loss, more edge-correlated) and :func:`config_2002` (17 hosts,
+higher base loss, less edge-correlated — the paper's Section 4.4 notes
+the indirect CLP rose from ~51% to ~62% between years while same-path
+CLP stayed put).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = [
+    "SeverityMixture",
+    "CongestionParams",
+    "OutageParams",
+    "PathologyParams",
+    "SegmentClassConfig",
+    "ChronicLossParams",
+    "HostFailureParams",
+    "MajorEvent",
+    "ProbingParams",
+    "NetworkConfig",
+    "config_2003",
+    "config_2002",
+]
+
+
+@dataclass(frozen=True)
+class SeverityMixture:
+    """Episode severity drawn from a two-component Beta mixture.
+
+    ``mild`` episodes model light congestion (a few percent loss);
+    ``severe`` episodes model saturation events where most packets drop.
+    The severe weight controls the loss-weighted mean severity, which in
+    turn sets where the CLP-vs-spacing curve plateaus.
+    """
+
+    severe_weight: float = 0.2
+    mild_a: float = 1.2
+    mild_b: float = 12.0
+    mild_scale: float = 0.3
+    severe_a: float = 6.0
+    severe_b: float = 0.45
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.severe_weight <= 1.0:
+            raise ValueError("severe_weight must be in [0, 1]")
+
+    def sampler(self):
+        def sample(rng, size: int):
+            import numpy as np
+
+            severe = rng.random(size) < self.severe_weight
+            out = rng.beta(self.mild_a, self.mild_b, size=size) * self.mild_scale
+            n_severe = int(severe.sum())
+            if n_severe:
+                out[severe] = rng.beta(self.severe_a, self.severe_b, size=n_severe)
+            return np.clip(out, 0.0, 0.999)
+
+        return sample
+
+
+@dataclass(frozen=True)
+class CongestionParams:
+    """Congestion-burst episode process for one segment."""
+
+    rate_per_hour: float = 0.12
+    duration_median_s: float = 48.0
+    duration_sigma: float = 1.0
+    severity: SeverityMixture = field(default_factory=SeverityMixture)
+    #: within-episode burst correlation length (seconds); fit so the
+    #: back-to-back CLP decays from ~72% at 0 ms to ~66% at 10 ms and
+    #: ~65% at 20 ms (Section 4.4): exp(-10ms/L) = 1/6 -> L = 5.6 ms.
+    corr_length_s: float = 0.0056
+
+
+@dataclass(frozen=True)
+class OutageParams:
+    """Near-total-loss outage process for one segment."""
+
+    rate_per_day: float = 0.25
+    duration_min_s: float = 30.0
+    duration_alpha: float = 1.3
+    duration_cap_s: float = 900.0
+    severity: float = 0.999
+    corr_length_s: float = 120.0
+
+
+@dataclass(frozen=True)
+class PathologyParams:
+    """Latency-inflation episodes (the "Cornell" effect, Section 4.5)."""
+
+    rate_per_day: float = 0.3
+    added_delay_median_ms: float = 250.0
+    added_delay_sigma: float = 0.8
+    duration_median_s: float = 1200.0
+    duration_sigma: float = 1.0
+
+
+@dataclass(frozen=True)
+class SegmentClassConfig:
+    """Loss and delay behaviour shared by all segments of one kind."""
+
+    base_loss: float = 1e-4
+    congestion: CongestionParams | None = None
+    outage: OutageParams | None = None
+    jitter_ms: float = 0.3
+    #: queueing delay added when congestion severity is 1.0 (scales linearly).
+    queue_ms: float = 30.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.base_loss < 1.0:
+            raise ValueError("base_loss must be in [0, 1)")
+
+
+@dataclass(frozen=True)
+class ChronicLossParams:
+    """Persistently lossy transit on a random subset of ordered pairs."""
+
+    pair_fraction: float = 0.12
+    loss_median: float = 0.006
+    loss_sigma: float = 0.9
+    loss_cap: float = 0.06
+
+
+@dataclass(frozen=True)
+class HostFailureParams:
+    """Whole-host failures (process crashes, reboots).
+
+    The paper's post-processing *excludes* probes affected by host
+    failure (Section 4.1); we generate them so the filter has real work.
+    """
+
+    rate_per_day: float = 0.05
+    duration_median_s: float = 600.0
+    duration_sigma: float = 1.0
+
+
+@dataclass(frozen=True)
+class MajorEvent:
+    """A scheduled incident, used to reproduce dataset-specific stories.
+
+    ``target`` selects segments:  ``"trunk:REGION1:REGION2"`` hits a
+    backbone trunk (both directions), ``"host:NAME"`` hits a host's access
+    segments.  ``start_frac`` places the event as a fraction of the run
+    horizon so scaled benchmark runs keep their incidents.
+    """
+
+    target: str
+    start_frac: float
+    duration_s: float
+    severity: float = 0.0
+    added_delay_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.start_frac < 1.0:
+            raise ValueError("start_frac must be in [0, 1)")
+        if not 0.0 <= self.severity <= 1.0:
+            raise ValueError("severity must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class ProbingParams:
+    """Parameters of the reactive overlay's probing system (Section 3.1)."""
+
+    probe_interval_s: float = 15.0
+    loss_window: int = 100
+    latency_window: int = 10
+    failure_probe_count: int = 4
+    failure_probe_spacing_s: float = 1.0
+    #: a relay is chosen only when its estimated loss beats the direct
+    #: path by this absolute margin (RON-style hysteresis).  The margin
+    #: exceeds the 1% granularity of a 100-probe loss window so a single
+    #: lost probe cannot trigger a route change.
+    selection_margin: float = 0.012
+    #: legs whose recent probes were all lost are treated as failed by
+    #: the latency optimiser ("avoids completely failed links").
+    failure_detect_probes: int = 4
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Everything the topology/state generators need, in one object."""
+
+    access: SegmentClassConfig = field(default_factory=SegmentClassConfig)
+    isp: SegmentClassConfig = field(default_factory=SegmentClassConfig)
+    trunk: SegmentClassConfig = field(default_factory=SegmentClassConfig)
+    middle: SegmentClassConfig = field(default_factory=SegmentClassConfig)
+    chronic: ChronicLossParams = field(default_factory=ChronicLossParams)
+    pathology: PathologyParams = field(default_factory=PathologyParams)
+    host_failure: HostFailureParams = field(default_factory=HostFailureParams)
+    probing: ProbingParams = field(default_factory=ProbingParams)
+    major_events: tuple[MajorEvent, ...] = ()
+    #: fraction of ordered pairs whose direct route is circuitous —
+    #: their propagation is stretched, creating the triangle-inequality
+    #: violations that let latency-optimised routing win (Section 4.5).
+    circuitous_fraction: float = 0.08
+    circuitous_stretch_min: float = 1.4
+    circuitous_stretch_max: float = 2.6
+    #: geographic-to-fibre path stretch for propagation delay.
+    path_stretch: float = 2.3
+    #: diurnal modulation amplitude for congestion rates (0 = flat).
+    diurnal_amplitude: float = 0.6
+    #: application-level forwarding at intermediate overlay hosts: loss
+    #: probability and added delay.  The paper's `rand` routes lose ~3-6x
+    #: more than direct ones (Tables 5 and 7); longer paths plus doubled
+    #: access-link exposure explain part of that, and user-space
+    #: forwarding on 2003-era hosts the rest.  Per-host overrides live in
+    #: the host catalogue.
+    forward_loss: float = 0.009
+    forward_delay_ms: float = 1.0
+
+    def with_overrides(self, **kwargs) -> "NetworkConfig":
+        """Return a copy with the given fields replaced (for ablations)."""
+        return replace(self, **kwargs)
+
+
+def _severity_2003() -> SeverityMixture:
+    return SeverityMixture(severe_weight=0.2)
+
+
+def ron2003_events(horizon_s: float) -> tuple[MajorEvent, ...]:
+    """The RON2003 dataset's scheduled incidents, scaled to a horizon.
+
+    Two stories from the paper: (1) paths to Cornell saw latencies up to
+    ~1 s for a period around 6 May 2003 (Section 4.5); (2) the worst
+    one-hour period had >13% average loss testbed-wide (Section 4.2).
+    Durations are scaled with the horizon (the paper's incidents covered
+    roughly 0.5-1% of its 14-day window) but kept >= ~20 minutes so
+    hour-window analyses still see them.
+
+    These are *not* part of :func:`config_2003` because on strongly
+    compressed horizons a fixed-length incident would dominate the mean
+    loss rate; benches that reproduce the incident-driven results
+    (Table 6, Fig. 5, Section 4.2's worst hour) opt in explicitly.
+    """
+    cornell = max(0.008 * horizon_s, 1500.0)
+    trunk = max(0.010 * horizon_s, 2400.0)
+    return (
+        MajorEvent(
+            target="host:Cornell",
+            start_frac=0.40,
+            duration_s=cornell,
+            severity=0.02,
+            added_delay_ms=700.0,
+        ),
+        # Severe backbone event: with ~18% of ordered pairs crossing
+        # the east-west trunks, a ~0.85-severity event produces the
+        # >13% worst-hour testbed loss of Section 4.2.
+        MajorEvent(
+            target="trunk:us-east:us-west",
+            start_frac=0.72,
+            duration_s=trunk,
+            severity=0.85,
+        ),
+    )
+
+
+def config_2003() -> NetworkConfig:
+    """Substrate preset calibrated against the RON2003 rows of Table 5.
+
+    Loss budget for a direct path (see module docstring): edge
+    correlated ~0.27%, middle correlated ~0.027%, chronic middle
+    ~0.084%, iid background ~0.034% -> total ~0.42%.
+    """
+    return NetworkConfig(
+        access=SegmentClassConfig(
+            base_loss=7e-5,
+            congestion=CongestionParams(rate_per_hour=0.118, duration_median_s=48.0, severity=_severity_2003()),
+            # SRG events (same physical line) add ~50% on top.
+            outage=OutageParams(rate_per_day=0.40),
+            jitter_ms=0.4,
+            queue_ms=40.0,
+        ),
+        isp=SegmentClassConfig(
+            base_loss=3e-5,
+            congestion=CongestionParams(rate_per_hour=0.053, duration_median_s=48.0, severity=_severity_2003()),
+            outage=OutageParams(rate_per_day=0.25),
+            jitter_ms=0.25,
+            queue_ms=20.0,
+        ),
+        trunk=SegmentClassConfig(
+            base_loss=2e-5,
+            congestion=CongestionParams(rate_per_hour=0.007, duration_median_s=48.0, severity=_severity_2003()),
+            outage=OutageParams(rate_per_day=0.027),
+            jitter_ms=0.3,
+            queue_ms=15.0,
+        ),
+        middle=SegmentClassConfig(
+            base_loss=5e-5,
+            congestion=CongestionParams(rate_per_hour=0.028, duration_median_s=48.0, severity=_severity_2003()),
+            outage=OutageParams(rate_per_day=0.14),
+            jitter_ms=0.3,
+            queue_ms=15.0,
+        ),
+        chronic=ChronicLossParams(pair_fraction=0.05, loss_median=0.012, loss_sigma=0.8, loss_cap=0.08),
+    )
+
+
+def config_2002() -> NetworkConfig:
+    """Substrate preset for the 2002 RONnarrow dataset.
+
+    Relative to 2003: overall loss is higher (0.74% vs 0.42% direct),
+    and a larger share of it lives on middle segments, which is what
+    drives the *lower* cross-path CLP (~51% vs ~62%) the paper observed
+    while the same-path CLP stayed ~72%.  Budget: edge correlated
+    ~0.41%, middle correlated ~0.13%, chronic ~0.05%, iid ~0.15%.
+    """
+    base = config_2003()
+    sev = SeverityMixture(severe_weight=0.20)
+    return base.with_overrides(
+        access=SegmentClassConfig(
+            base_loss=5e-4,
+            congestion=CongestionParams(rate_per_hour=0.175, duration_median_s=48.0, severity=sev),
+            outage=OutageParams(rate_per_day=0.59),
+            jitter_ms=0.45,
+            queue_ms=40.0,
+        ),
+        isp=SegmentClassConfig(
+            base_loss=1.5e-4,
+            congestion=CongestionParams(rate_per_hour=0.078, duration_median_s=48.0, severity=sev),
+            outage=OutageParams(rate_per_day=0.38),
+            jitter_ms=0.3,
+            queue_ms=20.0,
+        ),
+        trunk=SegmentClassConfig(
+            base_loss=4e-5,
+            congestion=CongestionParams(rate_per_hour=0.0125, duration_median_s=48.0, severity=sev),
+            outage=OutageParams(rate_per_day=0.052),
+            jitter_ms=0.3,
+            queue_ms=15.0,
+        ),
+        middle=SegmentClassConfig(
+            base_loss=9e-5,
+            congestion=CongestionParams(rate_per_hour=0.20, duration_median_s=48.0, severity=sev),
+            outage=OutageParams(rate_per_day=0.52),
+            jitter_ms=0.35,
+            queue_ms=15.0,
+        ),
+        chronic=ChronicLossParams(pair_fraction=0.045, loss_median=0.009, loss_sigma=0.8, loss_cap=0.08),
+        circuitous_fraction=0.06,
+        major_events=(),
+    )
+
+
+def config_2002_wide() -> NetworkConfig:
+    """Substrate preset for the 2002 RONwide dataset (Table 7).
+
+    RONwide (3-8 Jul 2002) measured a much quieter week than RONnarrow
+    (8-11 Jul): its direct round-trip loss was 0.27% where RONnarrow's
+    one-way loss was 0.74%.  We scale the 2002 episodic rates down and
+    keep the structural shares, which preserves Table 7's orderings
+    (rand ~4x lossier than direct, rand rand CLP ~11%, all two-packet
+    combinations reaching ~0.1% totlp).
+    """
+    cfg = config_2002()
+
+    def scaled(sc: SegmentClassConfig, f_rate: float, f_base: float) -> SegmentClassConfig:
+        cong = sc.congestion
+        out = sc.outage
+        return SegmentClassConfig(
+            base_loss=sc.base_loss * f_base,
+            congestion=None
+            if cong is None
+            else CongestionParams(
+                rate_per_hour=cong.rate_per_hour * f_rate,
+                duration_median_s=cong.duration_median_s,
+                duration_sigma=cong.duration_sigma,
+                severity=cong.severity,
+                corr_length_s=cong.corr_length_s,
+            ),
+            outage=None
+            if out is None
+            else OutageParams(
+                rate_per_day=out.rate_per_day * f_rate,
+                duration_min_s=out.duration_min_s,
+                duration_alpha=out.duration_alpha,
+                duration_cap_s=out.duration_cap_s,
+                severity=out.severity,
+                corr_length_s=out.corr_length_s,
+            ),
+            jitter_ms=sc.jitter_ms,
+            queue_ms=sc.queue_ms,
+        )
+
+    return cfg.with_overrides(
+        access=scaled(cfg.access, 0.18, 0.20),
+        isp=scaled(cfg.isp, 0.18, 0.20),
+        trunk=scaled(cfg.trunk, 0.18, 0.5),
+        middle=scaled(cfg.middle, 0.18, 0.5),
+        chronic=ChronicLossParams(pair_fraction=0.04, loss_median=0.004, loss_sigma=0.8, loss_cap=0.05),
+    )

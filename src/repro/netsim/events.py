@@ -1,0 +1,120 @@
+"""A small discrete-event engine.
+
+The bulk trace generation in this repository is vectorised (see
+:mod:`repro.testbed.collection`), but the *protocol* behaviour of a RON
+node — probe scheduling, loss-triggered follow-up probes, routing-table
+updates, packet forwarding — is naturally event-driven.  This engine runs
+those dynamics exactly as described in Section 3.1 of the paper, and the
+test suite cross-validates its statistics against the vectorised path.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["EventLoop", "EventHandle"]
+
+
+@dataclass(frozen=True)
+class EventHandle:
+    """Opaque handle returned by :meth:`EventLoop.schedule`; allows cancel."""
+
+    time: float
+    seq: int
+
+
+@dataclass(order=True)
+class _Entry:
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventLoop:
+    """Heap-based simulation clock with cancellable callbacks.
+
+    Events scheduled for the same instant fire in scheduling order, which
+    makes protocol traces deterministic.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: list[_Entry] = []
+        self._entries: dict[int, _Entry] = {}
+        self._seq = itertools.count()
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of events that are scheduled and not cancelled."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    @property
+    def processed(self) -> int:
+        """Number of events that have fired so far."""
+        return self._processed
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, when: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` at absolute simulation time ``when``."""
+        if when < self._now:
+            raise ValueError(f"cannot schedule at {when} < now ({self._now})")
+        entry = _Entry(time=float(when), seq=next(self._seq), callback=callback)
+        heapq.heappush(self._heap, entry)
+        self._entries[entry.seq] = entry
+        return EventHandle(time=entry.time, seq=entry.seq)
+
+    def cancel(self, handle: EventHandle) -> bool:
+        """Cancel a scheduled event.  Returns True if it had not yet fired."""
+        entry = self._entries.get(handle.seq)
+        if entry is None or entry.cancelled:
+            return False
+        entry.cancelled = True
+        return True
+
+    def run_until(self, deadline: float) -> int:
+        """Fire all events with time <= ``deadline``; returns count fired.
+
+        The clock is left at ``deadline`` even if the queue drains early,
+        so repeated calls advance time monotonically.
+        """
+        fired = 0
+        while self._heap and self._heap[0].time <= deadline:
+            entry = heapq.heappop(self._heap)
+            self._entries.pop(entry.seq, None)
+            if entry.cancelled:
+                continue
+            self._now = entry.time
+            entry.callback()
+            fired += 1
+            self._processed += 1
+        self._now = max(self._now, deadline)
+        return fired
+
+    def run(self) -> int:
+        """Fire every pending event; returns the count fired."""
+        fired = 0
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            self._entries.pop(entry.seq, None)
+            if entry.cancelled:
+                continue
+            self._now = entry.time
+            entry.callback()
+            fired += 1
+            self._processed += 1
+        return fired

@@ -1,0 +1,149 @@
+"""Access-link technology catalogue.
+
+Table 1 of the paper spans "a variety of access link technologies, from
+OC3s to cable modems and DSL links".  Each catalogue entry scales the
+access-segment loss processes and sets technology-specific delay
+behaviour (DSL interleaving latency, cable upstream contention, ...).
+Hosts in :mod:`repro.testbed.hosts` reference these classes by name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AccessLinkClass", "LINK_CLASSES", "link_class"]
+
+
+@dataclass(frozen=True)
+class AccessLinkClass:
+    """Multipliers applied to the generic access-segment configuration."""
+
+    name: str
+    description: str
+    down_mbps: float
+    up_mbps: float
+    #: scales the iid background loss of the access segments.
+    base_loss_mult: float
+    #: scales the congestion-episode rate (slow links congest more).
+    congestion_mult: float
+    #: scales the outage rate (consumer links flap more).
+    outage_mult: float
+    #: fixed extra one-way delay (serialisation, DSL interleaving), ms.
+    extra_delay_ms: float
+    #: scales per-packet jitter.
+    jitter_mult: float
+    #: default application-level forwarding loss when this host relays
+    #: (consumer links both saturate and run slower hardware).
+    forward_loss: float
+
+
+LINK_CLASSES: dict[str, AccessLinkClass] = {
+    cls.name: cls
+    for cls in [
+        AccessLinkClass(
+            name="oc3",
+            description="OC3/OC12 data-centre attachment",
+            down_mbps=155.0,
+            up_mbps=155.0,
+            base_loss_mult=0.4,
+            congestion_mult=0.5,
+            outage_mult=0.7,
+            extra_delay_ms=0.1,
+            jitter_mult=0.5,
+            forward_loss=0.002,
+        ),
+        AccessLinkClass(
+            name="internet2",
+            description="US university on the Internet2 backbone",
+            down_mbps=100.0,
+            up_mbps=100.0,
+            base_loss_mult=0.25,
+            congestion_mult=0.35,
+            outage_mult=0.6,
+            extra_delay_ms=0.1,
+            jitter_mult=0.4,
+            forward_loss=0.002,
+        ),
+        AccessLinkClass(
+            name="ethernet",
+            description="commercial 10/100 Mbps attachment",
+            down_mbps=100.0,
+            up_mbps=100.0,
+            base_loss_mult=0.8,
+            congestion_mult=0.9,
+            outage_mult=1.0,
+            extra_delay_ms=0.2,
+            jitter_mult=0.8,
+            forward_loss=0.004,
+        ),
+        AccessLinkClass(
+            name="t1",
+            description="T1/fractional commercial uplink",
+            down_mbps=1.5,
+            up_mbps=1.5,
+            base_loss_mult=1.6,
+            congestion_mult=1.8,
+            outage_mult=1.3,
+            extra_delay_ms=2.0,
+            jitter_mult=1.6,
+            forward_loss=0.008,
+        ),
+        AccessLinkClass(
+            name="dsl",
+            description="~1 Mbps consumer DSL",
+            down_mbps=1.0,
+            up_mbps=0.128,
+            base_loss_mult=2.6,
+            congestion_mult=2.8,
+            outage_mult=2.2,
+            extra_delay_ms=9.0,
+            jitter_mult=3.0,
+            forward_loss=0.015,
+        ),
+        AccessLinkClass(
+            name="cable",
+            description="consumer cable modem",
+            down_mbps=3.0,
+            up_mbps=0.256,
+            base_loss_mult=2.2,
+            congestion_mult=2.4,
+            outage_mult=1.8,
+            extra_delay_ms=5.0,
+            jitter_mult=2.6,
+            forward_loss=0.012,
+        ),
+        AccessLinkClass(
+            name="intl-academic",
+            description="international academic attachment",
+            down_mbps=45.0,
+            up_mbps=45.0,
+            base_loss_mult=1.4,
+            congestion_mult=1.5,
+            outage_mult=1.2,
+            extra_delay_ms=0.5,
+            jitter_mult=1.2,
+            forward_loss=0.006,
+        ),
+        AccessLinkClass(
+            name="intl-congested",
+            description="congested international link (the Korea path)",
+            down_mbps=10.0,
+            up_mbps=10.0,
+            base_loss_mult=6.0,
+            congestion_mult=5.0,
+            outage_mult=2.0,
+            extra_delay_ms=2.0,
+            jitter_mult=2.5,
+            forward_loss=0.015,
+        ),
+    ]
+}
+
+
+def link_class(name: str) -> AccessLinkClass:
+    """Look up a link class by name, with a helpful error."""
+    try:
+        return LINK_CLASSES[name]
+    except KeyError:
+        known = ", ".join(sorted(LINK_CLASSES))
+        raise KeyError(f"unknown link class {name!r}; known classes: {known}") from None

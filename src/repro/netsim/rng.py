@@ -1,0 +1,67 @@
+"""Deterministic named random streams.
+
+Every stochastic component of the simulator draws from its own named
+substream derived from a single master seed.  This keeps experiments
+reproducible (same seed, same trace) while guaranteeing that adding a new
+consumer of randomness does not perturb the draws seen by existing ones —
+the property that makes ablation benchmarks comparable run-to-run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["RngFactory"]
+
+
+def _names_to_entropy(names: tuple[str, ...]) -> list[int]:
+    """Hash a name path into a stable list of 32-bit words."""
+    digest = hashlib.sha256("/".join(names).encode("utf-8")).digest()
+    return [int.from_bytes(digest[i : i + 4], "little") for i in range(0, 16, 4)]
+
+
+class RngFactory:
+    """Factory of independent, reproducible ``numpy.random.Generator`` streams.
+
+    >>> rngs = RngFactory(seed=7)
+    >>> a = rngs.stream("congestion", "seg-12")
+    >>> b = rngs.stream("congestion", "seg-13")
+    >>> a.random() != b.random()
+    True
+
+    Streams are identified by a path of names.  The same path always yields
+    a generator with the same state, independent of creation order.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        if not isinstance(seed, int):
+            raise TypeError(f"seed must be an int, got {type(seed).__name__}")
+        self._seed = seed
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def stream(self, *names: str) -> np.random.Generator:
+        """Return a fresh generator for the given name path."""
+        if not names:
+            raise ValueError("at least one stream name is required")
+        entropy = [self._seed & 0xFFFFFFFF, (self._seed >> 32) & 0xFFFFFFFF]
+        entropy.extend(_names_to_entropy(tuple(str(n) for n in names)))
+        return np.random.default_rng(np.random.SeedSequence(entropy))
+
+    def child(self, *names: str) -> "RngFactory":
+        """Derive a factory whose streams are namespaced under ``names``.
+
+        Useful when a subsystem wants to hand out sub-streams without
+        knowing the global naming scheme.
+        """
+        digest = hashlib.sha256(
+            ("child:" + "/".join(str(n) for n in names) + f":{self._seed}").encode()
+        ).digest()
+        return RngFactory(int.from_bytes(digest[:8], "little"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RngFactory(seed={self._seed})"

@@ -1,0 +1,111 @@
+"""Path segments: the unit at which loss and delay processes attach.
+
+A one-way path is a chain of segments:
+
+    src ACCESS_OUT -> src ISP -> TRUNK(region pair) -> MIDDLE(pair)
+        -> dst ISP -> dst ACCESS_IN
+
+Indirect (one-hop overlay) paths traverse the relay's ISP and both of its
+access directions.  Because the source's ACCESS_OUT/ISP and the
+destination's ISP/ACCESS_IN appear on *every* route between two hosts,
+loss episodes there are shared fate — the mechanism behind the paper's
+finding that multi-path routing is far from independent (Section 4.4,
+Section 2.4 "failures manifest themselves near the network edge").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["SegmentKind", "Segment", "SegmentRegistry", "EDGE_KINDS"]
+
+
+class SegmentKind(enum.Enum):
+    """Where in the network a segment lives."""
+
+    ACCESS_OUT = "access-out"  # host's egress direction of its access link
+    ACCESS_IN = "access-in"  # host's ingress direction
+    ISP = "isp"  # first-hop provider aggregation (both directions)
+    TRUNK = "trunk"  # inter-region backbone trunk (directed)
+    MIDDLE = "middle"  # pair-specific transit/peering (directed)
+
+
+#: kinds that are shared between the direct path and any one-hop
+#: alternative for the same (src, dst) pair.
+EDGE_KINDS = frozenset(
+    {SegmentKind.ACCESS_OUT, SegmentKind.ACCESS_IN, SegmentKind.ISP}
+)
+
+
+@dataclass
+class Segment:
+    """Static description of one segment; stochastic state lives elsewhere.
+
+    ``sid`` indexes into the :class:`~repro.netsim.state.SegmentStateTable`
+    arrays.  ``srg`` names the shared-risk group (e.g. both directions of
+    one physical access line), used when generating correlated outages.
+    """
+
+    sid: int
+    name: str
+    kind: SegmentKind
+    host: str | None = None  # owning host for edge segments
+    endpoints: tuple[str, str] | None = None  # (src, dst) or (region, region)
+    prop_delay_s: float = 0.0
+    srg: str | None = None
+    base_loss: float = 0.0
+    jitter_ms: float = 0.3
+    queue_ms: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.prop_delay_s < 0:
+            raise ValueError(f"segment {self.name}: negative propagation delay")
+        if not 0.0 <= self.base_loss < 1.0:
+            raise ValueError(f"segment {self.name}: base_loss out of range")
+
+    @property
+    def is_edge(self) -> bool:
+        return self.kind in EDGE_KINDS
+
+
+class SegmentRegistry:
+    """Creates segments with stable integer ids and supports lookups."""
+
+    def __init__(self) -> None:
+        self._segments: list[Segment] = []
+        self._by_name: dict[str, int] = {}
+
+    def add(self, name: str, kind: SegmentKind, **kwargs) -> Segment:
+        if name in self._by_name:
+            raise ValueError(f"duplicate segment name: {name}")
+        seg = Segment(sid=len(self._segments), name=name, kind=kind, **kwargs)
+        self._segments.append(seg)
+        self._by_name[name] = seg.sid
+        return seg
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def __iter__(self):
+        return iter(self._segments)
+
+    def __getitem__(self, sid: int) -> Segment:
+        return self._segments[sid]
+
+    def by_name(self, name: str) -> Segment:
+        try:
+            return self._segments[self._by_name[name]]
+        except KeyError:
+            raise KeyError(f"no segment named {name!r}") from None
+
+    def sids_of_kind(self, *kinds: SegmentKind) -> list[int]:
+        wanted = set(kinds)
+        return [s.sid for s in self._segments if s.kind in wanted]
+
+    def sids_of_host(self, host: str) -> list[int]:
+        return [s.sid for s in self._segments if s.host == host]
+
+    def sids_of_srg(self, srg: str) -> list[int]:
+        return [s.sid for s in self._segments if s.srg == srg]

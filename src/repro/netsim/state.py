@@ -1,0 +1,315 @@
+"""Per-segment stochastic state: generation and fast vectorised lookup.
+
+:func:`build_state` draws, for every segment of a topology and a given
+horizon, the three timelines that drive packet fate:
+
+* ``congestion`` — bursty elevated-loss episodes (diurnally modulated),
+* ``outage``     — near-total loss episodes (edge-biased, SRG-correlated),
+* ``delay``      — added one-way delay in seconds (latency pathologies).
+
+:class:`TimelineBank` packs all segments' piecewise-constant timelines
+into single flat arrays so a whole batch of (segment, time) queries is a
+single ``np.searchsorted`` — the trick that keeps million-probe trace
+generation fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .config import MajorEvent, NetworkConfig, OutageParams, PathologyParams
+from .episodes import (
+    EpisodeSet,
+    Timeline,
+    generate_poisson_episodes,
+    lognormal_sampler,
+    pareto_sampler,
+)
+from .rng import RngFactory
+from .segments import SegmentKind
+from .topology import Topology
+from .units import HOUR, MILLISECOND
+
+__all__ = ["TimelineBank", "SegmentState", "build_state"]
+
+
+class TimelineBank:
+    """All segments' timelines flattened for one-shot vectorised queries.
+
+    Each segment's boundaries are shifted by ``sid * shift`` with
+    ``shift > horizon`` so the concatenated boundary array stays sorted
+    and a query for ``(sid, t)`` can be answered with a single global
+    ``searchsorted`` on ``t + sid * shift``.
+    """
+
+    def __init__(self, timelines: list[Timeline], horizon: float) -> None:
+        if not timelines:
+            raise ValueError("a TimelineBank needs at least one timeline")
+        self.horizon = float(horizon)
+        self.shift = self.horizon * 2.0 + 1.0
+        bounds, sevs = [], []
+        for sid, tl in enumerate(timelines):
+            if tl.horizon != horizon:
+                raise ValueError("all timelines in a bank must share the horizon")
+            bounds.append(tl.boundaries + sid * self.shift)
+            sevs.append(tl.severity)
+        self._bounds = np.concatenate(bounds)
+        self._sev = np.concatenate(sevs)
+        self.corr_length = np.array(
+            [tl.corr_length for tl in timelines], dtype=np.float64
+        )
+        self.mean_severity = np.array(
+            [tl.mean_severity() for tl in timelines], dtype=np.float64
+        )
+
+    def severity_at(self, sids: np.ndarray, times: np.ndarray) -> np.ndarray:
+        """Severity of segment ``sids[i]`` at ``times[i]`` (vectorised).
+
+        ``sids`` may contain NO_SEGMENT (-1) padding; those entries and
+        out-of-horizon times return 0.
+        """
+        sids = np.asarray(sids)
+        t = np.asarray(times, dtype=np.float64)
+        ok = (sids >= 0) & (t >= 0.0) & (t < self.horizon)
+        safe_sid = np.where(ok, sids, 0)
+        safe_t = np.where(ok, t, 0.0)
+        q = safe_t + safe_sid * self.shift
+        idx = np.searchsorted(self._bounds, q, side="right") - 1
+        return np.where(ok, self._sev[idx], 0.0)
+
+
+@dataclass
+class SegmentState:
+    """Generated state for one topology over one horizon."""
+
+    topology: Topology
+    horizon: float
+    congestion: TimelineBank
+    outage: TimelineBank
+    delay: TimelineBank
+    base_loss: np.ndarray  # (n_segments,)
+    jitter_s: np.ndarray  # (n_segments,) mean jitter in seconds
+    queue_s: np.ndarray  # (n_segments,) queue delay at severity 1.0
+    host_down: list[Timeline]  # per host
+
+    def host_down_at(self, host_ids: np.ndarray, times: np.ndarray) -> np.ndarray:
+        """Boolean: was each host down at the given time?"""
+        out = np.zeros(len(host_ids), dtype=bool)
+        host_ids = np.asarray(host_ids)
+        times = np.asarray(times, dtype=np.float64)
+        for hid in np.unique(host_ids):
+            mask = host_ids == hid
+            out[mask] = self.host_down[int(hid)].severity_at(times[mask]) > 0
+        return out
+
+
+def _diurnal_profile(
+    horizon: float, amplitude: float, tz_offset_h: float
+) -> np.ndarray:
+    """Hourly rate multipliers: a sinusoid peaking mid-afternoon local time.
+
+    The paper notes "during many hours of the day, the Internet is mostly
+    quiescent" (Section 4.2); congestion concentrates in busy hours.
+    """
+    n_hours = max(int(np.ceil(horizon / HOUR)), 1)
+    hours = (np.arange(n_hours) + tz_offset_h) % 24.0
+    # peak at 15:00 local, trough at 03:00
+    return 1.0 + amplitude * np.sin((hours - 9.0) / 24.0 * 2.0 * np.pi)
+
+
+def _outage_episodes(
+    rng: np.random.Generator, horizon: float, params: OutageParams, rate_mult: float
+) -> EpisodeSet:
+    dur = pareto_sampler(params.duration_min_s, params.duration_alpha, params.duration_cap_s)
+    sev = lambda r, size: np.full(size, params.severity)  # noqa: E731
+    rate_per_hour = params.rate_per_day * rate_mult / 24.0
+    return generate_poisson_episodes(rng, horizon, rate_per_hour, dur, sev)
+
+
+def _pathology_episodes(
+    rng: np.random.Generator, horizon: float, params: PathologyParams
+) -> EpisodeSet:
+    dur = lognormal_sampler(params.duration_median_s, params.duration_sigma)
+
+    def delay_sampler(r: np.random.Generator, size: int) -> np.ndarray:
+        delays = r.lognormal(
+            np.log(params.added_delay_median_ms * MILLISECOND), params.added_delay_sigma, size
+        )
+        # Timeline severities must stay in [0, 1]; we store seconds of
+        # added delay, capped at 1 s (the magnitude the paper reports
+        # for the Cornell incident).
+        return np.minimum(delays, 1.0)
+
+    rate_per_hour = params.rate_per_day / 24.0
+    return generate_poisson_episodes(rng, horizon, rate_per_hour, dur, delay_sampler)
+
+
+def _apply_major_events(
+    topology: Topology,
+    horizon: float,
+    events: tuple[MajorEvent, ...],
+    outage_eps: dict[int, list[EpisodeSet]],
+    delay_eps: dict[int, list[EpisodeSet]],
+) -> None:
+    for ev in events:
+        targets: list[int] = []
+        if ev.target.startswith("trunk:"):
+            _, r1, r2 = ev.target.split(":")
+            for pair in [(r1, r2), (r2, r1)]:
+                name = topology.trunk_name(*pair)
+                try:
+                    targets.append(topology.registry.by_name(name).sid)
+                except KeyError:
+                    pass  # region absent from this (scaled) host set
+        elif ev.target.startswith("host:"):
+            host = ev.target.split(":", 1)[1]
+            if host in topology.host_index:
+                targets = [
+                    s
+                    for s in topology.registry.sids_of_host(host)
+                    if topology.registry[s].kind
+                    in (SegmentKind.ACCESS_IN, SegmentKind.ACCESS_OUT)
+                ]
+        else:
+            raise ValueError(f"unknown major-event target: {ev.target!r}")
+        start = ev.start_frac * horizon
+        for sid in targets:
+            if ev.severity > 0:
+                outage_eps.setdefault(sid, []).append(
+                    EpisodeSet(
+                        np.array([start]),
+                        np.array([ev.duration_s]),
+                        np.array([min(ev.severity, 0.999)]),
+                    )
+                )
+            if ev.added_delay_ms > 0:
+                delay_eps.setdefault(sid, []).append(
+                    EpisodeSet(
+                        np.array([start]),
+                        np.array([ev.duration_s]),
+                        np.array([min(ev.added_delay_ms * MILLISECOND, 1.0)]),
+                    )
+                )
+
+
+def build_state(
+    topology: Topology, horizon: float, rngs: RngFactory
+) -> SegmentState:
+    """Draw all stochastic state for ``topology`` over ``[0, horizon)``."""
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    cfg = topology.config
+    reg = topology.registry
+    n_seg = len(reg)
+
+    class_cfg = {
+        SegmentKind.ACCESS_OUT: cfg.access,
+        SegmentKind.ACCESS_IN: cfg.access,
+        SegmentKind.ISP: cfg.isp,
+        SegmentKind.TRUNK: cfg.trunk,
+        SegmentKind.MIDDLE: cfg.middle,
+    }
+
+    cong_tls: list[Timeline] = []
+    outage_extra: dict[int, list[EpisodeSet]] = {}
+    delay_extra: dict[int, list[EpisodeSet]] = {}
+    _apply_major_events(topology, horizon, cfg.major_events, outage_extra, delay_extra)
+
+    base_loss = np.zeros(n_seg)
+    jitter_s = np.zeros(n_seg)
+    queue_s = np.zeros(n_seg)
+
+    # SRG-correlated outages: physical events (fibre cuts, line drops)
+    # drawn once per shared-risk group and applied to all members.
+    srg_events: dict[str, EpisodeSet] = {}
+
+    outage_tls: list[Timeline] = []
+    delay_tls: list[Timeline] = []
+    for seg in reg:
+        scfg = class_cfg[seg.kind]
+        cong_mult = 1.0
+        outage_mult = 1.0
+        tz = 0.0
+        if seg.host is not None:
+            host = topology.host(seg.host)
+            tz = host.tz_offset_h
+            if seg.kind in (SegmentKind.ACCESS_IN, SegmentKind.ACCESS_OUT):
+                cong_mult = host.link_class.congestion_mult
+                outage_mult = host.link_class.outage_mult
+
+        # -- congestion --------------------------------------------------
+        if scfg.congestion is not None:
+            cp = scfg.congestion
+            profile = _diurnal_profile(horizon, cfg.diurnal_amplitude, tz)
+            rng = rngs.stream("congestion", seg.name)
+            eps = generate_poisson_episodes(
+                rng,
+                horizon,
+                cp.rate_per_hour * cong_mult * profile,
+                lognormal_sampler(cp.duration_median_s, cp.duration_sigma),
+                cp.severity.sampler(),
+            )
+            cong_tls.append(Timeline.from_episodes(eps, horizon, cp.corr_length_s))
+        else:
+            cong_tls.append(Timeline.quiet(horizon))
+
+        # -- outages -----------------------------------------------------
+        pieces: list[EpisodeSet] = []
+        if scfg.outage is not None:
+            rng = rngs.stream("outage", seg.name)
+            pieces.append(_outage_episodes(rng, horizon, scfg.outage, outage_mult))
+            if seg.srg is not None:
+                if seg.srg not in srg_events:
+                    srg_rng = rngs.stream("srg", seg.srg)
+                    # shared events are rarer than per-direction ones
+                    srg_events[seg.srg] = _outage_episodes(
+                        srg_rng, horizon, scfg.outage, 0.5 * outage_mult
+                    )
+                pieces.append(srg_events[seg.srg])
+        pieces.extend(outage_extra.get(seg.sid, []))
+        corr = scfg.outage.corr_length_s if scfg.outage else 120.0
+        outage_tls.append(
+            Timeline.from_episodes(EpisodeSet.concat(pieces), horizon, corr)
+        )
+
+        # -- delay pathologies (access segments only) ----------------------
+        dpieces: list[EpisodeSet] = []
+        if seg.kind in (SegmentKind.ACCESS_IN, SegmentKind.ACCESS_OUT):
+            rng = rngs.stream("pathology", seg.name)
+            dpieces.append(_pathology_episodes(rng, horizon, cfg.pathology))
+        dpieces.extend(delay_extra.get(seg.sid, []))
+        delay_tls.append(
+            Timeline.from_episodes(EpisodeSet.concat(dpieces), horizon, 60.0)
+        )
+
+        base_loss[seg.sid] = seg.base_loss
+        jitter_s[seg.sid] = seg.jitter_ms * MILLISECOND
+        queue_s[seg.sid] = seg.queue_ms * MILLISECOND
+
+    # -- whole-host failures ---------------------------------------------
+    host_down: list[Timeline] = []
+    hf = cfg.host_failure
+    for h in topology.hosts:
+        rng = rngs.stream("host-down", h.name)
+        eps = generate_poisson_episodes(
+            rng,
+            horizon,
+            hf.rate_per_day / 24.0,
+            lognormal_sampler(hf.duration_median_s, hf.duration_sigma),
+            lambda r, size: np.ones(size),
+        )
+        host_down.append(Timeline.from_episodes(eps, horizon))
+
+    return SegmentState(
+        topology=topology,
+        horizon=horizon,
+        congestion=TimelineBank(cong_tls, horizon),
+        outage=TimelineBank(outage_tls, horizon),
+        delay=TimelineBank(delay_tls, horizon),
+        base_loss=base_loss,
+        jitter_s=jitter_s,
+        queue_s=queue_s,
+        host_down=host_down,
+    )

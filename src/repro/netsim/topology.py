@@ -1,0 +1,353 @@
+"""Host/segment topology and the precomputed path table.
+
+The topology maps a host catalogue onto the segment model of
+:mod:`repro.netsim.segments` and precomputes *every* path the overlay can
+use: the direct path for each ordered host pair, plus the one-hop
+indirect path through each possible relay (the paper's routing uses "at
+most one intermediate node", Section 1).  Precomputing all N^3 paths as
+flat arrays is what lets trace generation run fully vectorised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .config import NetworkConfig
+from .links import AccessLinkClass, link_class
+from .rng import RngFactory
+from .segments import Segment, SegmentKind, SegmentRegistry
+from .units import MILLISECOND, haversine_km, propagation_delay_s
+
+__all__ = ["HostSpec", "Topology", "build_topology", "PathTable"]
+
+#: padding value in path segment matrices.
+NO_SEGMENT = -1
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """One overlay host (a row of the paper's Table 1)."""
+
+    name: str
+    location: str
+    description: str
+    category: str
+    lat: float
+    lon: float
+    region: str
+    link: str
+    internet2: bool = False
+    in_2002: bool = False
+    tz_offset_h: float = 0.0
+    forward_loss: float | None = None
+
+    @property
+    def link_class(self) -> AccessLinkClass:
+        return link_class(self.link)
+
+
+class PathTable:
+    """Flat arrays describing every direct and one-hop path.
+
+    Path ids:  ``direct_pid(s, d) = s * N + d`` and
+    ``relay_pid(s, r, d) = N^2 + ((s * N + r) * N + d)``.
+    Rows for degenerate combinations (``s == d``, relay equal to an
+    endpoint) are filled with :data:`NO_SEGMENT` and flagged invalid.
+    """
+
+    MAX_LEN = 11  # direct paths use 6 slots, relay paths 11
+
+    def __init__(self, n_hosts: int) -> None:
+        self.n_hosts = n_hosts
+        n_paths = n_hosts * n_hosts + n_hosts**3
+        self.seg = np.full((n_paths, self.MAX_LEN), NO_SEGMENT, dtype=np.int32)
+        self.offset = np.zeros((n_paths, self.MAX_LEN), dtype=np.float64)
+        self.prop_total = np.zeros(n_paths, dtype=np.float64)
+        self.forward_loss = np.zeros(n_paths, dtype=np.float64)
+        self.forward_delay = np.zeros(n_paths, dtype=np.float64)
+        self.relay_host = np.full(n_paths, -1, dtype=np.int32)
+        self.valid = np.zeros(n_paths, dtype=bool)
+
+    def direct_pid(self, src: int, dst: int) -> int:
+        return src * self.n_hosts + dst
+
+    def relay_pid(self, src: int, relay: int, dst: int) -> int:
+        n = self.n_hosts
+        return n * n + (src * n + relay) * n + dst
+
+    def direct_pids(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        return np.asarray(src) * self.n_hosts + np.asarray(dst)
+
+    def relay_pids(
+        self, src: np.ndarray, relay: np.ndarray, dst: np.ndarray
+    ) -> np.ndarray:
+        n = self.n_hosts
+        return n * n + (np.asarray(src) * n + np.asarray(relay)) * n + np.asarray(dst)
+
+    def set_path(
+        self,
+        pid: int,
+        segments: list[Segment],
+        forward_loss: float = 0.0,
+        forward_delay: float = 0.0,
+        relay_host: int = -1,
+        forward_after: int | None = None,
+    ) -> None:
+        """Record a path.  ``forward_after`` is the index of the segment
+        after which application-level forwarding delay applies (the
+        relay's ACCESS_IN)."""
+        if len(segments) > self.MAX_LEN:
+            raise ValueError(f"path of {len(segments)} segments exceeds MAX_LEN")
+        offset = 0.0
+        for i, seg in enumerate(segments):
+            self.seg[pid, i] = seg.sid
+            self.offset[pid, i] = offset
+            offset += seg.prop_delay_s
+            if forward_after is not None and i == forward_after:
+                offset += forward_delay
+        self.prop_total[pid] = offset
+        self.forward_loss[pid] = forward_loss
+        self.forward_delay[pid] = forward_delay
+        self.relay_host[pid] = relay_host
+        self.valid[pid] = True
+
+
+@dataclass
+class Topology:
+    """Everything static about the simulated network."""
+
+    hosts: list[HostSpec]
+    registry: SegmentRegistry
+    paths: PathTable
+    regions: list[str]
+    host_index: dict[str, int]
+    #: per-ordered-pair circuitous stretch factor (1.0 = sane routing).
+    circuitous: np.ndarray
+    #: per-ordered-pair chronic middle loss (0 for healthy pairs).
+    chronic_loss: np.ndarray
+    config: NetworkConfig
+
+    @property
+    def n_hosts(self) -> int:
+        return len(self.hosts)
+
+    def host(self, name: str) -> HostSpec:
+        return self.hosts[self.host_index[name]]
+
+    def ordered_pairs(self) -> list[tuple[int, int]]:
+        n = self.n_hosts
+        return [(s, d) for s in range(n) for d in range(n) if s != d]
+
+    def trunk_name(self, r1: str, r2: str) -> str:
+        return f"trunk:{r1}:{r2}"
+
+    def path_segments(self, pid: int) -> list[Segment]:
+        """Resolve a path id back into segment objects (for debugging)."""
+        row = self.paths.seg[pid]
+        return [self.registry[int(s)] for s in row if s != NO_SEGMENT]
+
+
+def _region_centroids(hosts: list[HostSpec]) -> dict[str, tuple[float, float]]:
+    sums: dict[str, list[float]] = {}
+    for h in hosts:
+        acc = sums.setdefault(h.region, [0.0, 0.0, 0.0])
+        acc[0] += h.lat
+        acc[1] += h.lon
+        acc[2] += 1.0
+    return {r: (a[0] / a[2], a[1] / a[2]) for r, a in sums.items()}
+
+
+def build_topology(
+    hosts: list[HostSpec],
+    config: NetworkConfig,
+    rngs: RngFactory,
+) -> Topology:
+    """Construct segments and the full path table for a host catalogue."""
+    if len(hosts) < 3:
+        raise ValueError("an overlay needs at least 3 hosts (for one-hop routing)")
+    names = [h.name for h in hosts]
+    if len(set(names)) != len(names):
+        raise ValueError("host names must be unique")
+    n = len(hosts)
+    host_index = {h.name: i for i, h in enumerate(hosts)}
+    registry = SegmentRegistry()
+    stretch = config.path_stretch
+
+    # --- edge segments (access out/in + ISP aggregation) per host ------
+    acc_out: list[Segment] = []
+    acc_in: list[Segment] = []
+    isp: list[Segment] = []
+    for h in hosts:
+        cls = h.link_class
+        access_prop = cls.extra_delay_ms * MILLISECOND + 0.2 * MILLISECOND
+        jitter = config.access.jitter_ms * cls.jitter_mult
+        base = config.access.base_loss * cls.base_loss_mult
+        acc_out.append(
+            registry.add(
+                f"acc-out:{h.name}",
+                SegmentKind.ACCESS_OUT,
+                host=h.name,
+                prop_delay_s=access_prop,
+                srg=f"line:{h.name}",
+                base_loss=base,
+                jitter_ms=jitter,
+                queue_ms=config.access.queue_ms,
+            )
+        )
+        acc_in.append(
+            registry.add(
+                f"acc-in:{h.name}",
+                SegmentKind.ACCESS_IN,
+                host=h.name,
+                prop_delay_s=access_prop,
+                srg=f"line:{h.name}",
+                base_loss=base,
+                jitter_ms=jitter,
+                queue_ms=config.access.queue_ms,
+            )
+        )
+        isp.append(
+            registry.add(
+                f"isp:{h.name}",
+                SegmentKind.ISP,
+                host=h.name,
+                prop_delay_s=1.0 * MILLISECOND,
+                base_loss=config.isp.base_loss,
+                jitter_ms=config.isp.jitter_ms,
+                queue_ms=config.isp.queue_ms,
+            )
+        )
+
+    # --- backbone trunks between (ordered) region pairs -----------------
+    regions = sorted({h.region for h in hosts})
+    centroids = _region_centroids(hosts)
+    trunk: dict[tuple[str, str], Segment] = {}
+    for r1 in regions:
+        for r2 in regions:
+            if r1 == r2:
+                prop = 1.0 * MILLISECOND
+            else:
+                km = haversine_km(*centroids[r1], *centroids[r2])
+                prop = propagation_delay_s(km, stretch) + 0.5 * MILLISECOND
+            trunk[(r1, r2)] = registry.add(
+                f"trunk:{r1}:{r2}",
+                SegmentKind.TRUNK,
+                endpoints=(r1, r2),
+                prop_delay_s=prop,
+                srg=f"trunkpair:{min(r1, r2)}:{max(r1, r2)}",
+                base_loss=config.trunk.base_loss,
+                jitter_ms=config.trunk.jitter_ms,
+                queue_ms=config.trunk.queue_ms,
+            )
+
+    # --- per-pair middle segments (transit / peering tail) --------------
+    rng_pairs = rngs.stream("topology", "pairs")
+    circuitous = np.ones((n, n), dtype=np.float64)
+    chronic_loss = np.zeros((n, n), dtype=np.float64)
+    middle: dict[tuple[int, int], Segment] = {}
+    for s in range(n):
+        for d in range(n):
+            if s == d:
+                continue
+            hs, hd = hosts[s], hosts[d]
+            if rng_pairs.random() < config.circuitous_fraction:
+                circuitous[s, d] = rng_pairs.uniform(
+                    config.circuitous_stretch_min, config.circuitous_stretch_max
+                )
+            pair_prop = (
+                propagation_delay_s(
+                    haversine_km(hs.lat, hs.lon, hd.lat, hd.lon), stretch
+                )
+                * circuitous[s, d]
+            )
+            fixed = (
+                acc_out[s].prop_delay_s
+                + isp[s].prop_delay_s
+                + trunk[(hs.region, hd.region)].prop_delay_s
+                + isp[d].prop_delay_s
+                + acc_in[d].prop_delay_s
+            )
+            residual = max(pair_prop - fixed, 0.2 * MILLISECOND)
+            base = config.middle.base_loss
+            if rng_pairs.random() < config.chronic.pair_fraction:
+                chronic_loss[s, d] = min(
+                    rng_pairs.lognormal(
+                        np.log(config.chronic.loss_median), config.chronic.loss_sigma
+                    ),
+                    config.chronic.loss_cap,
+                )
+                base = base + chronic_loss[s, d]
+            middle[(s, d)] = registry.add(
+                f"mid:{hs.name}:{hd.name}",
+                SegmentKind.MIDDLE,
+                endpoints=(hs.name, hd.name),
+                prop_delay_s=residual,
+                base_loss=base,
+                jitter_ms=config.middle.jitter_ms,
+                queue_ms=config.middle.queue_ms,
+            )
+
+    # --- path table ------------------------------------------------------
+    paths = PathTable(n)
+    for s in range(n):
+        for d in range(n):
+            if s == d:
+                continue
+            hs, hd = hosts[s], hosts[d]
+            direct_segs = [
+                acc_out[s],
+                isp[s],
+                trunk[(hs.region, hd.region)],
+                middle[(s, d)],
+                isp[d],
+                acc_in[d],
+            ]
+            paths.set_path(paths.direct_pid(s, d), direct_segs)
+    for s in range(n):
+        for r in range(n):
+            for d in range(n):
+                if len({s, r, d}) != 3:
+                    continue
+                hs, hr, hd = hosts[s], hosts[r], hosts[d]
+                # per-host forwarding loss: explicit override, else the
+                # link-class default scaled by the config-wide knob
+                # (config.forward_loss == 0.009 leaves classes untouched).
+                fwd_loss = (
+                    hr.forward_loss
+                    if hr.forward_loss is not None
+                    else hr.link_class.forward_loss * (config.forward_loss / 0.009)
+                )
+                relay_segs = [
+                    acc_out[s],
+                    isp[s],
+                    trunk[(hs.region, hr.region)],
+                    middle[(s, r)],
+                    isp[r],
+                    acc_in[r],
+                    acc_out[r],
+                    trunk[(hr.region, hd.region)],
+                    middle[(r, d)],
+                    isp[d],
+                    acc_in[d],
+                ]
+                paths.set_path(
+                    paths.relay_pid(s, r, d),
+                    relay_segs,
+                    forward_loss=fwd_loss,
+                    forward_delay=config.forward_delay_ms * MILLISECOND,
+                    relay_host=r,
+                    forward_after=5,  # after the relay's ACCESS_IN
+                )
+
+    return Topology(
+        hosts=hosts,
+        registry=registry,
+        paths=paths,
+        regions=regions,
+        host_index=host_index,
+        circuitous=circuitous,
+        chronic_loss=chronic_loss,
+        config=config,
+    )

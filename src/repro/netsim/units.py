@@ -1,0 +1,65 @@
+"""Time, rate and distance units used throughout the simulator.
+
+All simulator times are expressed in *seconds* as floats, all rates in
+events per second, all distances in kilometres.  These constants exist so
+that configuration code reads like the paper ("probes every 15 seconds",
+"a 10 ms gap") instead of as bare magic numbers.
+"""
+
+from __future__ import annotations
+
+import math
+
+# --- time ------------------------------------------------------------------
+
+MICROSECOND = 1e-6
+MILLISECOND = 1e-3
+SECOND = 1.0
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 86400.0
+
+# --- physics ---------------------------------------------------------------
+
+#: Speed of light in fibre, km/s (roughly 2/3 of c in vacuum).
+FIBRE_KM_PER_SECOND = 200_000.0
+
+#: Fibre paths are never great circles; long-haul routes detour through
+#: carrier hotels and landing stations.  Empirical RTT studies put the
+#: inflation of fibre distance over geographic distance at 1.5--2.5x.
+DEFAULT_PATH_STRETCH = 1.9
+
+EARTH_RADIUS_KM = 6371.0
+
+
+def haversine_km(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
+    """Great-circle distance between two (lat, lon) points in kilometres."""
+    phi1, phi2 = math.radians(lat1), math.radians(lat2)
+    dphi = math.radians(lat2 - lat1)
+    dlam = math.radians(lon2 - lon1)
+    a = math.sin(dphi / 2) ** 2 + math.cos(phi1) * math.cos(phi2) * math.sin(dlam / 2) ** 2
+    return 2 * EARTH_RADIUS_KM * math.asin(math.sqrt(a))
+
+
+def propagation_delay_s(distance_km: float, stretch: float = DEFAULT_PATH_STRETCH) -> float:
+    """One-way propagation delay for a fibre route of given geographic length."""
+    if distance_km < 0:
+        raise ValueError(f"distance must be non-negative, got {distance_km}")
+    return (distance_km * stretch) / FIBRE_KM_PER_SECOND
+
+
+def format_duration(seconds: float) -> str:
+    """Human-readable rendering of a duration (used in reports and logs)."""
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    if seconds < MINUTE:
+        return f"{seconds:.2f}s"
+    if seconds < HOUR:
+        return f"{seconds / MINUTE:.1f}min"
+    if seconds < DAY:
+        return f"{seconds / HOUR:.1f}h"
+    return f"{seconds / DAY:.1f}d"

@@ -1,0 +1,23 @@
+"""The RON measurement testbed: hosts, probers, datasets, collection."""
+
+from .collection import CollectionResult, collect
+from .datasets import DATASETS, RON2003, RONNARROW, RONWIDE, DatasetSpec, dataset
+from .hosts import ALL_HOSTS, category_counts, hosts_2002, hosts_2003
+from .probes import ProbeSchedule, generate_schedule
+
+__all__ = [
+    "ALL_HOSTS",
+    "CollectionResult",
+    "DATASETS",
+    "DatasetSpec",
+    "ProbeSchedule",
+    "RON2003",
+    "RONNARROW",
+    "RONWIDE",
+    "category_counts",
+    "collect",
+    "dataset",
+    "generate_schedule",
+    "hosts_2002",
+    "hosts_2003",
+]

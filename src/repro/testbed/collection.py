@@ -1,0 +1,223 @@
+"""Dataset collection: run the measurement system, produce a trace.
+
+This is the vectorised equivalent of fourteen days of testbed operation
+(Section 4.1): the probing subsystem runs first (it is what reactive
+routing sees), then every host's measurement probes are scheduled,
+routed per method, and evaluated jointly against the substrate.
+
+Round-trip mode (the RONwide dataset) sends a response packet back over
+the reverse of each forward route; a probe is lost if either direction
+loses it, and its RTT is the sum of the one-way latencies — matching
+Table 7's round-trip accounting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.methods import METHODS, Method
+from repro.core.reactive import RoutingTables, build_routing_tables, run_probing
+from repro.core.router import resolve_routes
+from repro.netsim.network import Network, PairOutcome
+from repro.netsim.rng import RngFactory
+from repro.netsim.topology import PathTable
+from repro.trace.records import Trace, TraceMeta
+
+from .datasets import DatasetSpec
+from .probes import generate_schedule
+
+__all__ = ["collect", "CollectionResult"]
+
+#: turnaround delay at the responder for round-trip probes.
+RTT_TURNAROUND_S = 2e-4
+
+
+class CollectionResult:
+    """A collected trace plus the run's supporting state (for analysis
+    that needs ground truth, e.g. ablation benchmarks)."""
+
+    def __init__(
+        self,
+        trace: Trace,
+        network: Network,
+        tables: RoutingTables | None,
+    ) -> None:
+        self.trace = trace
+        self.network = network
+        self.tables = tables
+
+
+def _reverse_pids(
+    paths: PathTable, src: np.ndarray, dst: np.ndarray, relay: np.ndarray
+) -> np.ndarray:
+    """Path ids of the reverse route (same relay, opposite direction)."""
+    direct = paths.direct_pids(dst, src)
+    via = paths.relay_pids(dst, np.maximum(relay, 0), src)
+    return np.where(relay < 0, direct, via)
+
+
+def _eval_oneway(
+    net: Network,
+    m: Method,
+    pid1: np.ndarray,
+    pid2: np.ndarray | None,
+    times: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """(lost1, lat1, lost2, lat2) for one-way probes of one method."""
+    if pid2 is None:
+        out = net.sample_packets(pid1, times)
+        n = len(times)
+        return out.lost, out.latency, np.zeros(n, bool), np.full(n, np.nan)
+    pair: PairOutcome = net.sample_pairs(pid1, pid2, times, gap=m.gap_s)
+    return pair.lost1, pair.latency1, pair.lost2, pair.latency2
+
+
+def _eval_rtt(
+    net: Network,
+    m: Method,
+    src: np.ndarray,
+    dst: np.ndarray,
+    relay1: np.ndarray,
+    relay2: np.ndarray | None,
+    pid1: np.ndarray,
+    pid2: np.ndarray | None,
+    times: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Round-trip evaluation: forward leg then response on the reverse route.
+
+    The response is only sent if the forward packet arrived; we evaluate
+    both directions vectorised and combine (a response for a lost
+    forward packet never existed, so 'lost either way' is correct).
+    """
+    paths = net.paths
+    rpid1 = _reverse_pids(paths, src, dst, relay1)
+    if pid2 is None:
+        fwd = net.sample_packets(pid1, times)
+        back_t = times + np.nan_to_num(fwd.latency, nan=0.0) + RTT_TURNAROUND_S
+        back = net.sample_packets(rpid1, back_t)
+        lost = fwd.lost | back.lost
+        rtt = fwd.latency + back.latency + RTT_TURNAROUND_S
+        n = len(times)
+        return lost, rtt, np.zeros(n, bool), np.full(n, np.nan)
+    assert relay2 is not None
+    rpid2 = _reverse_pids(paths, src, dst, relay2)
+    fwd = net.sample_pairs(pid1, pid2, times, gap=m.gap_s)
+    back_t = times + np.nan_to_num(fwd.latency1, nan=0.0) + RTT_TURNAROUND_S
+    back = net.sample_pairs(rpid1, rpid2, back_t, gap=m.gap_s)
+    lost1 = fwd.lost1 | back.lost1
+    lost2 = fwd.lost2 | back.lost2
+    rtt1 = fwd.latency1 + back.latency1 + RTT_TURNAROUND_S
+    rtt2 = fwd.latency2 + back.latency2 + RTT_TURNAROUND_S
+    return lost1, rtt1, lost2, rtt2
+
+
+def collect(
+    spec: DatasetSpec,
+    duration_s: float,
+    seed: int = 0,
+    include_events: bool = True,
+    network: Network | None = None,
+) -> CollectionResult:
+    """Collect a dataset: the full pipeline, time-compressed to
+    ``duration_s``.
+
+    Pass a prebuilt ``network`` to reuse substrate state across
+    collections (ablations that compare methods on identical weather).
+    """
+    if duration_s <= 0:
+        raise ValueError("duration must be positive")
+    rngs = RngFactory(seed)
+    cfg = spec.network_config(duration_s, include_events=include_events)
+    hosts = spec.hosts()
+    if network is None:
+        network = Network.build(hosts, cfg, duration_s, seed=seed)
+    methods = [METHODS[name] for name in spec.probe_methods]
+
+    # 1. the probing subsystem + routing tables (if any method needs them)
+    tables: RoutingTables | None = None
+    if any(m.needs_probing for m in methods):
+        series = run_probing(network, cfg.probing, rngs)
+        tables = build_routing_tables(series, cfg.probing)
+
+    # 2. measurement probe schedule
+    sched_rng = rngs.stream("schedule")
+    sched = generate_schedule(
+        len(hosts), len(methods), duration_s, sched_rng
+    )
+
+    # 3. route + evaluate per method
+    route_rng = rngs.stream("routes")
+    n = len(sched)
+    relay1 = np.full(n, -1, dtype=np.int16)
+    relay2 = np.full(n, -1, dtype=np.int16)
+    lost1 = np.zeros(n, dtype=bool)
+    lost2 = np.zeros(n, dtype=bool)
+    lat1 = np.full(n, np.nan, dtype=np.float32)
+    lat2 = np.full(n, np.nan, dtype=np.float32)
+
+    for mid, m in enumerate(methods):
+        mask = sched.method_id == mid
+        if not mask.any():
+            continue
+        src = sched.src[mask].astype(np.int64)
+        dst = sched.dst[mask].astype(np.int64)
+        times = sched.t_send[mask]
+        routes = resolve_routes(m, src, dst, times, network.paths, tables, route_rng)
+        if spec.mode == "oneway":
+            l1, la1, l2, la2 = _eval_oneway(
+                network, m, routes.pid1, routes.pid2, times
+            )
+        else:
+            l1, la1, l2, la2 = _eval_rtt(
+                network,
+                m,
+                src,
+                dst,
+                routes.relay1,
+                routes.relay2,
+                routes.pid1,
+                routes.pid2,
+                times,
+            )
+        relay1[mask] = routes.relay1
+        if routes.relay2 is not None:
+            relay2[mask] = routes.relay2
+        lost1[mask] = l1
+        lost2[mask] = l2
+        lat1[mask] = np.where(l1, np.nan, la1)
+        lat2[mask] = np.where(l2, np.nan, la2)
+
+    # 4. host-failure exclusions (the collector-side ground truth; the
+    # paper's trace-side detection lives in repro.trace.filters)
+    send_down = network.state.host_down_at(sched.src, sched.t_send)
+    recv_down = network.state.host_down_at(sched.dst, sched.t_send)
+    excluded = send_down | recv_down
+    # probes to a dead receiver are also losses on the wire
+    pair_mask = np.array([m.is_pair for m in methods])[sched.method_id]
+    lost1 |= recv_down
+    lost2 |= recv_down & pair_mask
+
+    meta = TraceMeta(
+        dataset=spec.name,
+        mode=spec.mode,
+        horizon_s=duration_s,
+        seed=seed,
+        host_names=tuple(h.name for h in hosts),
+        method_names=tuple(m.name for m in methods),
+    )
+    trace = Trace(
+        meta=meta,
+        probe_id=sched.probe_id,
+        method_id=sched.method_id,
+        src=sched.src,
+        dst=sched.dst,
+        t_send=sched.t_send,
+        relay1=relay1,
+        relay2=relay2,
+        lost1=lost1,
+        lost2=lost2,
+        latency1=lat1,
+        latency2=lat2,
+        excluded=excluded,
+    )
+    return CollectionResult(trace=trace, network=network, tables=tables)

@@ -1,0 +1,86 @@
+"""Probe scheduling, exactly as Section 4.1 describes it.
+
+"Each node periodically initiates probes to other nodes.  [...]  The
+nodes cycle through the different probe types, and for each probe, they
+pick a random destination node.  After sending the probe, the host
+waits for a random amount of time between 0.6 and 1.2 seconds, and then
+repeats the process.  Each probe has a random 64-bit identifier."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ProbeSchedule", "generate_schedule", "PROBE_GAP_MIN_S", "PROBE_GAP_MAX_S"]
+
+PROBE_GAP_MIN_S = 0.6
+PROBE_GAP_MAX_S = 1.2
+
+
+@dataclass
+class ProbeSchedule:
+    """All measurement probes of a run, before routing/evaluation."""
+
+    t_send: np.ndarray  # float64, sorted within each source
+    src: np.ndarray  # int16
+    dst: np.ndarray  # int16
+    method_id: np.ndarray  # int16 into the run's method list
+    probe_id: np.ndarray  # uint64 random identifiers
+
+    def __len__(self) -> int:
+        return len(self.t_send)
+
+
+def generate_schedule(
+    n_hosts: int,
+    n_methods: int,
+    horizon_s: float,
+    rng: np.random.Generator,
+    gap_min_s: float = PROBE_GAP_MIN_S,
+    gap_max_s: float = PROBE_GAP_MAX_S,
+) -> ProbeSchedule:
+    """Generate each host's probe initiations over the horizon.
+
+    Probe types are cycled per host (with a per-host starting offset so
+    hosts are not synchronised), destinations are uniform over the other
+    hosts, and inter-probe gaps are U(gap_min, gap_max) — the paper's
+    0.6-1.2 s.
+    """
+    if n_hosts < 2:
+        raise ValueError("need at least two hosts")
+    if n_methods < 1:
+        raise ValueError("need at least one method")
+    if not 0 < gap_min_s <= gap_max_s:
+        raise ValueError("gaps must satisfy 0 < gap_min <= gap_max")
+    if horizon_s <= 0:
+        raise ValueError("horizon must be positive")
+
+    per_host: list[tuple[np.ndarray, int]] = []
+    mean_gap = 0.5 * (gap_min_s + gap_max_s)
+    est = int(horizon_s / mean_gap * 1.05) + 8
+    for host in range(n_hosts):
+        gaps = rng.uniform(gap_min_s, gap_max_s, est)
+        times = np.cumsum(gaps) - gaps[0] * rng.random()
+        times = times[times < horizon_s]
+        per_host.append((times, host))
+
+    t_send = np.concatenate([t for t, _ in per_host])
+    src = np.concatenate(
+        [np.full(len(t), h, dtype=np.int16) for t, h in per_host]
+    )
+    # cycle methods per host, offset by host index
+    method_id = np.concatenate(
+        [
+            ((np.arange(len(t)) + h) % n_methods).astype(np.int16)
+            for t, h in per_host
+        ]
+    )
+    # uniform destination != src
+    dst = rng.integers(0, n_hosts - 1, len(t_send)).astype(np.int16)
+    dst = dst + (dst >= src)
+    probe_id = rng.integers(0, 2**63, len(t_send), dtype=np.uint64)
+    return ProbeSchedule(
+        t_send=t_send, src=src, dst=dst, method_id=method_id, probe_id=probe_id
+    )

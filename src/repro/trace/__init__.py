@@ -1,0 +1,26 @@
+"""Measurement traces: records, persistence and the paper's filters."""
+
+from .filters import (
+    HOST_FAILURE_GAP_S,
+    RECEIVE_WINDOW_S,
+    apply_standard_filters,
+    detect_host_failures,
+    drop_excluded,
+    receive_window_filter,
+)
+from .records import ProbeRecord, Trace, TraceMeta
+from .store import load_trace, save_trace
+
+__all__ = [
+    "HOST_FAILURE_GAP_S",
+    "ProbeRecord",
+    "RECEIVE_WINDOW_S",
+    "Trace",
+    "TraceMeta",
+    "apply_standard_filters",
+    "detect_host_failures",
+    "drop_excluded",
+    "load_trace",
+    "receive_window_filter",
+    "save_trace",
+]

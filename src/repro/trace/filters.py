@@ -1,0 +1,81 @@
+"""Post-processing filters (Section 4.1).
+
+"Our post-processing finds all probes that were received within 1 hour
+of when they were sent.  We consider a host to have failed if it stops
+sending probes for more than 90 seconds, and we disregard probes lost
+due to host failure; our numbers only reflect failures that affected
+the network, while leaving hosts running."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .records import Trace
+
+__all__ = [
+    "RECEIVE_WINDOW_S",
+    "HOST_FAILURE_GAP_S",
+    "drop_excluded",
+    "receive_window_filter",
+    "detect_host_failures",
+    "apply_standard_filters",
+]
+
+#: probes received later than this after sending are treated as lost.
+RECEIVE_WINDOW_S = 3600.0
+
+#: a host silent for longer than this is considered failed.
+HOST_FAILURE_GAP_S = 90.0
+
+
+def drop_excluded(trace: Trace) -> Trace:
+    """Remove probes the collector marked as host-failure affected."""
+    return trace.select(~trace.excluded)
+
+
+def receive_window_filter(trace: Trace, window_s: float = RECEIVE_WINDOW_S) -> Trace:
+    """Convert absurdly late arrivals into losses.
+
+    The paper's aggregation only pairs up packets received within one
+    hour of sending; anything later is indistinguishable from a loss.
+    """
+    if window_s <= 0:
+        raise ValueError("window must be positive")
+    lost1 = trace.lost1 | (np.nan_to_num(trace.latency1, nan=0.0) > window_s)
+    lost2 = trace.lost2 | (np.nan_to_num(trace.latency2, nan=0.0) > window_s)
+    out = trace.select(np.ones(len(trace), dtype=bool))
+    out.lost1 = lost1
+    out.lost2 = lost2
+    out.latency1 = np.where(lost1, np.nan, trace.latency1)
+    out.latency2 = np.where(lost2, np.nan, trace.latency2)
+    return out
+
+
+def detect_host_failures(
+    trace: Trace, gap_s: float = HOST_FAILURE_GAP_S
+) -> list[tuple[int, float, float]]:
+    """Infer host-failure intervals from probe-sending gaps.
+
+    Returns (host, start, end) tuples for every interval longer than
+    ``gap_s`` in which a host initiated no probes — the paper's
+    operational definition of host failure.  This works from the trace
+    alone (no ground truth), so it can be validated against the
+    simulator's actual host-down episodes in tests.
+    """
+    if gap_s <= 0:
+        raise ValueError("gap must be positive")
+    failures: list[tuple[int, float, float]] = []
+    for host in range(len(trace.meta.host_names)):
+        sent = np.sort(trace.t_send[trace.src == host])
+        if len(sent) < 2:
+            continue
+        gaps = np.diff(sent)
+        for i in np.nonzero(gaps > gap_s)[0]:
+            failures.append((host, float(sent[i]), float(sent[i + 1])))
+    return failures
+
+
+def apply_standard_filters(trace: Trace) -> Trace:
+    """The paper's full post-processing pipeline."""
+    return drop_excluded(receive_window_filter(trace))

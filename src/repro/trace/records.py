@@ -1,0 +1,180 @@
+"""Trace data model: what the measurement system logs.
+
+Section 4.1: "Each probe has a random 64-bit identifier, which the hosts
+log along with the time at which packets were both sent and received."
+A :class:`Trace` is the aggregated, struct-of-arrays form of those logs
+for one collection run; :class:`ProbeRecord` is the per-probe view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["TraceMeta", "ProbeRecord", "Trace"]
+
+#: relay value meaning "the direct path" (matches core.selector.DIRECT).
+DIRECT = -1
+
+
+@dataclass(frozen=True)
+class TraceMeta:
+    """Run-level metadata carried alongside the probe arrays."""
+
+    dataset: str
+    mode: str  # "oneway" | "rtt"
+    horizon_s: float
+    seed: int
+    host_names: tuple[str, ...]
+    method_names: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("oneway", "rtt"):
+            raise ValueError(f"mode must be 'oneway' or 'rtt', got {self.mode!r}")
+        if self.horizon_s <= 0:
+            raise ValueError("horizon must be positive")
+
+
+@dataclass(frozen=True)
+class ProbeRecord:
+    """One probe, resolved to host/method names (convenience view)."""
+
+    probe_id: int
+    method: str
+    src: str
+    dst: str
+    t_send: float
+    relay1: str | None
+    relay2: str | None
+    lost1: bool
+    lost2: bool | None
+    latency1: float | None
+    latency2: float | None
+    excluded: bool
+
+
+@dataclass
+class Trace:
+    """All probes of one collection run, as parallel arrays.
+
+    ``lost2``/``latency2``/``relay2`` are meaningful only where the
+    method has a second packet (``has_second``).  Latencies are NaN for
+    lost packets.  ``excluded`` marks probes affected by host failure;
+    the paper's analysis drops them (Section 4.1), which
+    :func:`repro.trace.filters.apply_standard_filters` implements.
+    """
+
+    meta: TraceMeta
+    probe_id: np.ndarray  # uint64
+    method_id: np.ndarray  # int16 -> meta.method_names
+    src: np.ndarray  # int16
+    dst: np.ndarray  # int16
+    t_send: np.ndarray  # float64
+    relay1: np.ndarray  # int16, DIRECT for direct
+    relay2: np.ndarray  # int16
+    lost1: np.ndarray  # bool
+    lost2: np.ndarray  # bool
+    latency1: np.ndarray  # float32, NaN when lost
+    latency2: np.ndarray  # float32
+    excluded: np.ndarray  # bool
+    extra: dict = field(default_factory=dict)
+
+    ARRAY_FIELDS = (
+        "probe_id",
+        "method_id",
+        "src",
+        "dst",
+        "t_send",
+        "relay1",
+        "relay2",
+        "lost1",
+        "lost2",
+        "latency1",
+        "latency2",
+        "excluded",
+    )
+
+    def __post_init__(self) -> None:
+        n = len(self.probe_id)
+        for name in self.ARRAY_FIELDS:
+            arr = getattr(self, name)
+            if len(arr) != n:
+                raise ValueError(f"field {name} has length {len(arr)}, expected {n}")
+
+    def __len__(self) -> int:
+        return len(self.probe_id)
+
+    @property
+    def has_second(self) -> np.ndarray:
+        """Boolean mask: probes whose method sends two packets."""
+        from repro.core.methods import METHODS
+
+        pair_ids = np.array(
+            [METHODS[name].is_pair for name in self.meta.method_names]
+        )
+        return pair_ids[self.method_id]
+
+    def method_mask(self, name: str) -> np.ndarray:
+        """Mask selecting probes of one method (by canonical name)."""
+        try:
+            mid = self.meta.method_names.index(name)
+        except ValueError:
+            raise KeyError(
+                f"trace has no method {name!r}; methods: {self.meta.method_names}"
+            ) from None
+        return self.method_id == mid
+
+    def select(self, mask: np.ndarray) -> "Trace":
+        """A new trace containing only the masked probes."""
+        kwargs = {name: getattr(self, name)[mask] for name in self.ARRAY_FIELDS}
+        return Trace(meta=self.meta, extra=dict(self.extra), **kwargs)
+
+    def records(self, limit: int | None = None):
+        """Iterate probes as :class:`ProbeRecord` (slow; for inspection)."""
+        hosts = self.meta.host_names
+        n = len(self) if limit is None else min(limit, len(self))
+        pair = self.has_second
+        for i in range(n):
+            two = bool(pair[i])
+            yield ProbeRecord(
+                probe_id=int(self.probe_id[i]),
+                method=self.meta.method_names[self.method_id[i]],
+                src=hosts[self.src[i]],
+                dst=hosts[self.dst[i]],
+                t_send=float(self.t_send[i]),
+                relay1=None if self.relay1[i] == DIRECT else hosts[self.relay1[i]],
+                relay2=(
+                    None
+                    if (not two or self.relay2[i] == DIRECT)
+                    else hosts[self.relay2[i]]
+                ),
+                lost1=bool(self.lost1[i]),
+                lost2=bool(self.lost2[i]) if two else None,
+                latency1=(
+                    None if self.lost1[i] else float(self.latency1[i])
+                ),
+                latency2=(
+                    None
+                    if (not two or self.lost2[i])
+                    else float(self.latency2[i])
+                ),
+                excluded=bool(self.excluded[i]),
+            )
+
+    @staticmethod
+    def concatenate(traces: list["Trace"]) -> "Trace":
+        """Merge traces from one run (same meta), ordered by send time."""
+        if not traces:
+            raise ValueError("cannot concatenate zero traces")
+        meta = traces[0].meta
+        for t in traces[1:]:
+            if t.meta != meta:
+                raise ValueError("cannot concatenate traces with different meta")
+        kwargs = {
+            name: np.concatenate([getattr(t, name) for t in traces])
+            for name in Trace.ARRAY_FIELDS
+        }
+        merged = Trace(meta=meta, **kwargs)
+        order = np.argsort(merged.t_send, kind="stable")
+        return merged.select(order)

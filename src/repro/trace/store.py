@@ -1,0 +1,59 @@
+"""Trace persistence: compact ``.npz`` with JSON metadata.
+
+Traces are the interface between collection and analysis, exactly as
+the central monitoring machine's aggregated logs were in the paper
+(Section 4.1); persisting them lets analyses re-run without re-running
+the (much more expensive) collection.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .records import Trace, TraceMeta
+
+__all__ = ["save_trace", "load_trace"]
+
+
+def save_trace(trace: Trace, path: str | Path) -> Path:
+    """Write a trace to ``path`` (``.npz`` appended if missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    meta = {
+        "dataset": trace.meta.dataset,
+        "mode": trace.meta.mode,
+        "horizon_s": trace.meta.horizon_s,
+        "seed": trace.meta.seed,
+        "host_names": list(trace.meta.host_names),
+        "method_names": list(trace.meta.method_names),
+        "extra": trace.extra,
+    }
+    arrays = {name: getattr(trace, name) for name in Trace.ARRAY_FIELDS}
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path, __meta__=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8), **arrays
+    )
+    return path
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Read a trace previously written by :func:`save_trace`."""
+    path = Path(path)
+    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+        path = path.with_suffix(path.suffix + ".npz")
+    with np.load(path) as data:
+        meta_raw = json.loads(bytes(data["__meta__"]).decode())
+        arrays = {name: data[name] for name in Trace.ARRAY_FIELDS}
+    meta = TraceMeta(
+        dataset=meta_raw["dataset"],
+        mode=meta_raw["mode"],
+        horizon_s=float(meta_raw["horizon_s"]),
+        seed=int(meta_raw["seed"]),
+        host_names=tuple(meta_raw["host_names"]),
+        method_names=tuple(meta_raw["method_names"]),
+    )
+    return Trace(meta=meta, extra=meta_raw.get("extra", {}), **arrays)

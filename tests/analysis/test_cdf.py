@@ -1,0 +1,56 @@
+"""Empirical CDF machinery (the Figures' presentation layer)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.cdf import Cdf, empirical_cdf
+
+
+class TestEmpiricalCdf:
+    def test_simple(self):
+        c = empirical_cdf(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert c.at(0.5) == 0.0
+        assert c.at(2.0) == pytest.approx(0.5)
+        assert c.at(10.0) == 1.0
+
+    def test_duplicates_collapsed(self):
+        c = empirical_cdf(np.array([1.0, 1.0, 1.0, 2.0]))
+        assert c.at(1.0) == pytest.approx(0.75)
+        assert len(c.x) == 2
+
+    def test_nans_dropped(self):
+        c = empirical_cdf(np.array([1.0, np.nan, 2.0]))
+        assert c.at(1.5) == pytest.approx(0.5)
+
+    def test_empty(self):
+        c = empirical_cdf(np.array([]))
+        assert len(c.x) == 0
+
+    def test_quantile(self):
+        c = empirical_cdf(np.arange(1, 101, dtype=float))
+        assert c.quantile(0.5) == pytest.approx(50.0)
+        assert c.quantile(1.0) == 100.0
+        with pytest.raises(ValueError):
+            c.quantile(1.5)
+
+    def test_vectorised_at(self):
+        c = empirical_cdf(np.array([1.0, 2.0, 3.0]))
+        np.testing.assert_allclose(c.at(np.array([0.0, 2.5, 5.0])), [0, 2 / 3, 1])
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_properties(self, values):
+        c = empirical_cdf(np.array(values))
+        # non-decreasing, ends at 1
+        assert np.all(np.diff(c.f) > 0) or len(c.f) == 1
+        assert c.f[-1] == pytest.approx(1.0)
+        # F(x) equals the true empirical fraction at every support point
+        for x in c.x[:10]:
+            frac = np.mean(np.array(values) <= x)
+            assert c.at(x) == pytest.approx(frac)
+
+    def test_monotonicity_enforced(self):
+        with pytest.raises(ValueError):
+            Cdf(x=np.array([1.0, 0.0]), f=np.array([0.5, 1.0]))

@@ -1,0 +1,164 @@
+"""Windowed loss analysis (Fig 3 / Table 6) and latency analysis (Fig 5)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.latency_analysis import (
+    improvement_summary,
+    latency_cdf_over_paths,
+    per_path_latency,
+)
+from repro.analysis.paths_report import path_loss_cdf, per_path_loss
+from repro.analysis.report import (
+    render_cdf_series,
+    render_comparison,
+    render_high_loss_table,
+    render_loss_table,
+)
+from repro.analysis.windows import high_loss_table, window_loss_rates
+from repro.analysis.windows import testbed_hourly_loss as hourly_loss
+from repro.trace import apply_standard_filters
+
+from .test_lossstats import crafted_trace
+
+
+@pytest.fixture(scope="module")
+def filtered(ron_trace):
+    return apply_standard_filters(ron_trace.trace)
+
+
+class TestWindowLossRates:
+    def test_crafted_hour_windows(self):
+        t = crafted_trace()
+        w = window_loss_rates(t, "loss", window_s=3600.0, min_samples=1)
+        # the crafted trace puts all 10 loss probes in the first hour
+        assert w.n_windows == 2
+        assert len(w.rates) == 1
+        assert w.rates[0] == pytest.approx(0.2)  # 2 losses / 10 probes
+
+    def test_pair_method_counts_both_lost(self):
+        t = crafted_trace()
+        w = window_loss_rates(t, "direct_rand", window_s=7200.0, min_samples=1)
+        assert w.rates[0] == pytest.approx(0.3)
+
+    def test_min_samples_filters_thin_cells(self, filtered):
+        w = window_loss_rates(filtered, "direct_direct", window_s=1200.0, min_samples=5)
+        assert np.all(w.samples >= 5)
+
+    def test_most_windows_lossless(self, filtered):
+        # Fig 3: "Over 95% of the samples had a 0% loss rate"
+        w = window_loss_rates(filtered, "direct_direct", window_s=1200.0)
+        assert (w.rates == 0).mean() > 0.9
+
+    def test_validation(self, filtered):
+        with pytest.raises(ValueError):
+            window_loss_rates(filtered, "direct_direct", window_s=-1.0)
+
+
+class TestHighLossTable:
+    def test_monotone_in_threshold(self, filtered):
+        counts = high_loss_table(
+            filtered, ["direct_direct", "direct_rand"], window_s=1200.0
+        )
+        for per_method in counts.values():
+            values = [per_method[t] for t in sorted(per_method)]
+            assert values == sorted(values, reverse=True)
+
+    def test_crafted_counts(self):
+        t = crafted_trace()
+        counts = high_loss_table(t, ["loss"], window_s=3600.0, min_samples=1)
+        assert counts["loss"][0] == 1  # the one populated hour has loss > 0
+        assert counts["loss"][10] == 1  # 20% beats the 10% threshold
+        assert counts["loss"][30] == 0
+
+
+class TestHourlyLoss:
+    def test_crafted(self):
+        t = crafted_trace()
+        hours = hourly_loss(t, "loss")
+        assert len(hours) == 2
+        assert np.nanmax(hours) <= 1.0
+
+    def test_direct_inferred_when_absent(self, filtered):
+        hours = hourly_loss(filtered, "direct")
+        assert np.isfinite(hours).any()
+
+    def test_unknown_method(self, filtered):
+        with pytest.raises(KeyError):
+            hourly_loss(filtered, "warp")
+
+
+class TestPerPathLoss:
+    def test_cdf_mostly_low_loss(self, filtered):
+        # Fig 2: 80% of paths under 1%
+        cdf = path_loss_cdf(filtered, min_samples=20)
+        assert cdf.at(1.0) > 0.55
+
+    def test_values_are_percentages(self, filtered):
+        loss = per_path_loss(filtered, min_samples=20)
+        assert np.all((loss >= 0) & (loss <= 100))
+
+
+class TestPerPathLatency:
+    def test_matrix_shape(self, filtered):
+        lat = per_path_latency(filtered, "direct_direct")
+        n = len(filtered.meta.host_names)
+        assert lat.mean_latency.shape == (n, n)
+
+    def test_pair_min_beats_first_packet(self, filtered):
+        both = per_path_latency(filtered, "direct_rand")
+        first = per_path_latency(filtered, "direct_rand", use_first_packet=True)
+        b = both.mean_latency
+        f = first.mean_latency
+        ok = ~(np.isnan(b) | np.isnan(f))
+        # first-arrival can never be slower on average
+        assert np.nanmean(f[ok] - b[ok]) >= -1e-9
+
+    def test_cdf_only_slow_paths(self, filtered):
+        base = per_path_latency(filtered, "direct_direct", use_first_packet=True)
+        cdf = latency_cdf_over_paths(base, min_latency_s=0.050)
+        if len(cdf.x):
+            assert cdf.x.min() > 0.050
+
+    def test_improvement_summary_keys(self, filtered):
+        base = per_path_latency(filtered, "direct_direct", use_first_packet=True)
+        mesh = per_path_latency(filtered, "direct_rand")
+        s = improvement_summary(base, mesh)
+        assert set(s) == {
+            "mean_improvement_ms",
+            "relative_improvement",
+            "frac_paths_20ms",
+        }
+        assert s["mean_improvement_ms"] > -5.0  # mesh never clearly worse
+
+
+class TestRendering:
+    def test_loss_table_text(self):
+        from repro.analysis.lossstats import method_stats_table
+
+        text = render_loss_table(
+            method_stats_table(crafted_trace()),
+            "Table X",
+            paper={"loss": (0.33, None, 0.33, None, 55.62)},
+        )
+        assert "Table X" in text and "(paper)" in text and "direct*" in text
+
+    def test_high_loss_table_text(self):
+        t = crafted_trace()
+        counts = high_loss_table(t, ["loss"], window_s=3600.0, min_samples=1)
+        text = render_high_loss_table(counts, "Table 6", paper={"loss": {0: 7066}})
+        assert "7066" in text
+
+    def test_cdf_series_text(self):
+        from repro.analysis.cdf import empirical_cdf
+
+        text = render_cdf_series(
+            {"direct": empirical_cdf(np.array([1.0, 2.0]))},
+            np.array([0.5, 1.5, 2.5]),
+            "Figure 2",
+        )
+        assert "Figure 2" in text and "direct" in text
+
+    def test_comparison_text(self):
+        text = render_comparison([("overall loss %", 0.40, 0.42)], "Section 4.2")
+        assert "overall loss" in text and "0.42" in text

@@ -1,0 +1,46 @@
+"""Shared fixtures: small networks and traces reused across the suite.
+
+Expensive artefacts (built networks, collected traces) are session-scoped
+with fixed seeds, so the suite stays fast and fully deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.netsim import Network, RngFactory, config_2003
+from repro.netsim.topology import HostSpec
+from repro.testbed import RON2003, collect, hosts_2003
+
+HOUR = 3600.0
+
+
+def tiny_hosts() -> list[HostSpec]:
+    """Five hosts spanning regions and link classes (fast topologies)."""
+    picks = ("MIT", "UCSD", "GBLX-CHI", "CA-DSL", "GBLX-AMS")
+    by_name = {h.name: h for h in hosts_2003()}
+    return [by_name[n] for n in picks]
+
+
+@pytest.fixture(scope="session")
+def tiny_network() -> Network:
+    """A 5-host network over a 2-hour horizon."""
+    return Network.build(tiny_hosts(), config_2003(), horizon=2 * HOUR, seed=11)
+
+
+@pytest.fixture(scope="session")
+def ron_trace():
+    """A short RON2003 collection (30 hosts, 40 minutes), filtered lazily
+    by the tests that need it."""
+    return collect(RON2003, duration_s=2400.0, seed=5, include_events=False)
+
+
+@pytest.fixture()
+def rngs() -> RngFactory:
+    return RngFactory(123)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(123)

@@ -1,0 +1,107 @@
+"""Per-path probe histories (the last-100-probes window)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.history import PathHistory
+
+
+class TestLossEstimate:
+    def test_fresh_history_is_optimistic(self):
+        assert PathHistory().loss_estimate() == 0.0
+
+    def test_simple_average(self):
+        h = PathHistory(loss_window=4)
+        for lost in (True, False, False, True):
+            h.record(lost, 0.05)
+        assert h.loss_estimate() == pytest.approx(0.5)
+
+    def test_window_evicts_old_probes(self):
+        h = PathHistory(loss_window=3)
+        h.record(True)
+        for _ in range(3):
+            h.record(False, 0.05)
+        assert h.loss_estimate() == 0.0
+
+    def test_window_is_100_by_default(self):
+        h = PathHistory()
+        h.record(True)
+        for _ in range(99):
+            h.record(False, 0.05)
+        assert h.loss_estimate() == pytest.approx(0.01)
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=250))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_bruteforce(self, outcomes):
+        h = PathHistory(loss_window=100)
+        for o in outcomes:
+            h.record(o, None if o else 0.05)
+        window = outcomes[-100:]
+        assert h.loss_estimate() == pytest.approx(sum(window) / len(window))
+
+
+class TestLatencyEstimate:
+    def test_no_successes_is_inf(self):
+        h = PathHistory()
+        h.record(True)
+        assert h.latency_estimate() == math.inf
+
+    def test_mean_of_recent_successes(self):
+        h = PathHistory(latency_window=2)
+        h.record(False, 0.010)
+        h.record(False, 0.020)
+        h.record(False, 0.040)
+        assert h.latency_estimate() == pytest.approx(0.030)
+
+    def test_losses_do_not_pollute_latency(self):
+        h = PathHistory()
+        h.record(False, 0.010)
+        h.record(True)
+        assert h.latency_estimate() == pytest.approx(0.010)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            PathHistory().record(False, -0.1)
+
+
+class TestFailureDetection:
+    def test_run_of_losses_marks_failed(self):
+        h = PathHistory(failure_detect_probes=4)
+        for _ in range(4):
+            h.record(True)
+        assert h.looks_failed()
+
+    def test_success_resets_run(self):
+        h = PathHistory(failure_detect_probes=4)
+        for _ in range(3):
+            h.record(True)
+        h.record(False, 0.05)
+        h.record(True)
+        assert not h.looks_failed()
+
+    def test_short_run_not_failed(self):
+        h = PathHistory(failure_detect_probes=4)
+        for _ in range(3):
+            h.record(True)
+        assert not h.looks_failed()
+
+
+class TestBookkeeping:
+    def test_lifetime_stats(self):
+        h = PathHistory(loss_window=2)
+        for lost in (True, True, False, False):
+            h.record(lost, None if lost else 0.05)
+        assert h.probes_seen == 4
+        assert h.lifetime_loss_rate() == pytest.approx(0.5)
+
+    def test_last_probe_time(self):
+        h = PathHistory()
+        h.record(False, 0.05, now=42.0)
+        assert h.last_probe_time == 42.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PathHistory(loss_window=0)

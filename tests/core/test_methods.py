@@ -1,0 +1,85 @@
+"""The Table 4 method catalogue."""
+
+import pytest
+
+from repro.core.methods import (
+    METHODS,
+    RON2003_PROBE_METHODS,
+    RONNARROW_PROBE_METHODS,
+    RONWIDE_PROBE_METHODS,
+    TABLE5_ROWS,
+    Method,
+    RouteKind,
+    method,
+)
+
+
+class TestCatalogue:
+    def test_all_table4_route_kinds(self):
+        assert {k.value for k in RouteKind} == {"direct", "rand", "lat", "loss"}
+
+    def test_singles_and_pairs(self):
+        assert not METHODS["direct"].is_pair
+        assert METHODS["direct_rand"].is_pair
+
+    def test_dd_variants_same_path_with_gaps(self):
+        assert METHODS["direct_direct"].same_path
+        assert METHODS["dd_10ms"].gap_s == pytest.approx(0.010)
+        assert METHODS["dd_20ms"].gap_s == pytest.approx(0.020)
+
+    def test_lat_loss_packet_order(self):
+        # Table 5 infers lat* from the first packet of lat loss pairs
+        m = METHODS["lat_loss"]
+        assert m.first == RouteKind.LAT and m.second == RouteKind.LOSS
+
+    def test_needs_probing(self):
+        assert METHODS["lat_loss"].needs_probing
+        assert METHODS["loss"].needs_probing
+        assert not METHODS["direct_rand"].needs_probing
+        assert not METHODS["direct_direct"].needs_probing
+
+    def test_display_strings_match_paper(self):
+        assert METHODS["direct_rand"].display == "direct rand"
+        assert METHODS["dd_10ms"].display == "dd 10 ms"
+        assert METHODS["lat_loss"].display == "lat loss"
+
+    def test_ron2003_probe_groups(self):
+        # Section 4: six probe groups
+        assert len(RON2003_PROBE_METHODS) == 6
+        assert "direct" not in RON2003_PROBE_METHODS  # inferred, not probed
+
+    def test_ronnarrow_three_most_promising(self):
+        assert RONNARROW_PROBE_METHODS == ["loss", "direct_rand", "lat_loss"]
+
+    def test_ronwide_includes_all_singles(self):
+        for single in ("direct", "rand", "lat", "loss"):
+            assert single in RONWIDE_PROBE_METHODS
+
+    def test_table5_rows_order(self):
+        assert TABLE5_ROWS[0] == "direct"
+        assert TABLE5_ROWS[-1] == "dd_20ms"
+
+
+class TestLookup:
+    def test_paper_spelling_accepted(self):
+        assert method("direct rand").name == "direct_rand"
+        assert method("lat loss").name == "lat_loss"
+        assert method("DD 10 MS").name == "dd_10ms"
+
+    def test_unknown_method(self):
+        with pytest.raises(KeyError, match="direct_rand"):
+            method("quantum teleport")
+
+
+class TestValidation:
+    def test_negative_gap_rejected(self):
+        with pytest.raises(ValueError):
+            Method("bad", RouteKind.DIRECT, RouteKind.DIRECT, gap_s=-1.0)
+
+    def test_same_path_needs_second(self):
+        with pytest.raises(ValueError):
+            Method("bad", RouteKind.DIRECT, same_path=True)
+
+    def test_same_path_needs_matching_kinds(self):
+        with pytest.raises(ValueError):
+            Method("bad", RouteKind.DIRECT, RouteKind.RAND, same_path=True)

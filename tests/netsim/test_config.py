@@ -1,0 +1,89 @@
+"""Configuration presets and their paper-derived structure."""
+
+import numpy as np
+import pytest
+
+from repro.netsim.config import (
+    MajorEvent,
+    NetworkConfig,
+    SegmentClassConfig,
+    SeverityMixture,
+    config_2002,
+    config_2002_wide,
+    config_2003,
+    ron2003_events,
+)
+
+
+class TestSeverityMixture:
+    def test_sampler_in_range(self, rng):
+        s = SeverityMixture().sampler()(rng, 10000)
+        assert np.all((s >= 0) & (s < 1.0))
+
+    def test_loss_weighted_severity_high(self, rng):
+        # The CLP plateau at 10-20 ms spacing requires E[p^2]/E[p] ~ 0.8
+        # (Section 4.4 fit documented in the config module).
+        s = SeverityMixture().sampler()(rng, 200000)
+        pbar = (s**2).mean() / s.mean()
+        assert 0.75 < pbar < 0.92
+
+    def test_weight_validation(self):
+        with pytest.raises(ValueError):
+            SeverityMixture(severe_weight=1.5)
+
+
+class TestPresets:
+    def test_2002_lossier_than_2003(self):
+        c3, c2 = config_2003(), config_2002()
+        assert c2.access.base_loss > c3.access.base_loss
+        assert c2.middle.congestion.rate_per_hour > c3.middle.congestion.rate_per_hour
+
+    def test_2002_more_middle_weighted(self):
+        # lower cross-path CLP in 2002 = more middle-segment loss share
+        c3, c2 = config_2003(), config_2002()
+        ratio3 = c3.middle.congestion.rate_per_hour / c3.access.congestion.rate_per_hour
+        ratio2 = c2.middle.congestion.rate_per_hour / c2.access.congestion.rate_per_hour
+        assert ratio2 > ratio3
+
+    def test_wide_quieter_than_narrow(self):
+        w, n = config_2002_wide(), config_2002()
+        assert w.access.congestion.rate_per_hour < n.access.congestion.rate_per_hour
+        assert w.access.outage.rate_per_day < n.access.outage.rate_per_day
+
+    def test_defaults_have_no_major_events(self):
+        assert config_2003().major_events == ()
+        assert config_2002().major_events == ()
+
+    def test_with_overrides_returns_copy(self):
+        cfg = config_2003()
+        cfg2 = cfg.with_overrides(forward_loss=0.5)
+        assert cfg2.forward_loss == 0.5
+        assert cfg.forward_loss != 0.5
+
+    def test_base_loss_validation(self):
+        with pytest.raises(ValueError):
+            SegmentClassConfig(base_loss=1.5)
+
+
+class TestMajorEvents:
+    def test_ron2003_events_scale_with_horizon(self):
+        short = ron2003_events(4 * 3600.0)
+        long = ron2003_events(14 * 86400.0)
+        assert short[0].duration_s < long[0].duration_s
+        # both stories present: Cornell latency + backbone loss event
+        targets = {e.target for e in long}
+        assert "host:Cornell" in targets
+        assert any(t.startswith("trunk:") for t in targets)
+
+    def test_event_validation(self):
+        with pytest.raises(ValueError):
+            MajorEvent(target="host:X", start_frac=1.5, duration_s=10.0)
+        with pytest.raises(ValueError):
+            MajorEvent(target="host:X", start_frac=0.5, duration_s=10.0, severity=2.0)
+
+    def test_probing_params_match_paper(self):
+        p = NetworkConfig().probing
+        assert p.probe_interval_s == 15.0  # "once every 15 seconds"
+        assert p.loss_window == 100  # "average loss rate over the last 100 probes"
+        assert p.failure_probe_count == 4  # "up to four probes spaced one second"
+        assert p.failure_probe_spacing_s == 1.0

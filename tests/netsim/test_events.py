@@ -1,0 +1,111 @@
+"""Discrete-event engine semantics."""
+
+import pytest
+
+from repro.netsim.events import EventLoop
+
+
+class TestScheduling:
+    def test_fires_in_time_order(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule(3.0, lambda: order.append("c"))
+        loop.schedule(1.0, lambda: order.append("a"))
+        loop.schedule(2.0, lambda: order.append("b"))
+        loop.run()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_for_simultaneous_events(self):
+        loop = EventLoop()
+        order = []
+        for tag in "abc":
+            loop.schedule(1.0, lambda t=tag: order.append(t))
+        loop.run()
+        assert order == ["a", "b", "c"]
+
+    def test_now_tracks_event_time(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(2.5, lambda: seen.append(loop.now))
+        loop.run()
+        assert seen == [2.5]
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            EventLoop().schedule(-1.0, lambda: None)
+
+    def test_rejects_past_absolute_time(self):
+        loop = EventLoop(start_time=10.0)
+        with pytest.raises(ValueError):
+            loop.schedule_at(5.0, lambda: None)
+
+    def test_events_can_schedule_events(self):
+        loop = EventLoop()
+        hits = []
+
+        def recur():
+            hits.append(loop.now)
+            if len(hits) < 4:
+                loop.schedule(1.0, recur)
+
+        loop.schedule(1.0, recur)
+        loop.run()
+        assert hits == [1.0, 2.0, 3.0, 4.0]
+
+
+class TestRunUntil:
+    def test_only_fires_due_events(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(1.0, lambda: fired.append(1))
+        loop.schedule(5.0, lambda: fired.append(5))
+        n = loop.run_until(3.0)
+        assert n == 1 and fired == [1]
+        assert loop.pending == 1
+
+    def test_clock_advances_to_deadline(self):
+        loop = EventLoop()
+        loop.run_until(42.0)
+        assert loop.now == 42.0
+
+    def test_clock_never_goes_backwards(self):
+        loop = EventLoop()
+        loop.run_until(10.0)
+        loop.run_until(5.0)
+        assert loop.now == 10.0
+
+    def test_boundary_event_fires(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(3.0, lambda: fired.append(True))
+        loop.run_until(3.0)
+        assert fired == [True]
+
+
+class TestCancel:
+    def test_cancelled_event_does_not_fire(self):
+        loop = EventLoop()
+        fired = []
+        h = loop.schedule(1.0, lambda: fired.append(True))
+        assert loop.cancel(h)
+        loop.run()
+        assert fired == []
+
+    def test_cancel_twice_returns_false(self):
+        loop = EventLoop()
+        h = loop.schedule(1.0, lambda: None)
+        assert loop.cancel(h)
+        assert not loop.cancel(h)
+
+    def test_cancel_after_fire_returns_false(self):
+        loop = EventLoop()
+        h = loop.schedule(1.0, lambda: None)
+        loop.run()
+        assert not loop.cancel(h)
+
+    def test_processed_counts(self):
+        loop = EventLoop()
+        for _ in range(5):
+            loop.schedule(1.0, lambda: None)
+        loop.run()
+        assert loop.processed == 5

@@ -1,0 +1,75 @@
+"""Link classes and the segment registry."""
+
+import pytest
+
+from repro.netsim.links import LINK_CLASSES, link_class
+from repro.netsim.segments import EDGE_KINDS, Segment, SegmentKind, SegmentRegistry
+
+
+class TestLinkClasses:
+    def test_catalogue_covers_paper_technologies(self):
+        # Table 1 spans OC3s, university nets, T1s, DSL and cable.
+        for name in ("oc3", "internet2", "ethernet", "t1", "dsl", "cable"):
+            assert name in LINK_CLASSES
+
+    def test_consumer_links_are_lossier(self):
+        assert link_class("dsl").base_loss_mult > link_class("oc3").base_loss_mult
+        assert link_class("cable").congestion_mult > link_class("internet2").congestion_mult
+
+    def test_dsl_has_interleaving_delay(self):
+        assert link_class("dsl").extra_delay_ms > 5.0
+
+    def test_asymmetric_consumer_upstream(self):
+        dsl = link_class("dsl")
+        assert dsl.up_mbps < dsl.down_mbps
+
+    def test_unknown_class_error_lists_names(self):
+        with pytest.raises(KeyError, match="dsl"):
+            link_class("fiber-to-the-moon")
+
+
+class TestSegmentRegistry:
+    def test_sids_are_dense(self):
+        reg = SegmentRegistry()
+        a = reg.add("s0", SegmentKind.ISP)
+        b = reg.add("s1", SegmentKind.TRUNK)
+        assert (a.sid, b.sid) == (0, 1)
+        assert len(reg) == 2
+
+    def test_duplicate_name_rejected(self):
+        reg = SegmentRegistry()
+        reg.add("x", SegmentKind.ISP)
+        with pytest.raises(ValueError):
+            reg.add("x", SegmentKind.TRUNK)
+
+    def test_lookup_by_name(self):
+        reg = SegmentRegistry()
+        reg.add("acc-out:MIT", SegmentKind.ACCESS_OUT, host="MIT")
+        assert reg.by_name("acc-out:MIT").host == "MIT"
+        with pytest.raises(KeyError):
+            reg.by_name("nope")
+
+    def test_kind_and_host_queries(self):
+        reg = SegmentRegistry()
+        reg.add("a", SegmentKind.ACCESS_OUT, host="h1", srg="line:h1")
+        reg.add("b", SegmentKind.ACCESS_IN, host="h1", srg="line:h1")
+        reg.add("c", SegmentKind.ISP, host="h2")
+        assert reg.sids_of_kind(SegmentKind.ACCESS_OUT, SegmentKind.ACCESS_IN) == [0, 1]
+        assert reg.sids_of_host("h1") == [0, 1]
+        assert reg.sids_of_srg("line:h1") == [0, 1]
+
+    def test_edge_kinds(self):
+        assert SegmentKind.ACCESS_IN in EDGE_KINDS
+        assert SegmentKind.ISP in EDGE_KINDS
+        assert SegmentKind.MIDDLE not in EDGE_KINDS
+
+    def test_segment_validation(self):
+        with pytest.raises(ValueError):
+            Segment(sid=0, name="bad", kind=SegmentKind.ISP, prop_delay_s=-1.0)
+        with pytest.raises(ValueError):
+            Segment(sid=0, name="bad", kind=SegmentKind.ISP, base_loss=1.0)
+
+    def test_is_edge_property(self):
+        s = Segment(sid=0, name="e", kind=SegmentKind.ACCESS_OUT)
+        m = Segment(sid=1, name="m", kind=SegmentKind.MIDDLE)
+        assert s.is_edge and not m.is_edge

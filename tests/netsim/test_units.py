@@ -1,0 +1,79 @@
+"""Units and geometry helpers."""
+
+import math
+
+import pytest
+
+from repro.netsim.units import (
+    DAY,
+    HOUR,
+    MINUTE,
+    format_duration,
+    haversine_km,
+    propagation_delay_s,
+)
+
+
+class TestConstants:
+    def test_time_constants_compose(self):
+        assert MINUTE == 60.0
+        assert HOUR == 60 * MINUTE
+        assert DAY == 24 * HOUR
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_km(42.36, -71.09, 42.36, -71.09) == 0.0
+
+    def test_boston_to_san_diego(self):
+        # ~4,100 km great circle
+        d = haversine_km(42.36, -71.09, 32.88, -117.23)
+        assert 3900 < d < 4300
+
+    def test_transatlantic(self):
+        d = haversine_km(42.36, -71.09, 52.37, 4.90)  # Boston - Amsterdam
+        assert 5300 < d < 5900
+
+    def test_symmetric(self):
+        a = haversine_km(40.0, -74.0, 51.5, -0.1)
+        b = haversine_km(51.5, -0.1, 40.0, -74.0)
+        assert a == pytest.approx(b)
+
+    def test_antipodal_bounded(self):
+        d = haversine_km(0.0, 0.0, 0.0, 180.0)
+        assert d == pytest.approx(math.pi * 6371.0, rel=1e-3)
+
+
+class TestPropagation:
+    def test_scales_linearly(self):
+        assert propagation_delay_s(2000.0) == pytest.approx(
+            2 * propagation_delay_s(1000.0)
+        )
+
+    def test_cross_country_magnitude(self):
+        # ~4,000 km at stretch 1.9 -> ~38 ms one-way
+        d = propagation_delay_s(4000.0, stretch=1.9)
+        assert 0.030 < d < 0.045
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            propagation_delay_s(-1.0)
+
+
+class TestFormatDuration:
+    @pytest.mark.parametrize(
+        "seconds,expect",
+        [
+            (1.2e-6, "1us"),
+            (0.004, "4.0ms"),
+            (2.5, "2.50s"),
+            (90, "1.5min"),
+            (7200, "2.0h"),
+            (172800, "2.0d"),
+        ],
+    )
+    def test_rendering(self, seconds, expect):
+        assert format_duration(seconds) == expect
+
+    def test_negative(self):
+        assert format_duration(-2.5) == "-2.50s"

@@ -1,0 +1,84 @@
+"""The Table 1/2 host catalogue."""
+
+import pytest
+
+from repro.testbed.hosts import ALL_HOSTS, category_counts, hosts_2002, hosts_2003
+
+
+class TestTable1:
+    def test_thirty_hosts(self):
+        assert len(hosts_2003()) == 30
+
+    def test_names_match_paper(self):
+        names = {h.name for h in ALL_HOSTS}
+        for expected in (
+            "Aros", "AT&T", "CA-DSL", "CCI", "CMU", "Coloco", "Cornell",
+            "Cybermesa", "Digitalwest", "GBLX-AMS", "GBLX-ANA", "GBLX-CHI",
+            "GBLX-JFK", "GBLX-LON", "Intel", "Korea", "Lulea", "MA-Cable",
+            "Mazu", "MIT", "MIT-main", "NC-Cable", "Nortel", "NYU", "PDI",
+            "PSG", "UCSD", "Utah", "Vineyard", "VU-NL",
+        ):
+            assert expected in names
+
+    def test_seven_internet2_universities(self):
+        # Table 1 asterisks: CMU, Cornell, MIT, NYU, UCSD, Utah (+MIT lab
+        # is the .edu-in-lab host); the paper marks 6 with asterisks and
+        # lists 7 US universities in Table 2.
+        assert sum(h.internet2 for h in ALL_HOSTS) == 6
+
+    def test_consumer_links_modelled(self):
+        by_name = {h.name: h for h in ALL_HOSTS}
+        assert by_name["CA-DSL"].link == "dsl"
+        assert by_name["MA-Cable"].link == "cable"
+        assert by_name["NC-Cable"].link == "cable"
+        assert by_name["Korea"].link == "intl-congested"
+
+    def test_coordinates_plausible(self):
+        for h in ALL_HOSTS:
+            assert -90 <= h.lat <= 90 and -180 <= h.lon <= 180
+
+    def test_international_hosts_regions(self):
+        by_name = {h.name: h for h in ALL_HOSTS}
+        assert by_name["Korea"].region == "asia"
+        assert by_name["Lulea"].region == "europe"
+        assert by_name["GBLX-LON"].region == "europe"
+        assert by_name["Nortel"].region == "canada"
+
+
+class TestTable2:
+    def test_category_distribution(self):
+        # Table 2's exact counts
+        expected = {
+            "US Universities": 7,
+            "US Large ISP": 4,
+            "US small/med ISP": 5,
+            "US Private Company": 5,
+            "US Cable/DSL": 3,
+            "Canada Private Company": 1,
+            "Int'l Universities": 3,
+            "Int'l ISP": 2,
+        }
+        assert category_counts() == expected
+
+    def test_counts_sum_to_30(self):
+        assert sum(category_counts().values()) == 30
+
+    def test_subset_counting(self):
+        sub = hosts_2002()
+        counts = category_counts(sub)
+        assert sum(counts.values()) == len(sub)
+
+
+class Test2002Subset:
+    def test_seventeen_hosts(self):
+        # Table 3: the 2002 datasets used 17 hosts (bold in Table 1)
+        assert len(hosts_2002()) == 17
+
+    def test_subset_of_2003(self):
+        names_2003 = {h.name for h in hosts_2003()}
+        assert all(h.name in names_2003 for h in hosts_2002())
+
+    def test_core_ron1_hosts_included(self):
+        names = {h.name for h in hosts_2002()}
+        for must in ("MIT", "CMU", "Cornell", "NYU", "Utah", "Korea", "Aros", "CCI"):
+            assert must in names

@@ -1,0 +1,167 @@
+"""Trace records, persistence and the Section 4.1 filters."""
+
+import numpy as np
+import pytest
+
+from repro.trace import (
+    Trace,
+    TraceMeta,
+    apply_standard_filters,
+    detect_host_failures,
+    drop_excluded,
+    load_trace,
+    receive_window_filter,
+    save_trace,
+)
+
+
+def make_trace(n=10, mode="oneway", seed=0) -> Trace:
+    rng = np.random.default_rng(seed)
+    meta = TraceMeta(
+        dataset="TEST",
+        mode=mode,
+        horizon_s=1000.0,
+        seed=seed,
+        host_names=("A", "B", "C"),
+        method_names=("direct", "direct_rand"),
+    )
+    lost1 = rng.random(n) < 0.3
+    lost2 = rng.random(n) < 0.3
+    return Trace(
+        meta=meta,
+        probe_id=rng.integers(0, 2**63, n, dtype=np.uint64),
+        method_id=(np.arange(n) % 2).astype(np.int16),
+        src=np.zeros(n, dtype=np.int16),
+        dst=np.ones(n, dtype=np.int16),
+        t_send=np.sort(rng.uniform(0, 1000, n)),
+        relay1=np.full(n, -1, dtype=np.int16),
+        relay2=np.where(np.arange(n) % 2 == 1, 2, -1).astype(np.int16),
+        lost1=lost1,
+        lost2=lost2 & (np.arange(n) % 2 == 1),
+        latency1=np.where(lost1, np.nan, 0.05).astype(np.float32),
+        latency2=np.where(lost2, np.nan, 0.08).astype(np.float32),
+        excluded=np.zeros(n, dtype=bool),
+    )
+
+
+class TestTrace:
+    def test_length_validation(self):
+        t = make_trace()
+        with pytest.raises(ValueError):
+            Trace(
+                meta=t.meta,
+                probe_id=t.probe_id,
+                method_id=t.method_id[:-1],  # wrong length
+                src=t.src,
+                dst=t.dst,
+                t_send=t.t_send,
+                relay1=t.relay1,
+                relay2=t.relay2,
+                lost1=t.lost1,
+                lost2=t.lost2,
+                latency1=t.latency1,
+                latency2=t.latency2,
+                excluded=t.excluded,
+            )
+
+    def test_has_second_follows_method(self):
+        t = make_trace(8)
+        np.testing.assert_array_equal(t.has_second, np.arange(8) % 2 == 1)
+
+    def test_method_mask(self):
+        t = make_trace(8)
+        assert t.method_mask("direct").sum() == 4
+        with pytest.raises(KeyError):
+            t.method_mask("warp")
+
+    def test_select(self):
+        t = make_trace(10)
+        sub = t.select(t.method_id == 0)
+        assert len(sub) == 5
+        assert sub.meta == t.meta
+
+    def test_records_view(self):
+        t = make_trace(4)
+        recs = list(t.records())
+        assert len(recs) == 4
+        assert recs[0].src == "A" and recs[0].dst == "B"
+        assert recs[1].relay2 == "C"
+        assert recs[0].relay1 is None  # direct
+
+    def test_concatenate_sorts_by_time(self):
+        t = make_trace(10)
+        a = t.select(np.arange(10) >= 5)
+        b = t.select(np.arange(10) < 5)
+        merged = Trace.concatenate([a, b])
+        assert np.all(np.diff(merged.t_send) >= 0)
+        assert len(merged) == 10
+
+    def test_concatenate_rejects_mixed_meta(self):
+        with pytest.raises(ValueError):
+            Trace.concatenate([make_trace(2, seed=0), make_trace(2, mode="rtt")])
+
+    def test_meta_validation(self):
+        with pytest.raises(ValueError):
+            TraceMeta("x", "sideways", 10.0, 0, ("A",), ("direct",))
+        with pytest.raises(ValueError):
+            TraceMeta("x", "oneway", -1.0, 0, ("A",), ("direct",))
+
+
+class TestStore:
+    def test_roundtrip(self, tmp_path):
+        t = make_trace(32)
+        path = save_trace(t, tmp_path / "trace")
+        assert path.suffix == ".npz"
+        back = load_trace(path)
+        assert back.meta == t.meta
+        for name in Trace.ARRAY_FIELDS:
+            np.testing.assert_array_equal(
+                getattr(back, name), getattr(t, name), err_msg=name
+            )
+
+    def test_load_without_suffix(self, tmp_path):
+        t = make_trace(4)
+        save_trace(t, tmp_path / "trace")
+        back = load_trace(tmp_path / "trace")
+        assert len(back) == 4
+
+
+class TestFilters:
+    def test_drop_excluded(self):
+        t = make_trace(10)
+        t.excluded[:3] = True
+        assert len(drop_excluded(t)) == 7
+
+    def test_receive_window_turns_late_into_lost(self):
+        t = make_trace(10)
+        t.lost1[:] = False
+        t.latency1[:] = 2.0
+        t.latency1[0] = 4000.0  # beyond the 1-hour window
+        out = receive_window_filter(t)
+        assert out.lost1[0] and not out.lost1[1:].any()
+        assert np.isnan(out.latency1[0])
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            receive_window_filter(make_trace(2), window_s=0.0)
+
+    def test_standard_pipeline_composes(self):
+        t = make_trace(10)
+        t.excluded[0] = True
+        out = apply_standard_filters(t)
+        assert len(out) == 9
+
+    def test_detect_host_failures_finds_gap(self):
+        t = make_trace(50)
+        # silence host 0 between t=400 and t=600
+        keep = ~((t.t_send > 400) & (t.t_send < 600))
+        t = t.select(keep)
+        failures = detect_host_failures(t, gap_s=90.0)
+        assert any(
+            host == 0 and start < 450 and end > 550 for host, start, end in failures
+        )
+
+    def test_detect_no_failures_when_chatty(self):
+        t = make_trace(200)
+        t.t_send = np.linspace(0, 1000, 200)
+        assert detect_host_failures(t, gap_s=90.0) == []

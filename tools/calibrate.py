@@ -1,0 +1,97 @@
+"""Calibration harness: measure the substrate against the paper's targets.
+
+Run:  python tools/calibrate.py [hours] [seed]
+
+Prints direct-path loss, rand-path loss, CLP at several spacings, cross
+CLP via a random relay, and latency means, next to the Table 5 targets.
+This script drives parameter tuning in repro.netsim.config; it is not
+part of the library API.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import numpy as np
+
+from repro.netsim import Network, RngFactory, config_2003
+from repro.testbed import hosts_2003
+
+
+def measure(hours: float = 4.0, seed: int = 1, n_probes: int = 150_000) -> None:
+    horizon = hours * 3600.0
+    t0 = time.time()
+    net = Network.build(hosts_2003(), config_2003(), horizon, seed=seed)
+    print(f"build: {time.time() - t0:.1f}s, segments={len(net.topology.registry)}")
+    rng = RngFactory(seed).stream("calibrate")
+    n = net.topology.n_hosts
+
+    src = rng.integers(0, n, n_probes)
+    dst = rng.integers(0, n, n_probes)
+    fix = src == dst
+    dst[fix] = (dst[fix] + 1) % n
+    times = rng.uniform(0, horizon * 0.999, n_probes)
+    relay = rng.integers(0, n, n_probes)
+    bad = (relay == src) | (relay == dst)
+    while bad.any():
+        relay[bad] = rng.integers(0, n, int(bad.sum()))
+        bad = (relay == src) | (relay == dst)
+
+    d_pid = net.paths.direct_pids(src, dst)
+    r_pid = net.paths.relay_pids(src, relay, dst)
+
+    t0 = time.time()
+    # direct-direct at several gaps
+    for label, gap, target_clp in [
+        ("direct direct", 0.0, 72.15),
+        ("dd 10 ms", 0.010, 66.08),
+        ("dd 20 ms", 0.020, 65.28),
+        ("dd 500 ms", 0.500, None),
+    ]:
+        out = net.sample_pairs(d_pid, d_pid, times, gap=gap)
+        l1 = out.lost1.mean() * 100
+        both = out.both_lost.mean() * 100
+        clp = 100 * out.both_lost.sum() / max(out.lost1.sum(), 1)
+        tgt = f" (paper {target_clp})" if target_clp else ""
+        print(f"{label:15s} 1lp={l1:.3f}% totlp={both:.3f}% clp={clp:.1f}%{tgt}")
+
+    out = net.sample_pairs(d_pid, r_pid, times, gap=0.0)
+    l1 = out.lost1.mean() * 100
+    l2 = out.lost2.mean() * 100
+    both = out.both_lost.mean() * 100
+    clp = 100 * out.both_lost.sum() / max(out.lost1.sum(), 1)
+    lat1 = out.latency1[~out.lost1].mean() * 1000
+    lat2 = out.latency2[~out.lost2].mean() * 1000
+    latmin = np.minimum(out.latency1, out.latency2)
+    got = ~(out.lost1 & out.lost2)
+    latm = np.where(out.lost1, out.latency2, np.where(out.lost2, out.latency1, latmin))
+    print(
+        f"{'direct rand':15s} 1lp={l1:.3f}% (0.41) 2lp={l2:.3f}% (2.66) "
+        f"totlp={both:.3f}% (0.26) clp={clp:.1f}% (62.5)"
+    )
+    print(
+        f"{'latency':15s} direct={lat1:.1f}ms (54.1) rand={lat2:.1f}ms "
+        f"mesh-min={latm[got].mean() * 1000:.1f}ms (51.7)"
+    )
+    print(f"sampling: {time.time() - t0:.1f}s for {6 * n_probes} pair-probes")
+
+    # per-path long-term loss distribution (Fig 2)
+    pairs = net.topology.ordered_pairs()
+    pick = rng.choice(len(pairs), size=min(200, len(pairs)), replace=False)
+    means = []
+    for i in pick:
+        s, d = pairs[i]
+        means.append(net.path_mean_loss(net.paths.direct_pid(s, d), 512))
+    means = np.array(means) * 100
+    print(
+        f"per-path loss: median={np.median(means):.2f}% "
+        f"p80={np.percentile(means, 80):.2f}% (paper: 80% of paths <1%) "
+        f"max={means.max():.2f}% (paper ~6%)"
+    )
+
+
+if __name__ == "__main__":
+    hours = float(sys.argv[1]) if len(sys.argv) > 1 else 4.0
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 1
+    measure(hours, seed)
