@@ -1,10 +1,12 @@
 """Shared benchmark fixtures: scaled dataset collections.
 
-Collections are session-scoped: each dataset is generated once and every
-table/figure benchmark analyses the same trace — exactly how the paper's
-post-processing reused the same aggregated logs.  Durations are
-time-compressed (DESIGN.md Section 6); set ``REPRO_BENCH_HOURS`` to run
-longer collections.
+Collections run through the unified experiment API and are memoised at
+session scope: each scenario is generated once and every table/figure
+benchmark reads the same :class:`repro.api.ExperimentResult` — the
+collection for ablations that need ground truth, the filtered trace
+for everything else — exactly how the paper's post-processing reused
+the same aggregated logs.  Durations are time-compressed (DESIGN.md
+Section 6); set ``REPRO_BENCH_HOURS`` to run longer collections.
 """
 
 from __future__ import annotations
@@ -14,13 +16,18 @@ from pathlib import Path
 
 import pytest
 
-from repro.testbed import RON2003, RONNARROW, RONWIDE, collect
-from repro.trace import apply_standard_filters
+from repro.api import Experiment, ExperimentResult
 
 BENCH_HOURS = float(os.environ.get("REPRO_BENCH_HOURS", "6"))
 SEED = int(os.environ.get("REPRO_BENCH_SEED", "1"))
 
 OUT_DIR = Path(__file__).parent / "out"
+
+#: one ExperimentResult per RON2003 scenario, shared by the fixtures
+#: that need both its collection (ablation ground truth) and its trace.
+#: RONnarrow/RONwide fixtures keep only the trace, so their substrate
+#: and routing tables are freed as soon as collection finishes.
+_RESULTS: dict[tuple[str, bool], ExperimentResult] = {}
 
 
 def write_output(name: str, text: str) -> None:
@@ -30,40 +37,50 @@ def write_output(name: str, text: str) -> None:
     print("\n" + text)
 
 
-@pytest.fixture(scope="session")
-def ron2003_run():
-    """Scaled RON2003 collection *with* its scheduled incidents."""
-    return collect(
-        RON2003, duration_s=BENCH_HOURS * 3600.0, seed=SEED, include_events=True
+def _experiment(dataset: str, include_events: bool) -> Experiment:
+    return Experiment(
+        dataset,
+        duration_s=BENCH_HOURS * 3600.0,
+        seeds=(SEED,),
+        include_events=include_events,
     )
 
 
+def _run(dataset: str, include_events: bool = True) -> ExperimentResult:
+    key = (dataset, include_events)
+    if key not in _RESULTS:
+        _RESULTS[key] = _experiment(dataset, include_events).run()
+    return _RESULTS[key]
+
+
 @pytest.fixture(scope="session")
-def ron2003_trace(ron2003_run):
-    return apply_standard_filters(ron2003_run.trace)
+def ron2003_run():
+    """Scaled RON2003 collection *with* its scheduled incidents."""
+    return _run("ron2003", include_events=True).collection
+
+
+@pytest.fixture(scope="session")
+def ron2003_trace():
+    return _run("ron2003", include_events=True).trace
 
 
 @pytest.fixture(scope="session")
 def ron2003_quiet_run():
     """Scaled RON2003 collection without incidents (loss-statistics
     benches: a fixed-length incident would dominate a compressed mean)."""
-    return collect(
-        RON2003, duration_s=BENCH_HOURS * 3600.0, seed=SEED, include_events=False
-    )
+    return _run("ron2003", include_events=False).collection
 
 
 @pytest.fixture(scope="session")
-def ron2003_quiet_trace(ron2003_quiet_run):
-    return apply_standard_filters(ron2003_quiet_run.trace)
+def ron2003_quiet_trace():
+    return _run("ron2003", include_events=False).trace
 
 
 @pytest.fixture(scope="session")
 def ronnarrow_trace():
-    res = collect(RONNARROW, duration_s=BENCH_HOURS * 3600.0, seed=SEED)
-    return apply_standard_filters(res.trace)
+    return _experiment("ronnarrow", include_events=True).run().trace
 
 
 @pytest.fixture(scope="session")
 def ronwide_trace():
-    res = collect(RONWIDE, duration_s=BENCH_HOURS * 3600.0, seed=SEED)
-    return apply_standard_filters(res.trace)
+    return _experiment("ronwide", include_events=True).run().trace

@@ -5,6 +5,8 @@ Section 5's framing: an application has a bandwidth budget to spend on
 loss avoidance - probing (reactive routing), duplication (mesh), or a
 mix.  This example sweeps flow rates and budgets, prints the
 recommended split for each, and renders the Figure 6 design-space map.
+(The same map, parameterised by a run's *measured* cross-path CLP, is
+available as `ExperimentResult.design_space()`.)
 
 Usage:  python examples/budget_planner.py
 """

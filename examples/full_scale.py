@@ -3,10 +3,11 @@
 
 Everything in this repository runs time-compressed by default; this
 script is the configuration for the real thing — 30 hosts, fourteen
-days, the six probe groups, and the scheduled incidents — producing a
-trace on the order of the paper's 32.6M samples.  Expect roughly an
-hour of wall-clock time and ~10 GB of working memory for the routing
-tables; pass a smaller ``--days`` to scale down.
+days, the six probe groups, and the scheduled incidents — declared as
+one `Experiment` and producing a trace on the order of the paper's
+32.6M samples.  Expect roughly an hour of wall-clock time and ~10 GB
+of working memory for the routing tables; pass a smaller ``--days`` to
+scale down.
 
 Usage:  python examples/full_scale.py [--days 14] [--seed 1] [--out trace.npz]
 """
@@ -16,8 +17,7 @@ from __future__ import annotations
 import argparse
 import time
 
-from repro import RON2003, apply_standard_filters, collect, save_trace
-from repro.analysis import method_stats_table, render_loss_table
+from repro import Experiment, save_trace
 from repro.netsim.units import DAY
 
 
@@ -28,14 +28,18 @@ def main() -> None:
     parser.add_argument("--out", default=None, help="optional .npz trace path")
     args = parser.parse_args()
 
-    duration = args.days * DAY
     print(
         f"Collecting {args.days:g} days of RON2003 "
         f"(paper: 14 days, 32,602,776 samples)..."
     )
     t0 = time.time()
-    result = collect(RON2003, duration_s=duration, seed=args.seed, include_events=True)
-    trace = apply_standard_filters(result.trace)
+    result = Experiment(
+        "ron2003",
+        duration_s=args.days * DAY,
+        seeds=(args.seed,),
+        include_events=True,
+    ).run()
+    trace = result.trace
     print(f"  {len(trace):,} probes in {time.time() - t0:.0f}s")
 
     if args.out:
@@ -43,7 +47,7 @@ def main() -> None:
         print(f"  trace written to {path}")
 
     print()
-    print(render_loss_table(method_stats_table(trace), "Table 5 (full scale)"))
+    print(result.loss_table("Table 5 (full scale)"))
 
 
 if __name__ == "__main__":

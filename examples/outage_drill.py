@@ -8,6 +8,10 @@ affected pair every probing round — the moment the last-100-probes loss
 estimate crosses the hysteresis margin, the overlay reroutes through an
 intermediate, and data packets keep flowing.
 
+This example deliberately sits *below* the `repro.api.Experiment`
+front door: it drives the per-probe overlay protocol directly, which
+the vectorised collection pipeline abstracts away.
+
 Usage:  python examples/outage_drill.py
 """
 

@@ -1,13 +1,15 @@
 #!/usr/bin/env python3
-"""Quickstart: collect a scaled RON2003 dataset and print Table 5.
+"""Quickstart: one `Experiment` call from scenario to Table 5.
 
-Runs the whole pipeline end to end in under a minute:
+Runs the whole pipeline end to end in under a minute through the
+unified experiment API:
 
-1. build the 30-host testbed on the calibrated synthetic Internet;
-2. run the probing subsystem and both routing families for a
-   time-compressed measurement campaign;
-3. apply the paper's post-processing filters;
-4. print the Table 5 statistics next to the published values.
+1. declare the scenario (`Experiment("ron2003", ...)`);
+2. run it — the testbed is built, the probing subsystem and both
+   routing families execute, and the paper's post-processing filters
+   apply automatically;
+3. read the Table 5 statistics off the result's lazy accessors, next
+   to the published values.
 
 Usage:  python examples/quickstart.py [hours] [seed]
 """
@@ -16,8 +18,7 @@ from __future__ import annotations
 
 import sys
 
-from repro import RON2003, apply_standard_filters, collect
-from repro.analysis import method_stats_table, render_loss_table
+from repro import Experiment
 
 PAPER = {
     "direct": (0.42, None, 0.42, None, 54.13),
@@ -36,16 +37,15 @@ def main() -> None:
     seed = int(sys.argv[2]) if len(sys.argv) > 2 else 1
 
     print(f"Collecting a {hours:g}-hour RON2003-style dataset (seed {seed})...")
-    result = collect(
-        RON2003, duration_s=hours * 3600.0, seed=seed, include_events=False
-    )
-    trace = apply_standard_filters(result.trace)
+    result = Experiment(
+        "ron2003", duration_s=hours * 3600.0, seeds=(seed,), include_events=False
+    ).run()
+    trace = result.trace
     print(f"  {len(trace):,} probes between {len(trace.meta.host_names)} hosts\n")
 
-    stats = method_stats_table(trace)
-    print(render_loss_table(stats, "Table 5 (scaled collection vs paper)", paper=PAPER))
+    print(result.loss_table("Table 5 (scaled collection vs paper)", paper=PAPER))
 
-    by = {s.method: s for s in stats}
+    by = result.stats_by_method
     saved = 100 * (1 - by["direct_rand"].totlp / by["direct"].totlp)
     print(
         f"\n2-redundant mesh routing removed {saved:.0f}% of losses "

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Scenario sweep: many datasets x many seeds through one `Runner`.
+
+The unified experiment API separates *scenario specification* from
+*execution*: each scenario is a frozen `ExperimentSpec` (serializable —
+this script prints one as JSON), and the `Runner` executes the whole
+batch, fanning independent runs over a thread pool and reusing a
+prebuilt substrate wherever two runs share the same weather.
+
+The sweep here re-measures the paper's central number — how much of
+the direct path's loss 2-redundant mesh routing removes — across
+seeds and datasets, reporting mean +/- std instead of a single draw.
+It also registers a custom probing method (`loss_loss`) on the fly to
+show the pluggable method catalogue.
+
+Usage:  python examples/scenario_sweep.py [--hours 1.0] [--seeds 1 2 3] [--workers 4]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro import ExperimentSpec, Method, Runner, RouteKind, register_method
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--hours", type=float, default=1.0, help="campaign length per run")
+    parser.add_argument("--seeds", type=int, nargs="+", default=[1, 2, 3])
+    parser.add_argument("--workers", type=int, default=4)
+    args = parser.parse_args()
+
+    # A user-defined route-kind combination, registered into the shared
+    # catalogue and then referenced by name like any paper method
+    # (identical re-registration is a no-op, so this is re-runnable).
+    register_method(Method("loss_loss", RouteKind.LOSS, RouteKind.LOSS))
+
+    seeds = tuple(args.seeds)
+    duration = args.hours * 3600.0
+    specs = [
+        ExperimentSpec(
+            "ron2003",
+            duration_s=duration,
+            seeds=seeds,
+            include_events=False,
+            label="ron2003",
+        ),
+        ExperimentSpec(
+            "ron2003",
+            duration_s=duration,
+            seeds=seeds,
+            include_events=False,
+            methods=("direct_rand", "loss_loss"),
+            label="ron2003+loss_loss",
+        ),
+        ExperimentSpec("ronnarrow", duration_s=duration, seeds=seeds, label="ronnarrow"),
+    ]
+    print("One spec, serialized (ship it, store it, regenerate it):")
+    print(f"  {specs[1].to_json()}\n")
+
+    runner = Runner(max_workers=args.workers)
+    t0 = time.time()
+    sweep = runner.sweep(specs)
+    print(
+        f"{len(sweep)} runs in {time.time() - t0:.1f}s on {args.workers} workers "
+        f"({runner.cached_networks()} substrates built)\n"
+    )
+
+    for spec in specs:
+        sub = sweep.where(label=spec.label)
+        print(f"== {spec.name} ({len(sub)} seeds) ==")
+        print(sub.summary_table("totlp"))
+        mesh = sub.aggregate("direct_rand", "totlp")
+        base = sub.aggregate("direct", "totlp") if any(
+            "direct" in r.stats_by_method for r in sub
+        ) else (float("nan"), 0.0)
+        if base[0] == base[0] and base[0] > 0:
+            print(
+                f"mesh routing removes {100 * (1 - mesh[0] / base[0]):.0f}% of "
+                f"direct-path loss (mean over {len(sub)} seeds)"
+            )
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -8,6 +8,11 @@ time.  The paper's point: with ~70% conditional loss probability,
 same-path FEC needs ~half a second of spreading — unacceptable for
 interactive use — while multi-path redundancy pays no delay.
 
+This script wires the Section 5.2 machinery by hand to compare four
+plans side by side; to attach a single FEC configuration to a full
+collection instead, pass `fec=repro.FecSpec(...)` to an `Experiment`
+and read `result.fec_report()`.
+
 Usage:  python examples/voip_fec_planner.py
 """
 

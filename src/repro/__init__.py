@@ -11,9 +11,19 @@ calibrated synthetic Internet substrate:
 * :mod:`repro.trace`   — measurement traces and the Section 4.1 filters;
 * :mod:`repro.analysis`— the Section 4 evaluation pipeline;
 * :mod:`repro.fec`     — Reed-Solomon / duplication coding (Section 5.2);
-* :mod:`repro.models`  — the Section 5 analytic models and Figure 6.
+* :mod:`repro.models`  — the Section 5 analytic models and Figure 6;
+* :mod:`repro.api`     — the unified experiment front door.
 
 Quickstart::
+
+    from repro import Experiment
+
+    result = Experiment("ron2003", duration_s=4 * 3600, seeds=(1,)).run()
+    print(result.loss_table())
+
+Multi-seed sweeps, scenario batches and the pluggable method catalogue
+live in :mod:`repro.api`; the lower-level ``collect()`` pipeline remains
+available::
 
     from repro import collect, RON2003, apply_standard_filters
     from repro.analysis import method_stats_table, render_loss_table
@@ -24,7 +34,16 @@ Quickstart::
 """
 
 from .analysis import method_stats_table, render_loss_table
-from .core import METHODS, Method, RouteKind, method
+from .api import (
+    Experiment,
+    ExperimentResult,
+    ExperimentSpec,
+    FecSpec,
+    MethodRegistry,
+    Runner,
+    SweepResult,
+)
+from .core import METHODS, Method, RouteKind, method, register_method
 from .netsim import (
     Network,
     NetworkConfig,
@@ -38,9 +57,12 @@ from .testbed import (
     RONNARROW,
     RONWIDE,
     CollectionResult,
+    DatasetSpec,
     collect,
+    dataset,
     hosts_2002,
     hosts_2003,
+    register_dataset,
 )
 from .trace import Trace, apply_standard_filters, load_trace, save_trace
 
@@ -48,8 +70,14 @@ __version__ = "1.0.0"
 
 __all__ = [
     "CollectionResult",
+    "DatasetSpec",
+    "Experiment",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "FecSpec",
     "METHODS",
     "Method",
+    "MethodRegistry",
     "Network",
     "NetworkConfig",
     "RON2003",
@@ -57,6 +85,8 @@ __all__ = [
     "RONWIDE",
     "RngFactory",
     "RouteKind",
+    "Runner",
+    "SweepResult",
     "Trace",
     "__version__",
     "apply_standard_filters",
@@ -64,11 +94,14 @@ __all__ = [
     "config_2002",
     "config_2002_wide",
     "config_2003",
+    "dataset",
     "hosts_2002",
     "hosts_2003",
     "load_trace",
     "method",
     "method_stats_table",
+    "register_dataset",
+    "register_method",
     "render_loss_table",
     "save_trace",
 ]

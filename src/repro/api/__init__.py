@@ -1,0 +1,37 @@
+"""The unified experiment API: declarative specs, a batch runner, and
+structured results.
+
+This package is the composable front door to the reproduction:
+
+* :class:`ExperimentSpec` / :class:`FecSpec` — frozen, JSON-serializable
+  scenario descriptions (dataset, methods, duration, seeds, mode,
+  filters, optional FEC);
+* :class:`Runner` — executes one spec or a sweep, fanning independent
+  runs over a thread pool and reusing prebuilt substrates across
+  same-weather variants, while staying bitwise-identical to sequential
+  :func:`repro.testbed.collect` calls;
+* :class:`ExperimentResult` / :class:`SweepResult` — traces plus lazy
+  accessors for the Table 5/7 and Figure 2-6 analyses;
+* :class:`Experiment` — the facade tying the three together.
+
+The method catalogue behind specs is pluggable: see
+:func:`repro.core.methods.register_method`.
+"""
+
+from repro.core.methods import MethodRegistry, register_method
+
+from .experiment import Experiment
+from .result import ExperimentResult, SweepResult
+from .runner import Runner
+from .spec import ExperimentSpec, FecSpec
+
+__all__ = [
+    "Experiment",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "FecSpec",
+    "MethodRegistry",
+    "Runner",
+    "SweepResult",
+    "register_method",
+]

@@ -1,0 +1,116 @@
+"""The ``Experiment`` facade: one front door for the whole pipeline.
+
+Build a spec (inline kwargs, an :class:`ExperimentSpec`, or a
+:class:`repro.testbed.DatasetSpec`), call :meth:`Experiment.run`, and
+get back results carrying every paper analysis as a lazy accessor::
+
+    from repro import Experiment
+
+    result = Experiment("ron2003", duration_s=3 * 3600, seeds=(1,)).run()
+    print(result.loss_table())
+
+    sweep = Experiment("ronnarrow", duration_s=3600, seeds=(1, 2, 3)).run()
+    print(sweep.summary_table())
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.testbed.datasets import DatasetSpec, dataset, register_dataset
+
+from .result import ExperimentResult, SweepResult
+from .runner import Runner
+from .spec import ExperimentSpec
+
+__all__ = ["Experiment"]
+
+
+class Experiment:
+    """A scenario plus the machinery to execute and analyse it.
+
+    ``source`` may be a dataset name (``"ron2003"``), a ready
+    :class:`ExperimentSpec` (keyword overrides then apply on top), or a
+    custom :class:`DatasetSpec` (registered on first use so specs can
+    reference it by name).
+    """
+
+    def __init__(
+        self,
+        source: str | ExperimentSpec | DatasetSpec = "ron2003",
+        /,
+        **overrides,
+    ) -> None:
+        if isinstance(source, ExperimentSpec):
+            self.spec = source.replace(**overrides) if overrides else source
+            return
+        if isinstance(source, DatasetSpec):
+            try:
+                registered = dataset(source.name)
+            except KeyError:
+                registered = None
+            if registered is None:
+                register_dataset(source)
+            elif registered != source:
+                raise ValueError(
+                    f"a different dataset named {source.name!r} is already "
+                    "registered; rename the custom spec or use "
+                    "repro.testbed.register_dataset(..., overwrite=True)"
+                )
+            source = source.name
+        overrides.setdefault("duration_s", 3600.0)
+        self.spec = ExperimentSpec(dataset=source, **overrides)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Experiment":
+        return cls(ExperimentSpec.from_dict(d))
+
+    @classmethod
+    def from_json(cls, s: str) -> "Experiment":
+        return cls(ExperimentSpec.from_json(s))
+
+    def replace(self, **changes) -> "Experiment":
+        """A new experiment with spec fields replaced."""
+        return Experiment(self.spec.replace(**changes))
+
+    def __repr__(self) -> str:
+        return f"Experiment({self.spec!r})"
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def run(
+        self, runner: Runner | None = None, max_workers: int | None = None
+    ) -> ExperimentResult | SweepResult:
+        """Execute the spec at every seed.
+
+        Returns the single :class:`ExperimentResult` for one-seed specs,
+        a :class:`SweepResult` otherwise.  Pass a shared :class:`Runner`
+        to reuse substrates across experiments (``max_workers`` then
+        belongs to that runner, so combining the two is an error).
+        """
+        runner = self._resolve_runner(runner, max_workers)
+        sweep = runner.run(self.spec)
+        return sweep[0] if len(sweep) == 1 else sweep
+
+    @staticmethod
+    def _resolve_runner(runner: Runner | None, max_workers: int | None) -> Runner:
+        if runner is not None and max_workers is not None:
+            raise ValueError(
+                "pass either a runner or max_workers, not both "
+                "(width is the runner's setting)"
+            )
+        return runner if runner is not None else Runner(max_workers=max_workers)
+
+    def sweep(
+        self,
+        others: Iterable["Experiment | ExperimentSpec"] = (),
+        runner: Runner | None = None,
+        max_workers: int | None = None,
+    ) -> SweepResult:
+        """Execute this experiment together with others as one batch."""
+        specs = [self.spec] + [
+            o.spec if isinstance(o, Experiment) else o for o in others
+        ]
+        return self._resolve_runner(runner, max_workers).sweep(specs)

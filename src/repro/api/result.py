@@ -1,0 +1,286 @@
+"""Structured experiment results with lazy analysis accessors.
+
+An :class:`ExperimentResult` wraps one run (one spec at one seed): the
+raw trace, the substrate it was collected on, and cached accessors for
+every paper analysis — the Table 5/7 loss statistics, the Figure 2-5
+CDFs, the Table 6 high-loss counts and the Figure 6 design space — so
+callers never wire filters and analysis functions by hand.
+
+A :class:`SweepResult` is an ordered collection of results (a spec
+sweep and/or multi-seed batch) with per-seed access and cross-seed
+aggregation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.analysis import (
+    Cdf,
+    MethodStats,
+    empirical_cdf,
+    high_loss_table,
+    improvement_summary,
+    latency_cdf_over_paths,
+    method_stats_table,
+    path_loss_cdf,
+    per_path_clp,
+    per_path_latency,
+    render_loss_table,
+    window_loss_rates,
+)
+from repro.core.reactive import RoutingTables
+from repro.fec import GroupDeliveryStats, simulate_group_delivery
+from repro.models import DesignSpace
+from repro.netsim.network import Network
+from repro.netsim.rng import RngFactory
+from repro.testbed.collection import CollectionResult
+from repro.trace import Trace, apply_standard_filters
+
+from .spec import ExperimentSpec
+
+__all__ = ["ExperimentResult", "SweepResult"]
+
+
+@dataclass(frozen=True, eq=False)
+class ExperimentResult:
+    """One executed run: spec + seed + everything it produced.
+
+    Equality is identity (results wrap numpy arrays); compare traces or
+    stats explicitly when needed.
+    """
+
+    spec: ExperimentSpec
+    seed: int
+    collection: CollectionResult
+
+    # ------------------------------------------------------------------
+    # raw material
+    # ------------------------------------------------------------------
+
+    @property
+    def raw_trace(self) -> Trace:
+        """The unfiltered trace exactly as collected."""
+        return self.collection.trace
+
+    @cached_property
+    def trace(self) -> Trace:
+        """The analysis trace: Section 4.1 filters applied when the spec
+        asks for them (``filters=True``, the default)."""
+        if not self.spec.filters:
+            return self.collection.trace
+        return apply_standard_filters(self.collection.trace)
+
+    @property
+    def network(self) -> Network:
+        return self.collection.network
+
+    @property
+    def tables(self) -> RoutingTables | None:
+        return self.collection.tables
+
+    def __repr__(self) -> str:
+        return (
+            f"ExperimentResult(dataset={self.spec.dataset!r}, seed={self.seed}, "
+            f"duration_s={self.spec.duration_s:g}, probes={len(self.raw_trace):,})"
+        )
+
+    # ------------------------------------------------------------------
+    # Tables 5/7 (loss statistics)
+    # ------------------------------------------------------------------
+
+    @cached_property
+    def stats(self) -> tuple[MethodStats, ...]:
+        """Table 5/7 rows (probed + standard inferred rows)."""
+        return tuple(method_stats_table(self.trace))
+
+    @cached_property
+    def stats_by_method(self) -> dict[str, MethodStats]:
+        return {s.method: s for s in self.stats}
+
+    def loss_table(self, title: str | None = None, paper: dict | None = None) -> str:
+        """The rendered Table 5/7 for this run."""
+        if title is None:
+            title = f"Loss statistics — {self.spec.dataset} seed {self.seed}"
+        return render_loss_table(list(self.stats), title, paper=paper)
+
+    # ------------------------------------------------------------------
+    # Table 6 (high-loss periods)
+    # ------------------------------------------------------------------
+
+    def high_loss(
+        self, methods: Sequence[str] | None = None, window_s: float = 3600.0
+    ) -> dict[str, dict[int, int]]:
+        """Table 6: counts of (path, window) cells above loss thresholds."""
+        names = list(methods) if methods is not None else list(self.trace.meta.method_names)
+        return high_loss_table(self.trace, names, window_s=window_s)
+
+    # ------------------------------------------------------------------
+    # Figures 2-5 (CDFs)
+    # ------------------------------------------------------------------
+
+    def path_loss_cdf(self, min_samples: int = 50) -> Cdf:
+        """Figure 2: CDF of per-path average loss rates."""
+        return path_loss_cdf(self.trace, min_samples=min_samples)
+
+    def window_cdf(self, name: str, window_s: float = 1200.0) -> Cdf:
+        """Figure 3: CDF of per-(path, window) loss-rate samples."""
+        return empirical_cdf(window_loss_rates(self.trace, name, window_s=window_s).rates)
+
+    def clp_cdf(self, name: str = "direct_rand", min_first_losses: int = 2) -> Cdf:
+        """Figure 4: CDF of per-path conditional loss probabilities."""
+        return empirical_cdf(
+            per_path_clp(self.trace, name, min_first_losses=min_first_losses)
+        )
+
+    def latency_cdf(
+        self, name: str, baseline: str | None = None, min_latency_s: float = 0.050
+    ) -> Cdf:
+        """Figure 5: CDF of per-path mean latency, slow paths only.
+
+        ``baseline`` picks the method whose latencies select the slow
+        paths (defaults to the method itself, matching the figure when
+        ``name`` is the direct baseline).
+        """
+        lat = per_path_latency(self.trace, name)
+        base = per_path_latency(self.trace, baseline) if baseline else None
+        return latency_cdf_over_paths(lat, min_latency_s=min_latency_s, baseline=base)
+
+    def latency_improvement(self, baseline: str, improved: str) -> dict[str, float]:
+        """Section 4.5 latency-improvement summary between two methods."""
+        return improvement_summary(
+            per_path_latency(self.trace, baseline), per_path_latency(self.trace, improved)
+        )
+
+    # ------------------------------------------------------------------
+    # Figure 6 (design space) and Section 5.2 (FEC)
+    # ------------------------------------------------------------------
+
+    def design_space(self, link_capacity_pps: float = 2000.0) -> DesignSpace:
+        """Figure 6's probing-vs-duplication map, parameterised by this
+        run's measured cross-path CLP when available."""
+        by = self.stats_by_method
+        clp = None
+        for name in ("direct_rand", "rand_rand", "lat_loss"):
+            s = by.get(name)
+            if s is not None and s.clp is not None and math.isfinite(s.clp):
+                clp = s.clp / 100.0
+                break
+        return DesignSpace(
+            n_nodes=len(self.trace.meta.host_names),
+            link_capacity_pps=link_capacity_pps,
+            cross_clp=clp if clp is not None else 0.60,
+        )
+
+    def fec_report(self) -> GroupDeliveryStats:
+        """Run the spec's Section 5.2 FEC experiment on this substrate.
+
+        Groups are sent on the most chronically lossy measured pair
+        (direct path, plus one relay path for multi-path plans).
+        """
+        fec = self.spec.fec
+        if fec is None:
+            raise ValueError("spec has no fec configuration")
+        net = self.network
+        topo = net.topology
+        s, d = np.unravel_index(np.argmax(topo.chronic_loss), topo.chronic_loss.shape)
+        s, d = (int(s), int(d)) if topo.chronic_loss[s, d] > 0 else (0, 1)
+        pids = [net.paths.direct_pid(s, d)]
+        if fec.n_paths > 1:
+            relay = next((r for r in range(topo.n_hosts) if r not in (s, d)), None)
+            if relay is None:
+                raise ValueError(
+                    f"fec n_paths={fec.n_paths} needs a relay host, but the "
+                    f"{self.spec.dataset!r} substrate has only {topo.n_hosts} hosts"
+                )
+            pids.append(net.paths.relay_pid(s, relay, d))
+        rng = RngFactory(self.seed).stream("fec")
+        times = np.sort(rng.uniform(0.0, net.horizon * 0.9, fec.groups))
+        return simulate_group_delivery(
+            net, fec.build_code(), fec.build_plan(), pids, times, rng=rng
+        )
+
+
+@dataclass(frozen=True, eq=False)
+class SweepResult(Sequence):
+    """Results of a sweep: every (spec, seed) run, in submission order."""
+
+    results: tuple[ExperimentResult, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "results", tuple(self.results))
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterator[ExperimentResult]:
+        return iter(self.results)
+
+    def __getitem__(self, i):
+        out = self.results[i]
+        return SweepResult(out) if isinstance(i, slice) else out
+
+    def __repr__(self) -> str:
+        datasets = sorted({r.spec.dataset for r in self.results})
+        return (
+            f"SweepResult({len(self.results)} runs, datasets={datasets}, "
+            f"seeds={sorted({r.seed for r in self.results})})"
+        )
+
+    @property
+    def seeds(self) -> tuple[int, ...]:
+        return tuple(r.seed for r in self.results)
+
+    def by_seed(self, seed: int) -> "SweepResult":
+        return self.where(seed=seed)
+
+    def where(
+        self, dataset: str | None = None, seed: int | None = None, label: str | None = None
+    ) -> "SweepResult":
+        """The sub-sweep matching the given attributes."""
+        keep = tuple(
+            r
+            for r in self.results
+            if (dataset is None or r.spec.dataset == dataset.lower())
+            and (seed is None or r.seed == seed)
+            and (label is None or r.spec.label == label)
+        )
+        return SweepResult(keep)
+
+    # ------------------------------------------------------------------
+    # cross-seed aggregation
+    # ------------------------------------------------------------------
+
+    def per_seed_stats(self, name: str) -> dict[int, MethodStats]:
+        """One method's Table-5 row, per seed (single-dataset sweeps)."""
+        return {r.seed: r.stats_by_method[name] for r in self.results}
+
+    def aggregate(self, name: str, attr: str = "totlp") -> tuple[float, float]:
+        """(mean, std) of one stats attribute for a method across runs."""
+        vals = [getattr(r.stats_by_method[name], attr) for r in self.results]
+        vals = [v for v in vals if v is not None and math.isfinite(v)]
+        if not vals:
+            return (float("nan"), float("nan"))
+        mean = sum(vals) / len(vals)
+        var = sum((v - mean) ** 2 for v in vals) / len(vals)
+        return (mean, math.sqrt(var))
+
+    def summary_table(self, attr: str = "totlp") -> str:
+        """Cross-seed mean ± std of one stats attribute per method."""
+        methods: list[str] = []
+        for r in self.results:
+            for s in r.stats:
+                if s.method not in methods:
+                    methods.append(s.method)
+        lines = [f"{'method':15s} {'mean ' + attr:>12s} {'std':>8s} {'runs':>5s}"]
+        for name in methods:
+            runs = [r for r in self.results if name in r.stats_by_method]
+            sub = SweepResult(tuple(runs))
+            mean, std = sub.aggregate(name, attr)
+            lines.append(f"{name:15s} {mean:12.3f} {std:8.3f} {len(runs):5d}")
+        return "\n".join(lines)

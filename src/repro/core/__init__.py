@@ -18,8 +18,10 @@ from .methods import (
     TABLE5_ROWS,
     TABLE7_ROWS,
     Method,
+    MethodRegistry,
     RouteKind,
     method,
+    register_method,
 )
 from .reactive import ProbeSeries, RoutingTables, build_routing_tables, run_probing
 from .router import ResolvedRoutes, resolve_routes
@@ -30,6 +32,7 @@ __all__ = [
     "DIRECT",
     "METHODS",
     "Method",
+    "MethodRegistry",
     "PathHistory",
     "ProbeSeries",
     "RON2003_PROBE_METHODS",
@@ -45,6 +48,7 @@ __all__ = [
     "combine_loss",
     "method",
     "random_relays",
+    "register_method",
     "resolve_routes",
     "run_probing",
     "select_paths",

@@ -13,18 +13,26 @@ The catalogue covers every combination the paper evaluates:
   ``direct`` and ``lat`` inferred from first packets of pairs.
 * The RONwide expansion (Table 7): all four singles and the eight
   two-packet combinations.
+
+The catalogue lives in a :class:`MethodRegistry` (``METHODS`` is the
+shared instance, a drop-in for the old module dict); experiments can
+plug in their own route-kind combinations via :func:`register_method`.
 """
 
 from __future__ import annotations
 
 import enum
+import re
+from collections.abc import Iterable, Iterator, Mapping
 from dataclasses import dataclass
 
 __all__ = [
     "RouteKind",
     "Method",
+    "MethodRegistry",
     "METHODS",
     "method",
+    "register_method",
     "RON2003_PROBE_METHODS",
     "RONNARROW_PROBE_METHODS",
     "RONWIDE_PROBE_METHODS",
@@ -79,6 +87,13 @@ class Method:
         return self.second is not None
 
     @property
+    def kinds(self) -> tuple[RouteKind, ...]:
+        """Route kind of every packet the method sends, in send order."""
+        if self.second is None:
+            return (self.first,)
+        return (self.first, self.second)
+
+    @property
     def needs_probing(self) -> bool:
         kinds = [self.first] + ([self.second] if self.second else [])
         return any(k.is_reactive for k in kinds)
@@ -91,9 +106,109 @@ class Method:
         return self.name.replace("_", " ")
 
 
-METHODS: dict[str, Method] = {
-    m.name: m
-    for m in [
+class MethodRegistry(Mapping):
+    """The pluggable method catalogue.
+
+    Implements the :class:`Mapping` protocol keyed by canonical name, so
+    it is a drop-in replacement for the old ``METHODS`` dict, and adds:
+
+    * :meth:`lookup` — name resolution that accepts any paper-style
+      spelling generically (case, spaces, hyphens and underscores are
+      ignored, so ``"dd 10 ms"``, ``"Direct Rand"`` and ``"lat-loss"``
+      all resolve);
+    * :meth:`register` / :meth:`unregister` — the extension point for
+      user-defined :class:`RouteKind` combinations (see
+      :func:`register_method`).
+
+    Methods of more than two packets (k>2 redundancy) are reserved for a
+    future evaluation pipeline and rejected at registration time.
+    """
+
+    def __init__(self, methods: Iterable[Method] = ()) -> None:
+        self._methods: dict[str, Method] = {}
+        self._aliases: dict[str, str] = {}
+        for m in methods:
+            self.register(m)
+
+    @staticmethod
+    def normalize(name: str) -> str:
+        """Collapse a spelling to its comparison key (``"dd 10 ms"`` ->
+        ``"dd10ms"``)."""
+        return re.sub(r"[^a-z0-9]+", "", name.lower())
+
+    # ------------------------------------------------------------------
+    # Mapping protocol (canonical names only, like the old dict)
+    # ------------------------------------------------------------------
+
+    def __getitem__(self, name: str) -> Method:
+        return self._methods[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._methods)
+
+    def __len__(self) -> int:
+        return len(self._methods)
+
+    def __repr__(self) -> str:
+        return f"MethodRegistry({len(self)} methods: {', '.join(self._methods)})"
+
+    # ------------------------------------------------------------------
+    # lookup and registration
+    # ------------------------------------------------------------------
+
+    def lookup(self, name: str) -> Method:
+        """Resolve any accepted spelling (canonical, display, or any
+        case/separator variant) to its :class:`Method`."""
+        m = self._methods.get(name)
+        if m is not None:
+            return m
+        canonical = self._aliases.get(self.normalize(name))
+        if canonical is not None:
+            return self._methods[canonical]
+        known = ", ".join(sorted(self._methods))
+        raise KeyError(f"unknown method {name!r}; known methods: {known}")
+
+    def register(self, m: Method, overwrite: bool = False) -> Method:
+        """Add a method; its name and display spelling become lookup keys."""
+        if not isinstance(m, Method):
+            raise TypeError(f"expected a Method, got {type(m).__name__}")
+        if len(m.kinds) > 2:
+            raise NotImplementedError(
+                f"{m.name}: k>2 redundancy is reserved; the catalogue "
+                "currently supports one- and two-packet methods"
+            )
+        keys = {self.normalize(m.name), self.normalize(m.display)}
+        if m.name in self._methods and self._methods[m.name] == m:
+            return self._methods[m.name]  # identical re-registration: no-op
+        if not overwrite and m.name in self._methods:
+            raise ValueError(f"method {m.name!r} is already registered")
+        # an alias may never be taken from a *different* method, even
+        # with overwrite=True (which only permits replacing m.name)
+        for key in keys:
+            owner = self._aliases.get(key)
+            if owner is not None and owner != m.name:
+                raise ValueError(
+                    f"method {m.name!r} normalises to {key!r}, which "
+                    f"already resolves to {owner!r}"
+                )
+        if m.name in self._methods:  # overwrite: drop the old aliases
+            self._aliases = {k: v for k, v in self._aliases.items() if v != m.name}
+        self._methods[m.name] = m
+        for key in keys:
+            self._aliases[key] = m.name
+        return m
+
+    def unregister(self, name: str) -> Method:
+        """Remove a method (and its aliases) by canonical name."""
+        m = self._methods.pop(name)
+        self._aliases = {k: v for k, v in self._aliases.items() if v != name}
+        return m
+
+
+#: the shared catalogue; kept under the historical name so existing
+#: ``METHODS[name]`` call sites keep working unchanged.
+METHODS: MethodRegistry = MethodRegistry(
+    [
         # singles
         Method("direct", RouteKind.DIRECT),
         Method("rand", RouteKind.RAND),
@@ -114,19 +229,43 @@ METHODS: dict[str, Method] = {
         # the lat* row from this method's first packet.
         Method("lat_loss", RouteKind.LAT, RouteKind.LOSS),
     ]
-}
+)
 
 
 def method(name: str) -> Method:
     """Look up a method by name, accepting paper-style spellings."""
-    key = name.strip().lower().replace(" ", "_").replace("dd_10_ms", "dd_10ms").replace(
-        "dd_20_ms", "dd_20ms"
-    )
-    try:
-        return METHODS[key]
-    except KeyError:
-        known = ", ".join(sorted(METHODS))
-        raise KeyError(f"unknown method {name!r}; known methods: {known}") from None
+    return METHODS.lookup(name)
+
+
+def register_method(obj=None, *, overwrite: bool = False, registry: MethodRegistry | None = None):
+    """Register a custom :class:`Method` in the shared catalogue.
+
+    Usable as a plain call or as a decorator on a zero-argument factory
+    (handy for keeping the definition next to the experiment that uses
+    it)::
+
+        register_method(Method("rand_rand_b2b", RouteKind.RAND, RouteKind.RAND))
+
+        @register_method
+        def loss_loss() -> Method:
+            return Method("loss_loss", RouteKind.LOSS, RouteKind.LOSS)
+
+        @register_method(overwrite=True)
+        def loss_loss() -> Method: ...
+
+    Returns the registered :class:`Method`, which is immediately usable
+    in :class:`repro.api.ExperimentSpec` method lists and resolvable via
+    :func:`method`.
+    """
+    reg = METHODS if registry is None else registry
+
+    def _register(o):
+        m = o() if callable(o) and not isinstance(o, Method) else o
+        return reg.register(m, overwrite=overwrite)
+
+    if obj is None:
+        return _register
+    return _register(obj)
 
 
 #: the six probe groups collected in RON2003 (Section 4).

@@ -127,6 +127,18 @@ class Network:
         return self.state.horizon
 
     @property
+    def traffic_rng_state(self) -> dict:
+        """State of the internal traffic RNG (the one default sampling
+        draws from).  Snapshot it right after :meth:`build` and restore
+        it before re-running a collection on this network to make reuse
+        bitwise-identical to a fresh build."""
+        return self._rng.bit_generator.state
+
+    @traffic_rng_state.setter
+    def traffic_rng_state(self, state: dict) -> None:
+        self._rng.bit_generator.state = state
+
+    @property
     def paths(self):
         return self.topology.paths
 

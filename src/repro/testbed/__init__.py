@@ -1,7 +1,15 @@
 """The RON measurement testbed: hosts, probers, datasets, collection."""
 
 from .collection import CollectionResult, collect
-from .datasets import DATASETS, RON2003, RONNARROW, RONWIDE, DatasetSpec, dataset
+from .datasets import (
+    DATASETS,
+    RON2003,
+    RONNARROW,
+    RONWIDE,
+    DatasetSpec,
+    dataset,
+    register_dataset,
+)
 from .hosts import ALL_HOSTS, category_counts, hosts_2002, hosts_2003
 from .probes import ProbeSchedule, generate_schedule
 
@@ -20,4 +28,5 @@ __all__ = [
     "generate_schedule",
     "hosts_2002",
     "hosts_2003",
+    "register_dataset",
 ]

@@ -13,6 +13,8 @@ Table 7's round-trip accounting.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.core.methods import METHODS, Method
@@ -32,19 +34,21 @@ __all__ = ["collect", "CollectionResult"]
 RTT_TURNAROUND_S = 2e-4
 
 
+@dataclass(frozen=True, eq=False)
 class CollectionResult:
     """A collected trace plus the run's supporting state (for analysis
     that needs ground truth, e.g. ablation benchmarks)."""
 
-    def __init__(
-        self,
-        trace: Trace,
-        network: Network,
-        tables: RoutingTables | None,
-    ) -> None:
-        self.trace = trace
-        self.network = network
-        self.tables = tables
+    trace: Trace
+    network: Network
+    tables: RoutingTables | None
+
+    def __repr__(self) -> str:
+        meta = self.trace.meta
+        return (
+            f"CollectionResult(dataset={meta.dataset!r}, seed={meta.seed}, "
+            f"mode={meta.mode!r}, probes={len(self.trace):,})"
+        )
 
 
 def _reverse_pids(
@@ -131,7 +135,7 @@ def collect(
     hosts = spec.hosts()
     if network is None:
         network = Network.build(hosts, cfg, duration_s, seed=seed)
-    methods = [METHODS[name] for name in spec.probe_methods]
+    methods = [METHODS.lookup(name) for name in spec.probe_methods]
 
     # 1. the probing subsystem + routing tables (if any method needs them)
     tables: RoutingTables | None = None

@@ -32,7 +32,15 @@ from repro.netsim.units import DAY
 
 from .hosts import hosts_2002, hosts_2003
 
-__all__ = ["DatasetSpec", "RON2003", "RONNARROW", "RONWIDE", "DATASETS", "dataset"]
+__all__ = [
+    "DatasetSpec",
+    "RON2003",
+    "RONNARROW",
+    "RONWIDE",
+    "DATASETS",
+    "dataset",
+    "register_dataset",
+]
 
 
 @dataclass(frozen=True)
@@ -99,10 +107,26 @@ DATASETS: dict[str, DatasetSpec] = {
 }
 
 
-def dataset(name: str) -> DatasetSpec:
-    """Look up a dataset spec by (case-insensitive) name."""
+def dataset(name: str | DatasetSpec) -> DatasetSpec:
+    """Look up a dataset spec by (case-insensitive) name.
+
+    A :class:`DatasetSpec` passes through unchanged, so callers can
+    accept either form.
+    """
+    if isinstance(name, DatasetSpec):
+        return name
     try:
         return DATASETS[name.lower()]
     except KeyError:
         known = ", ".join(sorted(DATASETS))
         raise KeyError(f"unknown dataset {name!r}; known: {known}") from None
+
+
+def register_dataset(spec: DatasetSpec, overwrite: bool = False) -> DatasetSpec:
+    """Add a custom scenario to the catalogue, keyed by its lowercased
+    name, so :class:`repro.api.ExperimentSpec` can reference it by name."""
+    key = spec.name.lower()
+    if not overwrite and key in DATASETS and DATASETS[key] != spec:
+        raise ValueError(f"dataset {spec.name!r} is already registered")
+    DATASETS[key] = spec
+    return spec

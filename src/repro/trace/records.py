@@ -105,6 +105,13 @@ class Trace:
     def __len__(self) -> int:
         return len(self.probe_id)
 
+    def __repr__(self) -> str:
+        return (
+            f"Trace(dataset={self.meta.dataset!r}, seed={self.meta.seed}, "
+            f"mode={self.meta.mode!r}, probes={len(self):,}, "
+            f"methods={len(self.meta.method_names)})"
+        )
+
     @property
     def has_second(self) -> np.ndarray:
         """Boolean mask: probes whose method sends two packets."""

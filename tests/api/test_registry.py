@@ -1,0 +1,127 @@
+"""The pluggable method registry and its ExperimentSpec integration."""
+
+import numpy as np
+import pytest
+
+from repro import METHODS, Method, RouteKind, method, register_method
+from repro.api import ExperimentSpec, MethodRegistry, Runner
+
+
+@pytest.fixture
+def clean_registry():
+    """Yield, then drop any method a test registered into the shared
+    catalogue."""
+    before = set(METHODS)
+    yield METHODS
+    for name in set(METHODS) - before:
+        METHODS.unregister(name)
+
+
+class TestMethodRegistry:
+    def test_mapping_protocol_over_catalogue(self):
+        assert len(METHODS) == len(list(METHODS))
+        assert "direct_rand" in METHODS
+        assert METHODS["direct_rand"].is_pair
+        assert dict(METHODS)  # Mapping: items/keys/values all work
+
+    def test_lookup_accepts_any_spelling(self):
+        assert METHODS.lookup("Direct Rand").name == "direct_rand"
+        assert METHODS.lookup("dd-10-ms").name == "dd_10ms"
+        assert METHODS.lookup("LAT_LOSS").name == "lat_loss"
+
+    def test_register_plain_call(self, clean_registry):
+        m = register_method(Method("loss_loss", RouteKind.LOSS, RouteKind.LOSS))
+        assert METHODS["loss_loss"] is m
+        assert method("loss loss") is m
+
+    def test_register_as_decorator(self, clean_registry):
+        @register_method
+        def rand_rand_b2b() -> Method:
+            return Method("rr_b2b", RouteKind.RAND, RouteKind.RAND, same_path=True)
+
+        assert isinstance(rand_rand_b2b, Method)
+        assert METHODS["rr_b2b"].same_path
+
+    def test_register_decorator_with_overwrite(self, clean_registry):
+        register_method(Method("tweak", RouteKind.DIRECT))
+
+        @register_method(overwrite=True)
+        def tweak() -> Method:
+            return Method("tweak", RouteKind.RAND)
+
+        assert METHODS["tweak"].first == RouteKind.RAND
+
+    def test_duplicate_name_rejected(self, clean_registry):
+        with pytest.raises(ValueError, match="already"):
+            register_method(Method("direct", RouteKind.RAND))
+
+    def test_identical_reregistration_is_noop(self, clean_registry):
+        m = register_method(Method("loss_loss", RouteKind.LOSS, RouteKind.LOSS))
+        again = register_method(Method("loss_loss", RouteKind.LOSS, RouteKind.LOSS))
+        assert again is m  # re-running a script cell must not raise
+
+    def test_normalisation_clash_rejected(self, clean_registry):
+        # normalises to "directrand", which direct_rand already owns
+        with pytest.raises(ValueError, match="direct_rand"):
+            register_method(Method("direct__rand", RouteKind.DIRECT, RouteKind.RAND))
+
+    def test_unregister_removes_aliases(self):
+        reg = MethodRegistry([Method("solo", RouteKind.DIRECT)])
+        reg.unregister("solo")
+        assert "solo" not in reg
+        with pytest.raises(KeyError):
+            reg.lookup("solo")
+
+    def test_overwrite_replaces_aliases(self):
+        reg = MethodRegistry([Method("a_b", RouteKind.DIRECT, RouteKind.RAND)])
+        reg.register(Method("a_b", RouteKind.RAND, RouteKind.RAND), overwrite=True)
+        assert reg.lookup("a b").first == RouteKind.RAND
+
+    def test_overwrite_cannot_hijack_another_methods_alias(self):
+        reg = MethodRegistry([Method("dd_10ms", RouteKind.DIRECT)])
+        # "dd10ms" normalises onto dd_10ms's alias; overwrite only
+        # permits replacing the *same* name, never stealing a spelling
+        with pytest.raises(ValueError, match="dd_10ms"):
+            reg.register(Method("dd10ms", RouteKind.RAND), overwrite=True)
+        assert reg.lookup("dd 10 ms").name == "dd_10ms"
+
+    def test_non_method_rejected(self):
+        with pytest.raises(TypeError):
+            MethodRegistry().register("direct")
+
+    def test_k_gt_2_reserved(self):
+        class TripleMethod(Method):
+            @property
+            def kinds(self):
+                return (self.first, self.second, self.second)
+
+        with pytest.raises(NotImplementedError, match="reserved"):
+            MethodRegistry().register(
+                TripleMethod("triple", RouteKind.RAND, RouteKind.RAND)
+            )
+
+    def test_isolated_registry_does_not_touch_catalogue(self):
+        reg = MethodRegistry()
+        register_method(Method("private", RouteKind.DIRECT), registry=reg)
+        assert "private" in reg
+        assert "private" not in METHODS
+
+
+class TestRegisteredMethodsRunEndToEnd:
+    def test_custom_method_through_experiment(self, clean_registry):
+        register_method(Method("loss_loss", RouteKind.LOSS, RouteKind.LOSS))
+        spec = ExperimentSpec(
+            "ron2003",
+            duration_s=400.0,
+            seeds=(1,),
+            methods=("direct_rand", "loss loss"),
+            include_events=False,
+        )
+        assert spec.methods == ("direct_rand", "loss_loss")
+        res = Runner().run(spec)[0]
+        assert "loss_loss" in res.trace.meta.method_names
+        mask = res.trace.method_mask("loss_loss")
+        assert mask.any()
+        # a registered pair method really sends two packets
+        assert res.trace.has_second[mask].all()
+        assert np.isfinite(res.trace.latency2[mask]).any()

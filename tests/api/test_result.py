@@ -1,0 +1,166 @@
+"""ExperimentResult / SweepResult: lazy accessors and aggregation."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.api import Experiment, ExperimentSpec, FecSpec, Runner
+from repro.analysis import Cdf, MethodStats
+from repro.models import DesignSpace
+from repro.trace import apply_standard_filters
+
+DURATION = 600.0
+
+RUNNER = Runner()
+
+
+@pytest.fixture(scope="module")
+def result():
+    return Experiment(
+        "ron2003",
+        duration_s=DURATION,
+        seeds=(1,),
+        include_events=False,
+        fec=FecSpec(code="rs", n=6, k=5, n_paths=2, groups=500),
+    ).run(runner=RUNNER)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return Experiment(
+        "ronnarrow", duration_s=DURATION, seeds=(1, 2, 3)
+    ).run(runner=RUNNER)
+
+
+class TestExperimentResult:
+    def test_frozen(self, result):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            result.seed = 99
+
+    def test_repr_mentions_dataset_seed_probes(self, result):
+        text = repr(result)
+        assert "ron2003" in text and "seed=1" in text and "probes=" in text
+
+    def test_equality_is_identity_and_hashable(self, result, sweep):
+        # results wrap numpy arrays: field-wise __eq__ would raise
+        assert result == result
+        assert not (result == sweep[0])
+        assert hash(result) != hash(sweep[0])
+        assert result.collection == result.collection
+        assert not (result.collection == sweep[0].collection)
+        assert len({sweep, sweep}) == 1
+
+    def test_trace_is_filtered_lazily_and_cached(self, result):
+        expected = apply_standard_filters(result.raw_trace)
+        assert len(result.trace) == len(expected)
+        assert result.trace is result.trace  # cached
+
+    def test_filters_off_returns_raw(self):
+        res = Experiment(
+            "ronnarrow", duration_s=DURATION, seeds=(1,), filters=False
+        ).run(runner=RUNNER)
+        assert res.trace is res.raw_trace
+
+    def test_stats_table(self, result):
+        assert all(isinstance(s, MethodStats) for s in result.stats)
+        by = result.stats_by_method
+        # RON2003 probes six groups; direct/lat are inferred rows
+        assert by["direct"].inferred
+        assert not by["direct_rand"].inferred
+        assert "direct_rand" in result.loss_table()
+
+    def test_figure_accessors_return_cdfs(self, result):
+        assert isinstance(result.path_loss_cdf(min_samples=5), Cdf)
+        assert isinstance(result.window_cdf("direct_rand"), Cdf)
+        assert isinstance(result.clp_cdf("direct_rand", min_first_losses=1), Cdf)
+        assert isinstance(result.latency_cdf("direct_rand"), Cdf)
+
+    def test_latency_improvement_keys(self, result):
+        out = result.latency_improvement("direct_direct", "direct_rand")
+        assert set(out) == {
+            "mean_improvement_ms",
+            "relative_improvement",
+            "frac_paths_20ms",
+        }
+
+    def test_high_loss_counts(self, result):
+        table = result.high_loss(["direct_rand"])
+        assert set(table) == {"direct_rand"}
+        counts = list(table["direct_rand"].values())
+        assert all(isinstance(c, int) for c in counts)
+        # thresholds are nested: higher bars can never count more cells
+        assert counts == sorted(counts, reverse=True)
+
+    def test_design_space_uses_measured_clp(self, result):
+        space = result.design_space()
+        assert isinstance(space, DesignSpace)
+        assert space.n_nodes == len(result.trace.meta.host_names)
+        clp = result.stats_by_method["direct_rand"].clp
+        if clp is not None and np.isfinite(clp):
+            assert space.cross_clp == pytest.approx(clp / 100.0)
+
+    def test_fec_report(self, result):
+        stats = result.fec_report()
+        assert stats.n_groups == 500
+        assert 0.0 <= stats.group_recovery_rate <= 1.0
+
+    def test_fec_report_requires_config(self):
+        res = Experiment("ronnarrow", duration_s=DURATION, seeds=(1,)).run(
+            runner=RUNNER
+        )
+        with pytest.raises(ValueError):
+            res.fec_report()
+
+    def test_fec_multipath_on_minimal_overlay(self):
+        # 3 hosts is the smallest overlay netsim can build; the relay
+        # search must still find the one host outside the chosen pair
+        from repro.testbed import DATASETS, dataset as get_dataset
+
+        base = get_dataset("ronnarrow")
+        tiny = dataclasses.replace(
+            base, name="ThreeHosts", hosts_fn=lambda: base.hosts()[:3]
+        )
+        try:
+            res = Experiment(
+                tiny,
+                duration_s=DURATION,
+                seeds=(1,),
+                methods=("direct_rand",),
+                fec=FecSpec(code="dup", n=2, k=1, n_paths=2, groups=10),
+            ).run(runner=RUNNER)
+            stats = res.fec_report()
+            assert stats.n_groups == 10
+        finally:
+            DATASETS.pop("threehosts", None)
+
+
+class TestSweepResult:
+    def test_sequence_protocol(self, sweep):
+        assert len(sweep) == 3
+        assert sweep[0].seed == 1
+        assert [r.seed for r in sweep] == [1, 2, 3]
+        assert len(sweep[1:]) == 2
+
+    def test_where_and_by_seed(self, sweep):
+        assert sweep.by_seed(2)[0].seed == 2
+        assert len(sweep.where(dataset="RONnarrow")) == 3
+        assert len(sweep.where(seed=404)) == 0
+
+    def test_per_seed_stats(self, sweep):
+        per = sweep.per_seed_stats("direct_rand")
+        assert set(per) == {1, 2, 3}
+        assert all(isinstance(s, MethodStats) for s in per.values())
+
+    def test_aggregate(self, sweep):
+        mean, std = sweep.aggregate("direct_rand", "totlp")
+        assert np.isfinite(mean) and std >= 0.0
+        vals = [r.stats_by_method["direct_rand"].totlp for r in sweep]
+        assert mean == pytest.approx(np.mean(vals))
+
+    def test_summary_table_lists_methods(self, sweep):
+        text = sweep.summary_table()
+        assert "direct_rand" in text and "lat_loss" in text
+
+    def test_repr(self, sweep):
+        assert "3 runs" in repr(sweep)

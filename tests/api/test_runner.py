@@ -1,0 +1,150 @@
+"""Runner semantics: bitwise identity to collect(), reuse, fan-out."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import Experiment, ExperimentSpec  # the acceptance-criteria import
+from repro.api import ExperimentResult, Runner, SweepResult
+from repro.testbed import collect, dataset
+from repro.trace.records import Trace
+
+DURATION = 400.0
+
+
+def traces_equal(a: Trace, b: Trace) -> None:
+    assert a.meta == b.meta
+    for name in Trace.ARRAY_FIELDS:
+        x, y = getattr(a, name), getattr(b, name)
+        assert x.dtype == y.dtype, name
+        np.testing.assert_array_equal(x, y, err_msg=name)
+
+
+class TestBitwiseIdentity:
+    def test_three_seed_sweep_matches_sequential_collect(self):
+        spec = ExperimentSpec("ronnarrow", duration_s=DURATION, seeds=(1, 2, 3))
+        sweep = Runner().run(spec)
+        assert sweep.seeds == (1, 2, 3)
+        for res, seed in zip(sweep, (1, 2, 3)):
+            ref = collect(dataset("ronnarrow"), DURATION, seed=seed)
+            traces_equal(res.raw_trace, ref.trace)
+
+    def test_network_reuse_is_invisible_in_results(self):
+        # two same-weather variants share one substrate...
+        runner = Runner()
+        base = dict(duration_s=DURATION, seeds=(5,), include_events=False)
+        a = runner.run(ExperimentSpec("ron2003", methods=("direct_rand",), **base))[0]
+        b = runner.run(ExperimentSpec("ron2003", methods=("direct_direct",), **base))[0]
+        assert a.network is b.network
+        assert runner.cached_networks() == 1
+        # ...and still match fresh, independent collections bitwise
+        for res, methods in ((a, ("direct_rand",)), (b, ("direct_direct",))):
+            ds = dataclasses.replace(dataset("ron2003"), probe_methods=methods)
+            ref = collect(ds, DURATION, seed=5, include_events=False)
+            traces_equal(res.raw_trace, ref.trace)
+
+    def test_parallel_equals_serial(self):
+        spec = ExperimentSpec("ronnarrow", duration_s=DURATION, seeds=(1, 2, 3, 4))
+        serial = Runner().run(spec)
+        parallel = Runner(max_workers=4).run(spec)
+        for s, p in zip(serial, parallel):
+            assert s.seed == p.seed
+            traces_equal(s.raw_trace, p.raw_trace)
+
+    def test_reuse_disabled_builds_fresh_networks(self):
+        runner = Runner(reuse_networks=False)
+        spec = ExperimentSpec("ronnarrow", duration_s=DURATION, seeds=(1,))
+        a = runner.run(spec)[0]
+        b = runner.run(spec)[0]
+        assert a.network is not b.network
+        assert runner.cached_networks() == 0
+        traces_equal(a.raw_trace, b.raw_trace)
+
+
+class TestRunnerApi:
+    def test_sweep_covers_specs_times_seeds(self):
+        specs = [
+            ExperimentSpec("ronnarrow", duration_s=DURATION, seeds=(1, 2)),
+            ExperimentSpec("ron2003", duration_s=DURATION, seeds=(1,), include_events=False),
+        ]
+        sweep = Runner().sweep(specs)
+        assert len(sweep) == 3
+        assert [r.spec.dataset for r in sweep] == ["ronnarrow", "ronnarrow", "ron2003"]
+        assert isinstance(sweep, SweepResult)
+        assert all(isinstance(r, ExperimentResult) for r in sweep)
+
+    def test_each_result_spec_is_single_seeded(self):
+        spec = ExperimentSpec("ronnarrow", duration_s=DURATION, seeds=(1, 2))
+        for res in Runner().run(spec):
+            assert res.spec.seeds == (res.seed,)
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ValueError):
+            Runner().sweep([])
+
+    def test_bad_workers_rejected(self):
+        with pytest.raises(ValueError):
+            Runner(max_workers=0)
+
+    def test_clear_cache(self):
+        runner = Runner()
+        runner.run(ExperimentSpec("ronnarrow", duration_s=DURATION, seeds=(1,)))
+        assert runner.cached_networks() == 1
+        runner.clear_cache()
+        assert runner.cached_networks() == 0
+
+    def test_reregistered_dataset_gets_fresh_substrate(self):
+        from repro.testbed import DATASETS, register_dataset
+
+        base = dataset("ronnarrow")
+        v1 = dataclasses.replace(base, name="Evolving")
+        register_dataset(v1)
+        try:
+            runner = Runner()
+            spec = ExperimentSpec("evolving", duration_s=DURATION, seeds=(1,))
+            a = runner.run(spec)[0]
+            # redefine the dataset in place: same name, different hosts
+            v2 = dataclasses.replace(
+                base, name="Evolving", hosts_fn=lambda: base.hosts()[:6]
+            )
+            register_dataset(v2, overwrite=True)
+            b = runner.run(ExperimentSpec("evolving", duration_s=DURATION, seeds=(1,)))[0]
+            assert a.network is not b.network
+            assert len(b.raw_trace.meta.host_names) == 6
+        finally:
+            DATASETS.pop("evolving", None)
+
+
+class TestExperimentFacade:
+    def test_single_seed_returns_result(self):
+        res = Experiment("ronnarrow", duration_s=DURATION, seeds=(1,)).run()
+        assert isinstance(res, ExperimentResult)
+        assert res.seed == 1
+
+    def test_multi_seed_returns_sweep(self):
+        out = Experiment("ronnarrow", duration_s=DURATION, seeds=(1, 2)).run()
+        assert isinstance(out, SweepResult)
+        assert out.seeds == (1, 2)
+
+    def test_accepts_prebuilt_spec_with_overrides(self):
+        spec = ExperimentSpec("ronnarrow", duration_s=DURATION, seeds=(1, 2))
+        exp = Experiment(spec, seeds=(9,))
+        assert exp.spec.seeds == (9,)
+        assert exp.spec.dataset == "ronnarrow"
+
+    def test_json_round_trip(self):
+        exp = Experiment("ronnarrow", duration_s=DURATION, seeds=(1,), label="t")
+        assert Experiment.from_json(exp.spec.to_json()).spec == exp.spec
+
+    def test_runner_and_max_workers_conflict(self):
+        exp = Experiment("ronnarrow", duration_s=DURATION, seeds=(1,))
+        with pytest.raises(ValueError, match="not both"):
+            exp.run(runner=Runner(), max_workers=4)
+
+    def test_shared_runner_reuses_substrates(self):
+        runner = Runner()
+        kw = dict(duration_s=DURATION, seeds=(1,), include_events=False)
+        Experiment("ron2003", methods=("direct_rand",), **kw).run(runner=runner)
+        Experiment("ron2003", methods=("loss",), **kw).run(runner=runner)
+        assert runner.cached_networks() == 1

@@ -1,0 +1,122 @@
+"""ExperimentSpec / FecSpec: validation, resolution, serialization."""
+
+import dataclasses
+
+import pytest
+
+from repro.api import ExperimentSpec, FecSpec
+from repro.fec import DuplicationCode, ReedSolomonCode
+from repro.testbed import RON2003, RONWIDE
+
+
+class TestExperimentSpec:
+    def test_frozen(self):
+        spec = ExperimentSpec("ron2003", duration_s=60.0)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            spec.duration_s = 10.0
+
+    def test_dataset_name_normalised(self):
+        assert ExperimentSpec("RON2003", duration_s=60.0).dataset == "ron2003"
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(KeyError, match="ron2003"):
+            ExperimentSpec("atlantis", duration_s=60.0)
+
+    def test_registered_dataset_object_accepted(self):
+        assert ExperimentSpec(RON2003, duration_s=60.0).dataset == "ron2003"
+
+    def test_unregistered_dataset_object_rejected(self):
+        rogue = dataclasses.replace(RON2003, name="MyCustom")
+        with pytest.raises(ValueError, match="register_dataset"):
+            ExperimentSpec(rogue, duration_s=60.0)
+
+    def test_duration_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec("ron2003", duration_s=0.0)
+
+    def test_seeds_coerced_and_required(self):
+        assert ExperimentSpec("ron2003", duration_s=60.0, seeds=7).seeds == (7,)
+        assert ExperimentSpec("ron2003", duration_s=60.0, seeds=[1, 2]).seeds == (1, 2)
+        with pytest.raises(ValueError):
+            ExperimentSpec("ron2003", duration_s=60.0, seeds=())
+
+    def test_methods_resolved_to_canonical_names(self):
+        spec = ExperimentSpec(
+            "ron2003", duration_s=60.0, methods=("direct rand", "DD 10 MS")
+        )
+        assert spec.methods == ("direct_rand", "dd_10ms")
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(KeyError):
+            ExperimentSpec("ron2003", duration_s=60.0, methods=("teleport",))
+
+    def test_mode_validated(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec("ron2003", duration_s=60.0, mode="sideways")
+
+    def test_resolved_dataset_default_passthrough(self):
+        spec = ExperimentSpec("ron2003", duration_s=60.0)
+        assert spec.resolved_dataset() is RON2003
+        assert spec.probe_methods == RON2003.probe_methods
+
+    def test_resolved_dataset_with_overrides(self):
+        spec = ExperimentSpec(
+            "ronwide", duration_s=60.0, methods=("direct",), mode="oneway"
+        )
+        ds = spec.resolved_dataset()
+        assert ds.probe_methods == ("direct",)
+        assert ds.mode == "oneway"
+        # the registered dataset itself is untouched
+        assert RONWIDE.mode == "rtt"
+
+    def test_single_narrows_seeds(self):
+        spec = ExperimentSpec("ron2003", duration_s=60.0, seeds=(1, 2, 3))
+        assert spec.single(2).seeds == (2,)
+
+    def test_dict_and_json_round_trip(self):
+        spec = ExperimentSpec(
+            "ronnarrow",
+            duration_s=120.0,
+            seeds=(3, 4),
+            methods=("loss",),
+            include_events=False,
+            filters=False,
+            fec=FecSpec(code="dup", n=2, k=1, n_paths=2),
+            label="x",
+        )
+        assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+        assert ExperimentSpec.from_json(spec.to_json()) == spec
+
+    def test_name_label(self):
+        assert ExperimentSpec("ron2003", duration_s=60.0, label="abc").name == "abc"
+        assert "ron2003" in ExperimentSpec("ron2003", duration_s=60.0).name
+
+
+class TestFecSpec:
+    def test_defaults_build_rs(self):
+        fec = FecSpec()
+        code = fec.build_code()
+        assert isinstance(code, ReedSolomonCode)
+        assert (code.n, code.k) == (6, 5)
+
+    def test_dup_builds_duplication(self):
+        code = FecSpec(code="dup", n=2, k=1).build_code()
+        assert isinstance(code, DuplicationCode)
+
+    def test_plan_matches_spec(self):
+        plan = FecSpec(n=4, k=2, spacing_s=0.05, n_paths=2).build_plan()
+        assert plan.n == 4
+        assert plan.recovery_delay_s == pytest.approx(0.15)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FecSpec(code="xor")
+        with pytest.raises(ValueError):
+            FecSpec(code="rs", n=4, k=5)
+        with pytest.raises(ValueError):
+            FecSpec(spacing_s=-0.1)
+        with pytest.raises(ValueError):
+            FecSpec(n_paths=0)
+        # >2 paths is reserved: must fail at spec time, not report time
+        with pytest.raises(ValueError, match="1 or 2"):
+            FecSpec(code="dup", n=3, k=1, n_paths=3)

@@ -66,6 +66,20 @@ class TestLookup:
         assert method("lat loss").name == "lat_loss"
         assert method("DD 10 MS").name == "dd_10ms"
 
+    @pytest.mark.parametrize("name", sorted(METHODS))
+    def test_every_entry_round_trips_through_display(self, name):
+        m = METHODS[name]
+        assert method(m.display) is m
+        assert method(m.name) is m
+
+    @pytest.mark.parametrize("name", sorted(METHODS))
+    def test_spelling_variants_normalise_generically(self, name):
+        m = METHODS[name]
+        assert method(m.display.upper()) is m
+        assert method(m.display.replace(" ", "_")) is m
+        assert method(m.name.replace("_", "-")) is m
+        assert method(f"  {m.display}  ") is m
+
     def test_unknown_method(self):
         with pytest.raises(KeyError, match="direct_rand"):
             method("quantum teleport")

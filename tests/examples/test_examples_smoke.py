@@ -1,0 +1,57 @@
+"""Examples smoke test: every script must run against the current API.
+
+Each example executes in a subprocess with a short duration (catching
+API drift, import errors, and CLI regressions) and must exit 0 with its
+headline output present.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+EXAMPLES = REPO / "examples"
+
+#: script -> (argv, a string its stdout must contain)
+CASES = {
+    "quickstart.py": (["0.1", "1"], "Table 5"),
+    "full_scale.py": (["--days", "0.005", "--seed", "1"], "Table 5"),
+    "scenario_sweep.py": (
+        ["--hours", "0.05", "--seeds", "1", "2", "--workers", "2"],
+        "substrates built",
+    ),
+    "outage_drill.py": ([], "Section 3.1"),
+    "budget_planner.py": ([], "Figure 6"),
+    "voip_fec_planner.py": ([], "residual loss"),
+}
+
+
+def run_example(name: str, args: list[str]) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env=env,
+        cwd=REPO,
+    )
+
+
+def test_every_example_is_covered():
+    scripts = {p.name for p in EXAMPLES.glob("*.py")}
+    assert scripts == set(CASES), "add new examples to CASES"
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_example_runs(name):
+    args, expect = CASES[name]
+    proc = run_example(name, args)
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stdout}\n{proc.stderr}"
+    assert expect in proc.stdout, f"{name} output missing {expect!r}:\n{proc.stdout}"

@@ -125,6 +125,40 @@ class TestStore:
         back = load_trace(tmp_path / "trace")
         assert len(back) == 4
 
+    def test_roundtrip_preserves_meta_equality(self, tmp_path):
+        for mode in ("oneway", "rtt"):
+            t = make_trace(8, mode=mode, seed=3)
+            back = load_trace(save_trace(t, tmp_path / f"trace_{mode}"))
+            assert back.meta == t.meta
+            assert isinstance(back.meta.host_names, tuple)
+            assert isinstance(back.meta.method_names, tuple)
+
+    def test_roundtrip_preserves_nan_latencies(self, tmp_path):
+        t = make_trace(64, seed=7)
+        assert t.lost1.any(), "fixture should contain losses"
+        back = load_trace(save_trace(t, tmp_path / "trace"))
+        # lost packets stay NaN, delivered packets stay finite
+        np.testing.assert_array_equal(np.isnan(back.latency1), t.lost1)
+        np.testing.assert_array_equal(
+            back.latency1[~t.lost1], t.latency1[~t.lost1]
+        )
+        assert back.latency1.dtype == t.latency1.dtype
+
+    def test_roundtrip_preserves_extra_metadata(self, tmp_path):
+        t = make_trace(4)
+        t.extra["note"] = "calibration-7"
+        t.extra["threshold"] = 0.25
+        back = load_trace(save_trace(t, tmp_path / "trace"))
+        assert back.extra == {"note": "calibration-7", "threshold": 0.25}
+
+    def test_roundtrip_preserves_dtypes_and_values_exactly(self, tmp_path):
+        t = make_trace(32, mode="rtt", seed=11)
+        back = load_trace(save_trace(t, tmp_path / "trace"))
+        for name in Trace.ARRAY_FIELDS:
+            a, b = getattr(t, name), getattr(back, name)
+            assert a.dtype == b.dtype, name
+            np.testing.assert_array_equal(a, b, err_msg=name)
+
 
 class TestFilters:
     def test_drop_excluded(self):
