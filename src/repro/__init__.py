@@ -12,7 +12,9 @@ calibrated synthetic Internet substrate:
 * :mod:`repro.analysis`— the Section 4 evaluation pipeline;
 * :mod:`repro.fec`     — Reed-Solomon / duplication coding (Section 5.2);
 * :mod:`repro.models`  — the Section 5 analytic models and Figure 6;
-* :mod:`repro.api`     — the unified experiment front door.
+* :mod:`repro.api`     — the unified experiment front door;
+* :mod:`repro.scenarios` — parametric scenario generation (topology x
+  pathology families compiling to registered datasets).
 
 Quickstart::
 
@@ -42,6 +44,7 @@ from .api import (
     MethodRegistry,
     Runner,
     SweepResult,
+    spec_grid,
 )
 from .core import METHODS, Method, RouteKind, method, register_method
 from .netsim import (
@@ -66,6 +69,9 @@ from .testbed import (
 )
 from .trace import Trace, apply_standard_filters, load_trace, save_trace
 
+# scenarios builds on api + testbed, so it comes last
+from .scenarios import Scenario, scenario_grid, standard_catalogue
+
 __version__ = "1.0.0"
 
 __all__ = [
@@ -86,6 +92,7 @@ __all__ = [
     "RngFactory",
     "RouteKind",
     "Runner",
+    "Scenario",
     "SweepResult",
     "Trace",
     "__version__",
@@ -104,4 +111,7 @@ __all__ = [
     "register_method",
     "render_loss_table",
     "save_trace",
+    "scenario_grid",
+    "spec_grid",
+    "standard_catalogue",
 ]

@@ -12,15 +12,20 @@ This package is the composable front door to the reproduction:
   :func:`repro.testbed.collect` calls;
 * :class:`ExperimentResult` / :class:`SweepResult` — traces plus lazy
   accessors for the Table 5/7 and Figure 2-6 analyses;
-* :class:`Experiment` — the facade tying the three together.
+* :class:`Experiment` — the facade tying the three together;
+* :func:`spec_grid` — Cartesian sweeps over spec-field axes, the
+  entry point scenario grids build on.
 
-The method catalogue behind specs is pluggable: see
-:func:`repro.core.methods.register_method`.
+The method catalogue behind specs is pluggable
+(:func:`repro.core.methods.register_method`), and so is the dataset
+catalogue: :mod:`repro.scenarios` generates and registers whole
+families of workloads that run through this API unchanged.
 """
 
 from repro.core.methods import MethodRegistry, register_method
 
 from .experiment import Experiment
+from .grid import spec_grid
 from .result import ExperimentResult, SweepResult
 from .runner import Runner
 from .spec import ExperimentSpec, FecSpec
@@ -34,4 +39,5 @@ __all__ = [
     "Runner",
     "SweepResult",
     "register_method",
+    "spec_grid",
 ]

@@ -1,0 +1,75 @@
+"""Scenario grids: Cartesian sweeps expressed as one call.
+
+:func:`spec_grid` turns axes of spec-field alternatives into the full
+cross-product of validated :class:`ExperimentSpec` objects, ready for
+:meth:`repro.api.Runner.sweep`.  **Lists are axes, everything else is a
+literal**: ``dataset=["ron2003", "flash-crowd"]`` sweeps two datasets,
+while ``seeds=(1, 2, 3)`` is a single three-seed value on every spec
+(the runner fans seeds out by itself)::
+
+    specs = spec_grid(
+        dataset=["ronnarrow", "flash-crowd@17"],
+        duration_s=[600.0, 3600.0],
+        seeds=(1, 2, 3),
+        include_events=False,
+    )
+    sweep = Runner(max_workers=8).sweep(specs)
+
+Every combination passes through :class:`ExperimentSpec` validation, so
+unknown datasets, bad methods or a zero duration fail before anything
+runs.  Specs are labelled by their varying axes (``label_fmt`` overrides
+the format), which makes :meth:`SweepResult.where` selection natural.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from .spec import ExperimentSpec
+
+__all__ = ["spec_grid"]
+
+
+def spec_grid(label_fmt: str | None = None, **axes) -> list[ExperimentSpec]:
+    """Build the cross-product of :class:`ExperimentSpec` over axes.
+
+    Parameters
+    ----------
+    label_fmt:
+        optional ``str.format`` template receiving every field of the
+        combination (e.g. ``"{dataset}-{duration_s:g}s"``); by default
+        specs are labelled ``"axis=value,..."`` over the varying axes.
+    axes:
+        :class:`ExperimentSpec` fields.  A **list** value enumerates
+        alternatives (one grid axis); any other value — including tuples
+        like ``seeds`` or ``methods`` — is passed to every spec as-is.
+    """
+    if "dataset" not in axes:
+        raise TypeError("spec_grid needs a 'dataset' axis or value")
+    fixed = {k: v for k, v in axes.items() if not isinstance(v, list)}
+    varying = {k: v for k, v in axes.items() if isinstance(v, list)}
+    for name, values in varying.items():
+        if not values:
+            raise ValueError(f"axis {name!r} has no values")
+    explicit_label = "label" in axes
+
+    specs: list[ExperimentSpec] = []
+    for combo_values in product(*varying.values()):
+        combo = dict(fixed)
+        combo.update(zip(varying.keys(), combo_values))
+        if not explicit_label and varying:
+            combo["label"] = ",".join(
+                f"{k}={_fmt(combo[k])}" for k in varying
+            )
+        if label_fmt is not None:
+            combo["label"] = label_fmt.format(**combo)
+        specs.append(ExperimentSpec(**combo))
+    return specs
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    if isinstance(value, tuple):
+        return "+".join(str(v) for v in value)
+    return str(value)

@@ -51,6 +51,8 @@ __all__ = [
     "NetworkConfig",
     "config_2003",
     "config_2002",
+    "config_2002_wide",
+    "ron2003_events",
 ]
 
 
@@ -140,6 +142,30 @@ class SegmentClassConfig:
     def __post_init__(self) -> None:
         if not 0.0 <= self.base_loss < 1.0:
             raise ValueError("base_loss must be in [0, 1)")
+
+    def scaled(self, rate: float = 1.0, base: float = 1.0) -> "SegmentClassConfig":
+        """A copy with episodic rates and background loss scaled.
+
+        ``rate`` multiplies the congestion and outage occurrence rates
+        (episode shapes and severities are untouched); ``base`` multiplies
+        the memoryless background loss.  Both presets (``config_2002_wide``)
+        and scenario transforms (``repro.scenarios``) derive quieter or
+        stormier variants of a class this way.
+        """
+        if rate < 0 or base < 0:
+            raise ValueError("scale factors must be non-negative")
+        cong = self.congestion
+        out = self.outage
+        return replace(
+            self,
+            base_loss=self.base_loss * base,
+            congestion=None
+            if cong is None
+            else replace(cong, rate_per_hour=cong.rate_per_hour * rate),
+            outage=None
+            if out is None
+            else replace(out, rate_per_day=out.rate_per_day * rate),
+        )
 
 
 @dataclass(frozen=True)
@@ -242,6 +268,21 @@ class NetworkConfig:
     def with_overrides(self, **kwargs) -> "NetworkConfig":
         """Return a copy with the given fields replaced (for ablations)."""
         return replace(self, **kwargs)
+
+    def scale_episodes(self, rate: float = 1.0, base: float = 1.0) -> "NetworkConfig":
+        """Scale every segment class's episodic rates / background loss.
+
+        The one-knob way to make the whole substrate quieter (``rate < 1``)
+        or stormier (``rate > 1``) while preserving its structural shares —
+        the scenario generator's congestion-surge transform and the
+        RONwide preset both lean on it.
+        """
+        return self.with_overrides(
+            access=self.access.scaled(rate, base),
+            isp=self.isp.scaled(rate, base),
+            trunk=self.trunk.scaled(rate, base),
+            middle=self.middle.scaled(rate, base),
+        )
 
 
 def _severity_2003() -> SeverityMixture:
@@ -383,39 +424,10 @@ def config_2002_wide() -> NetworkConfig:
     combinations reaching ~0.1% totlp).
     """
     cfg = config_2002()
-
-    def scaled(sc: SegmentClassConfig, f_rate: float, f_base: float) -> SegmentClassConfig:
-        cong = sc.congestion
-        out = sc.outage
-        return SegmentClassConfig(
-            base_loss=sc.base_loss * f_base,
-            congestion=None
-            if cong is None
-            else CongestionParams(
-                rate_per_hour=cong.rate_per_hour * f_rate,
-                duration_median_s=cong.duration_median_s,
-                duration_sigma=cong.duration_sigma,
-                severity=cong.severity,
-                corr_length_s=cong.corr_length_s,
-            ),
-            outage=None
-            if out is None
-            else OutageParams(
-                rate_per_day=out.rate_per_day * f_rate,
-                duration_min_s=out.duration_min_s,
-                duration_alpha=out.duration_alpha,
-                duration_cap_s=out.duration_cap_s,
-                severity=out.severity,
-                corr_length_s=out.corr_length_s,
-            ),
-            jitter_ms=sc.jitter_ms,
-            queue_ms=sc.queue_ms,
-        )
-
     return cfg.with_overrides(
-        access=scaled(cfg.access, 0.18, 0.20),
-        isp=scaled(cfg.isp, 0.18, 0.20),
-        trunk=scaled(cfg.trunk, 0.18, 0.5),
-        middle=scaled(cfg.middle, 0.18, 0.5),
+        access=cfg.access.scaled(rate=0.18, base=0.20),
+        isp=cfg.isp.scaled(rate=0.18, base=0.20),
+        trunk=cfg.trunk.scaled(rate=0.18, base=0.5),
+        middle=cfg.middle.scaled(rate=0.18, base=0.5),
         chronic=ChronicLossParams(pair_fraction=0.04, loss_median=0.004, loss_sigma=0.8, loss_cap=0.05),
     )

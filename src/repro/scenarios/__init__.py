@@ -1,0 +1,77 @@
+"""Parametric scenario generation: the workload lab.
+
+The paper's conclusions rest on three datasets; this package turns the
+reproduction into a generator of *families* of them.  Two composable
+axes:
+
+* **topology families** (:mod:`~repro.scenarios.topologies`) —
+  :class:`GeoCluster`, :class:`HubAndSpoke`, :class:`ScaledMesh`:
+  parametric host catalogues built from the substrate's own vocabulary;
+* **pathology/workload families** (:mod:`~repro.scenarios.pathologies`)
+  — :class:`FlashCrowd`, :class:`RegionalOutage`,
+  :class:`CongestionStorm`, :class:`DiurnalSwing`,
+  :class:`LossyAccessCohort`: declarative transforms over hosts,
+  :class:`NetworkConfig` and :class:`MajorEvent` schedules.
+
+A :class:`Scenario` combines one topology with a stack of pathologies
+and compiles to a registered :class:`repro.testbed.DatasetSpec`, so the
+whole experiment machinery works on generated workloads unchanged::
+
+    from repro.scenarios import flash_crowd, scenario_grid
+    from repro.api import Runner
+
+    specs = scenario_grid(
+        [flash_crowd(n_hosts=12), "ronnarrow"],
+        duration_s=[600.0, 3600.0],
+        seeds=(1, 2, 3),
+    )
+    sweep = Runner(max_workers=8).sweep(specs)
+
+The named constructors in :mod:`~repro.scenarios.catalog` cover one
+representative of each regime; :func:`standard_catalogue` returns them
+all.
+"""
+
+from .catalog import (
+    diurnal_isp,
+    flash_crowd,
+    lossy_edge,
+    quiet_wide_area,
+    regional_blackout,
+    scenario_grid,
+    standard_catalogue,
+    stress_mesh,
+)
+from .pathologies import (
+    CongestionStorm,
+    DiurnalSwing,
+    FlashCrowd,
+    LossyAccessCohort,
+    Pathology,
+    RegionalOutage,
+)
+from .scenario import BASE_CONFIGS, Scenario
+from .topologies import GeoCluster, HubAndSpoke, ScaledMesh, TopologyFamily
+
+__all__ = [
+    "BASE_CONFIGS",
+    "CongestionStorm",
+    "DiurnalSwing",
+    "FlashCrowd",
+    "GeoCluster",
+    "HubAndSpoke",
+    "LossyAccessCohort",
+    "Pathology",
+    "RegionalOutage",
+    "ScaledMesh",
+    "Scenario",
+    "TopologyFamily",
+    "diurnal_isp",
+    "flash_crowd",
+    "lossy_edge",
+    "quiet_wide_area",
+    "regional_blackout",
+    "scenario_grid",
+    "standard_catalogue",
+    "stress_mesh",
+]

@@ -1,0 +1,169 @@
+"""The scenario zoo: named constructors and the standard catalogue.
+
+Each constructor returns a :class:`Scenario` for one regime the
+overlay-routing literature says matters, parameterized by a few knobs
+and deterministically named after them — so the same call always maps
+to the same catalogue entry and registration stays idempotent.
+
+:func:`scenario_grid` is the sweep entry point: register a batch of
+scenarios and expand them against duration/seed/method axes into
+validated :class:`ExperimentSpec` lists for :class:`repro.api.Runner`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.api.grid import spec_grid
+from repro.api.spec import ExperimentSpec
+
+from .pathologies import (
+    CongestionStorm,
+    DiurnalSwing,
+    FlashCrowd,
+    LossyAccessCohort,
+    RegionalOutage,
+)
+from .scenario import Scenario
+from .topologies import GeoCluster, HubAndSpoke, ScaledMesh
+
+__all__ = [
+    "flash_crowd",
+    "regional_blackout",
+    "lossy_edge",
+    "diurnal_isp",
+    "stress_mesh",
+    "quiet_wide_area",
+    "standard_catalogue",
+    "scenario_grid",
+]
+
+
+def flash_crowd(
+    n_hosts: int = 12,
+    severity: float = 0.25,
+    regions: tuple[str, ...] = ("us-east", "us-west", "europe"),
+    seed: int = 0,
+) -> Scenario:
+    """Geo-clustered overlay hit by a synchronized access-link surge."""
+    return Scenario(
+        name=f"flash-crowd-{n_hosts}h-{len(regions)}r-sev{severity:g}-s{seed}",
+        topology=GeoCluster(n_hosts=n_hosts, regions=regions, seed=seed),
+        pathologies=(FlashCrowd(severity=severity),),
+    )
+
+
+def regional_blackout(
+    n_hosts: int = 12,
+    region: str = "us-east",
+    severity: float = 0.97,
+    seed: int = 0,
+) -> Scenario:
+    """Correlated regional partition: every trunk touching ``region``
+    fails at once mid-run."""
+    regions = ("us-east", "us-west", "us-central", "europe")
+    if region not in regions:
+        regions = (region,) + regions[:-1]
+    return Scenario(
+        name=f"blackout-{region}-{n_hosts}h-sev{severity:g}-s{seed}",
+        topology=GeoCluster(n_hosts=n_hosts, regions=regions, seed=seed),
+        pathologies=(RegionalOutage(regions=(region,), severity=severity),),
+    )
+
+
+def lossy_edge(
+    spokes_per_hub: int = 3,
+    cohort_fraction: float = 0.4,
+    seed: int = 0,
+) -> Scenario:
+    """Hub-and-spoke ISP hierarchy with a DSL-degraded spoke cohort —
+    the chronic-tail regime where loss-optimised relaying wins."""
+    return Scenario(
+        name=f"lossy-edge-{spokes_per_hub}spk-f{cohort_fraction:g}-s{seed}",
+        topology=HubAndSpoke(spokes_per_hub=spokes_per_hub, seed=seed),
+        pathologies=(LossyAccessCohort(fraction=cohort_fraction, seed=seed + 17),),
+    )
+
+
+def diurnal_isp(
+    spokes_per_hub: int = 2,
+    amplitude: float = 0.95,
+    seed: int = 0,
+) -> Scenario:
+    """Hub-and-spoke overlay under a near-full diurnal congestion swing
+    (busy-hour behaviour vs. the quiescent night of Section 4.2)."""
+    return Scenario(
+        name=f"diurnal-isp-{spokes_per_hub}spk-a{amplitude:g}-s{seed}",
+        topology=HubAndSpoke(
+            regions=("us-east", "europe", "asia"),
+            spokes_per_hub=spokes_per_hub,
+            seed=seed,
+        ),
+        pathologies=(DiurnalSwing(amplitude=amplitude),),
+    )
+
+
+def stress_mesh(
+    n_hosts: int = 60,
+    rate_factor: float = 2.0,
+    seed: int = 0,
+) -> Scenario:
+    """The RON catalogue cloned to ``n_hosts`` under an episodic-rate
+    storm — the N^3-path stress input for perf work."""
+    return Scenario(
+        name=f"stress-mesh-{n_hosts}h-x{rate_factor:g}-s{seed}",
+        topology=ScaledMesh(n_hosts=n_hosts, seed=seed),
+        pathologies=(CongestionStorm(rate_factor=rate_factor),),
+    )
+
+
+def quiet_wide_area(n_hosts: int = 10, seed: int = 0) -> Scenario:
+    """A calm intercontinental overlay on the quiet 2002-wide preset,
+    probed round-trip — the low-loss floor of the catalogue."""
+    return Scenario(
+        name=f"quiet-wide-{n_hosts}h-s{seed}",
+        topology=GeoCluster(
+            n_hosts=n_hosts,
+            regions=("us-east", "europe", "asia", "south-america"),
+            seed=seed,
+        ),
+        base="2002wide",
+        probe_methods=("direct", "rand", "direct_rand", "rand_rand"),
+        mode="rtt",
+    )
+
+
+def standard_catalogue(seed: int = 0) -> dict[str, Scenario]:
+    """One representative of every family, keyed by scenario name."""
+    scenarios = (
+        flash_crowd(seed=seed),
+        regional_blackout(seed=seed),
+        lossy_edge(seed=seed),
+        diurnal_isp(seed=seed),
+        stress_mesh(seed=seed),
+        quiet_wide_area(seed=seed),
+    )
+    return {s.name: s for s in scenarios}
+
+
+def scenario_grid(
+    scenarios: Iterable[Scenario | str],
+    **axes,
+) -> list[ExperimentSpec]:
+    """Register ``scenarios`` and sweep them against the given axes.
+
+    Scenario objects are registered idempotently; strings name datasets
+    already in the catalogue (paper datasets included, so generated and
+    canned workloads mix in one grid).  All other keywords follow
+    :func:`repro.api.spec_grid` — lists are axes, the rest are literals.
+    """
+    names: list[str] = []
+    for s in scenarios:
+        if isinstance(s, Scenario):
+            s.register()
+            names.append(s.name.lower())
+        else:
+            names.append(s.lower())
+    if not names:
+        raise ValueError("at least one scenario is required")
+    return spec_grid(dataset=names, **axes)

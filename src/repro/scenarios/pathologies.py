@@ -1,0 +1,217 @@
+"""Pathology and workload families: declarative substrate transforms.
+
+Each family is a frozen dataclass describing *one* deviation from the
+calibrated baseline — a flash crowd, a regional partition, a diurnal
+swing, a cohort of lossy access links — expressed through the three
+levers a :class:`repro.testbed.DatasetSpec` exposes:
+
+* ``transform_hosts``  — rewrite the host catalogue (cohort effects);
+* ``transform_config`` — rewrite the :class:`NetworkConfig` (ambient
+  statistics);
+* ``events``           — emit :class:`MajorEvent` schedules (incidents
+  pinned to a fraction of the horizon, so time-compressed runs keep
+  them).
+
+Pathologies compose: a :class:`repro.scenarios.Scenario` applies them in
+order, so ``(CongestionStorm(2.0), FlashCrowd())`` is a stormy baseline
+*plus* an incident.  The multipath literature (Qadir et al.) is explicit
+that correlated failures and lossy edges are where multi-path either
+shines or collapses — these families generate exactly those regimes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.netsim.config import MajorEvent, NetworkConfig
+from repro.netsim.links import link_class
+from repro.netsim.topology import HostSpec
+
+__all__ = [
+    "Pathology",
+    "FlashCrowd",
+    "RegionalOutage",
+    "CongestionStorm",
+    "DiurnalSwing",
+    "LossyAccessCohort",
+]
+
+
+class Pathology:
+    """Base class: the identity transform on all three levers."""
+
+    def transform_hosts(self, hosts: list[HostSpec]) -> list[HostSpec]:
+        return hosts
+
+    def transform_config(self, config: NetworkConfig) -> NetworkConfig:
+        return config
+
+    def events(
+        self, horizon_s: float, hosts: list[HostSpec]
+    ) -> tuple[MajorEvent, ...]:
+        return ()
+
+
+def _check_frac(name: str, value: float, lo: float = 0.0, hi: float = 1.0) -> None:
+    if not lo <= value <= hi:
+        raise ValueError(f"{name} must be in [{lo:g}, {hi:g}], got {value!r}")
+
+
+@dataclass(frozen=True)
+class FlashCrowd(Pathology):
+    """A synchronized surge: the access links of every host in the
+    affected regions saturate for a slice of the run.
+
+    Modeled as per-host :class:`MajorEvent` schedules (severity = loss
+    fraction at the peak, plus queueing delay), all starting together —
+    the correlated-congestion regime where reactive routing has nowhere
+    to hide because every nearby relay shares the crowd.
+    """
+
+    start_frac: float = 0.35
+    duration_frac: float = 0.06
+    severity: float = 0.20
+    added_delay_ms: float = 120.0
+    regions: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        _check_frac("start_frac", self.start_frac, 0.0, 0.999)
+        _check_frac("duration_frac", self.duration_frac, 1e-6, 1.0)
+        _check_frac("severity", self.severity)
+        if self.added_delay_ms < 0:
+            raise ValueError("added_delay_ms must be non-negative")
+
+    def events(
+        self, horizon_s: float, hosts: list[HostSpec]
+    ) -> tuple[MajorEvent, ...]:
+        affected = [
+            h for h in hosts if self.regions is None or h.region in self.regions
+        ]
+        return tuple(
+            MajorEvent(
+                target=f"host:{h.name}",
+                start_frac=self.start_frac,
+                duration_s=self.duration_frac * horizon_s,
+                severity=self.severity,
+                added_delay_ms=self.added_delay_ms,
+            )
+            for h in affected
+        )
+
+
+@dataclass(frozen=True)
+class RegionalOutage(Pathology):
+    """A correlated regional partition: every backbone trunk touching
+    the named regions fails at once.
+
+    One shared-fate incident, not independent per-link failures — the
+    failure structure the paper's SRG machinery exists for, and the one
+    that separates best-path from multi-path hardest (no relay outside
+    the partition helps a pair inside it).
+    """
+
+    regions: tuple[str, ...] = ("us-east",)
+    start_frac: float = 0.55
+    duration_frac: float = 0.05
+    severity: float = 0.97
+
+    def __post_init__(self) -> None:
+        if not self.regions:
+            raise ValueError("at least one affected region is required")
+        _check_frac("start_frac", self.start_frac, 0.0, 0.999)
+        _check_frac("duration_frac", self.duration_frac, 1e-6, 1.0)
+        _check_frac("severity", self.severity)
+
+    def events(
+        self, horizon_s: float, hosts: list[HostSpec]
+    ) -> tuple[MajorEvent, ...]:
+        present = sorted({h.region for h in hosts})
+        out: list[MajorEvent] = []
+        seen: set[tuple[str, str]] = set()
+        for r in self.regions:
+            for other in present:
+                if other == r:
+                    continue
+                key = (min(r, other), max(r, other))
+                if key in seen:
+                    continue
+                seen.add(key)
+                out.append(
+                    MajorEvent(
+                        target=f"trunk:{r}:{other}",
+                        start_frac=self.start_frac,
+                        duration_s=self.duration_frac * horizon_s,
+                        severity=self.severity,
+                    )
+                )
+        return tuple(out)
+
+
+@dataclass(frozen=True)
+class CongestionStorm(Pathology):
+    """Ambient weather knob: scale every segment class's episodic rates
+    (and optionally background loss) across the whole run.
+
+    ``rate_factor > 1`` is a stormy Internet, ``< 1`` a quiet week —
+    the RONwide-vs-RONnarrow contrast as a single parameter.
+    """
+
+    rate_factor: float = 2.5
+    base_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.rate_factor < 0 or self.base_factor < 0:
+            raise ValueError("scale factors must be non-negative")
+
+    def transform_config(self, config: NetworkConfig) -> NetworkConfig:
+        return config.scale_episodes(rate=self.rate_factor, base=self.base_factor)
+
+
+@dataclass(frozen=True)
+class DiurnalSwing(Pathology):
+    """Load modulation over the day: set the amplitude of the sinusoidal
+    congestion-rate profile (0 = flat, 1 = busy hours at double the
+    trough's rate; timezone offsets come from the hosts)."""
+
+    amplitude: float = 0.9
+
+    def __post_init__(self) -> None:
+        _check_frac("amplitude", self.amplitude)
+
+    def transform_config(self, config: NetworkConfig) -> NetworkConfig:
+        return config.with_overrides(diurnal_amplitude=self.amplitude)
+
+
+@dataclass(frozen=True)
+class LossyAccessCohort(Pathology):
+    """Degrade a deterministic random cohort of hosts to a lossy access
+    technology (and its forwarding-loss profile).
+
+    The Fig. 2 tail as a knob: a minority of chronically bad edges whose
+    pairs dominate the mean, precisely where loss-optimised relay
+    selection earns its keep.
+    """
+
+    fraction: float = 0.25
+    link: str = "dsl"
+    seed: int = 17
+
+    def __post_init__(self) -> None:
+        _check_frac("fraction", self.fraction)
+        link_class(self.link)
+
+    def transform_hosts(self, hosts: list[HostSpec]) -> list[HostSpec]:
+        n_pick = int(round(self.fraction * len(hosts)))
+        if n_pick == 0:
+            return hosts
+        rng = np.random.default_rng(self.seed)
+        picked = set(rng.choice(len(hosts), size=n_pick, replace=False).tolist())
+        return [
+            dataclasses.replace(h, link=self.link, forward_loss=None)
+            if i in picked
+            else h
+            for i, h in enumerate(hosts)
+        ]

@@ -1,0 +1,231 @@
+"""Topology families: parametric host catalogues.
+
+The paper measured one fixed 30-host testbed (Table 1).  A topology
+family generates *new* overlays from a handful of knobs — host count,
+region mix, access-link technology distribution — while staying inside
+the substrate's vocabulary (:class:`HostSpec`, the link-class catalogue,
+the region anchors of :data:`repro.testbed.hosts.REGIONS`).  Families
+are frozen dataclasses: equal parameters mean equal families, which is
+what makes scenario registration idempotent, and every family draws its
+randomness from its own ``seed`` so ``hosts()`` is a pure function of
+the parameters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.netsim.links import link_class
+from repro.netsim.topology import HostSpec
+from repro.testbed.hosts import ALL_HOSTS, REGIONS, synth_host
+
+__all__ = ["TopologyFamily", "GeoCluster", "HubAndSpoke", "ScaledMesh"]
+
+#: default link-technology mix for clustered overlays, weighted roughly
+#: like Table 2's spread of institutions.
+DEFAULT_LINK_MIX: tuple[tuple[str, float], ...] = (
+    ("ethernet", 3.0),
+    ("internet2", 2.0),
+    ("oc3", 1.0),
+    ("t1", 1.0),
+    ("dsl", 1.0),
+    ("cable", 1.0),
+)
+
+
+class TopologyFamily:
+    """Base class: a deterministic generator of host catalogues."""
+
+    def hosts(self) -> list[HostSpec]:
+        raise NotImplementedError
+
+    @property
+    def n_hosts(self) -> int:
+        return len(self.hosts())
+
+
+def _check_regions(regions: tuple[str, ...]) -> None:
+    if not regions:
+        raise ValueError("at least one region is required")
+    if len(set(regions)) != len(regions):
+        raise ValueError(f"regions must be unique, got {regions!r}")
+    for r in regions:
+        if r not in REGIONS:
+            known = ", ".join(sorted(REGIONS))
+            raise KeyError(f"unknown region {r!r}; known regions: {known}")
+
+
+def _jitter(
+    rng: np.random.Generator, lat: float, lon: float, spread_deg: float
+) -> tuple[float, float]:
+    """Uniformly jitter a coordinate, keeping latitude on the globe."""
+    return (
+        float(np.clip(lat + rng.uniform(-spread_deg, spread_deg), -85.0, 85.0)),
+        lon + rng.uniform(-spread_deg, spread_deg),
+    )
+
+
+def _mix_arrays(link_mix: tuple[tuple[str, float], ...]) -> tuple[list[str], np.ndarray]:
+    if not link_mix:
+        raise ValueError("link_mix must not be empty")
+    names = [name for name, _ in link_mix]
+    for name in names:
+        link_class(name)  # raises on unknown technology
+    weights = np.array([w for _, w in link_mix], dtype=np.float64)
+    if (weights < 0).any() or weights.sum() <= 0:
+        raise ValueError("link_mix weights must be non-negative with a positive sum")
+    return names, weights / weights.sum()
+
+
+@dataclass(frozen=True)
+class GeoCluster(TopologyFamily):
+    """Hosts scattered around region anchors with a tunable link mix.
+
+    Hosts are dealt round-robin over ``regions`` and placed with uniform
+    jitter of ``spread_deg`` degrees around each anchor, so intra-region
+    propagation stays short while inter-region paths cross real
+    distances — the geometry that gives latency-optimised overlay
+    routing something to exploit.
+    """
+
+    n_hosts: int = 12
+    regions: tuple[str, ...] = ("us-east", "us-west", "europe")
+    link_mix: tuple[tuple[str, float], ...] = DEFAULT_LINK_MIX
+    spread_deg: float = 2.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_hosts < 3:
+            raise ValueError("an overlay needs at least 3 hosts")
+        _check_regions(self.regions)
+        _mix_arrays(self.link_mix)
+        if self.spread_deg < 0:
+            raise ValueError("spread_deg must be non-negative")
+
+    def hosts(self) -> list[HostSpec]:
+        rng = np.random.default_rng(self.seed)
+        names, probs = _mix_arrays(self.link_mix)
+        out: list[HostSpec] = []
+        for i in range(self.n_hosts):
+            region = self.regions[i % len(self.regions)]
+            anchor = REGIONS[region]
+            link = names[int(rng.choice(len(names), p=probs))]
+            lat, lon = _jitter(rng, anchor.lat, anchor.lon, self.spread_deg)
+            out.append(
+                synth_host(
+                    f"geo{i:02d}-{region}",
+                    region,
+                    link,
+                    lat=lat,
+                    lon=lon,
+                    category="Geo cluster",
+                    description=f"{link} host near {region}",
+                )
+            )
+        return out
+
+
+@dataclass(frozen=True)
+class HubAndSpoke(TopologyFamily):
+    """An ISP hierarchy: one well-connected hub per region plus consumer
+    spokes hanging off it.
+
+    Hubs make good relays (fat links, low forwarding loss); spokes are
+    the lossy edge.  The asymmetry concentrates path diversity at the
+    hubs, the regime where multi-path routing pays (Paschos & Modiano's
+    bifurcation condition).
+    """
+
+    regions: tuple[str, ...] = ("us-east", "us-central", "us-west")
+    spokes_per_hub: int = 3
+    hub_link: str = "oc3"
+    spoke_links: tuple[str, ...] = ("dsl", "cable")
+    spread_deg: float = 1.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        _check_regions(self.regions)
+        if self.spokes_per_hub < 0:
+            raise ValueError("spokes_per_hub must be non-negative")
+        if not self.spoke_links:
+            raise ValueError("at least one spoke link class is required")
+        for name in (self.hub_link, *self.spoke_links):
+            link_class(name)
+        if len(self.regions) * (1 + self.spokes_per_hub) < 3:
+            raise ValueError("an overlay needs at least 3 hosts")
+
+    def hosts(self) -> list[HostSpec]:
+        rng = np.random.default_rng(self.seed)
+        out: list[HostSpec] = []
+        for region in self.regions:
+            anchor = REGIONS[region]
+            out.append(
+                synth_host(
+                    f"hub-{region}",
+                    region,
+                    self.hub_link,
+                    category="ISP hub",
+                    description=f"{self.hub_link} point of presence",
+                )
+            )
+            for j in range(self.spokes_per_hub):
+                link = self.spoke_links[j % len(self.spoke_links)]
+                lat, lon = _jitter(rng, anchor.lat, anchor.lon, self.spread_deg)
+                out.append(
+                    synth_host(
+                        f"spoke{j:02d}-{region}",
+                        region,
+                        link,
+                        lat=lat,
+                        lon=lon,
+                        category="Consumer spoke",
+                        description=f"{link} subscriber",
+                    )
+                )
+        return out
+
+
+@dataclass(frozen=True)
+class ScaledMesh(TopologyFamily):
+    """The RON catalogue replicated up to ``n_hosts`` for stress runs.
+
+    Clones keep their template's region, link class and timezone (so the
+    statistics stay Table 1-shaped) but get jittered coordinates and
+    fresh names.  Path tables grow as N^3 — this family is how the
+    benchmark suite will feed future perf PRs something bigger than 30
+    hosts.
+    """
+
+    n_hosts: int = 60
+    jitter_deg: float = 0.4
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_hosts < 3:
+            raise ValueError("an overlay needs at least 3 hosts")
+        if self.jitter_deg < 0:
+            raise ValueError("jitter_deg must be non-negative")
+
+    def hosts(self) -> list[HostSpec]:
+        rng = np.random.default_rng(self.seed)
+        out: list[HostSpec] = []
+        for i in range(self.n_hosts):
+            template = ALL_HOSTS[i % len(ALL_HOSTS)]
+            copy = i // len(ALL_HOSTS)
+            if copy == 0:
+                out.append(template)
+                continue
+            lat, lon = _jitter(rng, template.lat, template.lon, self.jitter_deg)
+            out.append(
+                dataclasses.replace(
+                    template,
+                    name=f"{template.name}-c{copy}",
+                    lat=lat,
+                    lon=lon,
+                    description=f"{template.description} (clone {copy})",
+                )
+            )
+        return out

@@ -9,8 +9,17 @@ from .datasets import (
     DatasetSpec,
     dataset,
     register_dataset,
+    unregister_dataset,
 )
-from .hosts import ALL_HOSTS, category_counts, hosts_2002, hosts_2003
+from .hosts import (
+    ALL_HOSTS,
+    REGIONS,
+    RegionInfo,
+    category_counts,
+    hosts_2002,
+    hosts_2003,
+    synth_host,
+)
 from .probes import ProbeSchedule, generate_schedule
 
 __all__ = [
@@ -19,9 +28,11 @@ __all__ = [
     "DATASETS",
     "DatasetSpec",
     "ProbeSchedule",
+    "REGIONS",
     "RON2003",
     "RONNARROW",
     "RONWIDE",
+    "RegionInfo",
     "category_counts",
     "collect",
     "dataset",
@@ -29,4 +40,6 @@ __all__ = [
     "hosts_2002",
     "hosts_2003",
     "register_dataset",
+    "synth_host",
+    "unregister_dataset",
 ]

@@ -40,6 +40,7 @@ __all__ = [
     "DATASETS",
     "dataset",
     "register_dataset",
+    "unregister_dataset",
 ]
 
 
@@ -130,3 +131,21 @@ def register_dataset(spec: DatasetSpec, overwrite: bool = False) -> DatasetSpec:
         raise ValueError(f"dataset {spec.name!r} is already registered")
     DATASETS[key] = spec
     return spec
+
+
+#: the catalogue's permanent residents (Table 3); they cannot be removed.
+_BUILTIN_DATASETS = frozenset(spec.name.lower() for spec in (RON2003, RONNARROW, RONWIDE))
+
+
+def unregister_dataset(name: str) -> DatasetSpec | None:
+    """Remove a custom dataset from the catalogue.
+
+    Returns the removed spec, or ``None`` if nothing was registered
+    under ``name``.  The three paper datasets are permanent; trying to
+    remove one raises.  Scenario tests use this to leave the catalogue
+    as they found it.
+    """
+    key = name.lower() if isinstance(name, str) else name.name.lower()
+    if key in _BUILTIN_DATASETS:
+        raise ValueError(f"dataset {name!r} is built in and cannot be unregistered")
+    return DATASETS.pop(key, None)

@@ -14,9 +14,45 @@ subset here is inferred from the RON project's earlier publications
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
+from repro.netsim.links import link_class
 from repro.netsim.topology import HostSpec
 
-__all__ = ["ALL_HOSTS", "hosts_2003", "hosts_2002", "category_counts"]
+__all__ = [
+    "ALL_HOSTS",
+    "REGIONS",
+    "RegionInfo",
+    "hosts_2003",
+    "hosts_2002",
+    "category_counts",
+    "synth_host",
+]
+
+
+@dataclass(frozen=True)
+class RegionInfo:
+    """Geographic anchor for synthesizing hosts into a region."""
+
+    lat: float
+    lon: float
+    tz_offset_h: float
+
+
+#: Anchors for the regions the RON catalogue occupies (placed at the
+#: rough centroid of its hosts) plus a few extra continents so generated
+#: scenarios can grow beyond the paper's footprint.
+REGIONS: dict[str, RegionInfo] = {
+    "us-east": RegionInfo(41.0, -74.5, -5),
+    "us-central": RegionInfo(41.9, -87.6, -6),
+    "us-mountain": RegionInfo(39.8, -109.5, -7),
+    "us-west": RegionInfo(37.0, -120.5, -8),
+    "canada": RegionInfo(43.7, -79.4, -5),
+    "europe": RegionInfo(52.1, 2.2, 1),
+    "asia": RegionInfo(36.4, 127.4, 9),
+    "south-america": RegionInfo(-23.6, -46.6, -3),
+    "oceania": RegionInfo(-33.9, 151.2, 10),
+}
 
 
 def _h(
@@ -127,6 +163,47 @@ def hosts_2003() -> list[HostSpec]:
 def hosts_2002() -> list[HostSpec]:
     """The 17-host subset used by the 2002 datasets (see module docstring)."""
     return [h for h in ALL_HOSTS if h.in_2002]
+
+
+def synth_host(
+    name: str,
+    region: str,
+    link: str = "ethernet",
+    *,
+    lat: float | None = None,
+    lon: float | None = None,
+    category: str = "Synthetic",
+    description: str = "synthetic host",
+    internet2: bool = False,
+    forward_loss: float | None = None,
+) -> HostSpec:
+    """Create a host the catalogue never had, anchored to a region.
+
+    The scenario generator builds whole topologies out of these.  ``lat``
+    and ``lon`` default to the region anchor (pass explicit offsets to
+    spread a cluster); the timezone always comes from the region so
+    diurnal congestion stays geographically coherent.  The link class is
+    validated against :data:`repro.netsim.links.LINK_CLASSES`.
+    """
+    try:
+        info = REGIONS[region]
+    except KeyError:
+        known = ", ".join(sorted(REGIONS))
+        raise KeyError(f"unknown region {region!r}; known regions: {known}") from None
+    link_class(link)  # raises on unknown technology
+    return HostSpec(
+        name=name,
+        location=f"{region} (synthetic)",
+        description=description,
+        category=category,
+        lat=info.lat if lat is None else lat,
+        lon=info.lon if lon is None else lon,
+        region=region,
+        link=link,
+        internet2=internet2,
+        tz_offset_h=info.tz_offset_h,
+        forward_loss=forward_loss,
+    )
 
 
 def category_counts(hosts: list[HostSpec] | None = None) -> dict[str, int]:

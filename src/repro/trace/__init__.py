@@ -8,6 +8,7 @@ from .filters import (
     drop_excluded,
     receive_window_filter,
 )
+from .fingerprint import trace_fingerprint
 from .records import ProbeRecord, Trace, TraceMeta
 from .store import load_trace, save_trace
 
@@ -23,4 +24,5 @@ __all__ = [
     "load_trace",
     "receive_window_filter",
     "save_trace",
+    "trace_fingerprint",
 ]

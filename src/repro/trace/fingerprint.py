@@ -1,0 +1,80 @@
+"""Trace fingerprints: compact, bitwise-sensitive run summaries.
+
+A fingerprint pins a collection three ways at once:
+
+* a SHA-256 over every probe array's raw bytes (any bit of drift in the
+  kernel, the scheduler or the router changes it);
+* per-method probe counts and loss rates (localises *which* subsystem
+  drifted when the hash moves);
+* a one-way-latency quantile digest (catches delay-model drift that
+  loss statistics would miss).
+
+Floats survive JSON round-trips exactly (``repr`` is shortest-exact for
+doubles), so a stored fingerprint can be compared with ``==``.  The
+golden-trace regression test keeps one of these committed; regenerate
+it with ``python tools/golden.py --update`` after an *intentional*
+behaviour change.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from .records import Trace
+
+__all__ = ["trace_fingerprint"]
+
+#: quantile grid of the latency digest.
+LATENCY_QUANTILES = (0.10, 0.25, 0.50, 0.75, 0.90, 0.99)
+
+
+def trace_fingerprint(trace: Trace) -> dict:
+    """A JSON-ready fingerprint of one collected trace."""
+    h = hashlib.sha256()
+    meta = trace.meta
+    h.update(
+        repr(
+            (
+                meta.dataset,
+                meta.mode,
+                meta.horizon_s,
+                meta.seed,
+                meta.host_names,
+                meta.method_names,
+            )
+        ).encode()
+    )
+    for name in Trace.ARRAY_FIELDS:
+        arr = np.ascontiguousarray(getattr(trace, name))
+        h.update(name.encode())
+        h.update(str(arr.dtype).encode())
+        h.update(arr.tobytes())
+
+    methods: dict[str, dict] = {}
+    pair = trace.has_second
+    for mid, mname in enumerate(meta.method_names):
+        mask = trace.method_id == mid
+        n = int(mask.sum())
+        entry: dict = {
+            "probes": n,
+            "lost1_rate": float(trace.lost1[mask].mean()) if n else 0.0,
+        }
+        if n and bool(pair[mask].any()):
+            entry["lost2_rate"] = float(trace.lost2[mask].mean())
+        methods[mname] = entry
+
+    delivered = trace.latency1[~np.isnan(trace.latency1)].astype(np.float64)
+    digest = (
+        [float(q) for q in np.quantile(delivered, LATENCY_QUANTILES)]
+        if len(delivered)
+        else []
+    )
+    return {
+        "probes": len(trace),
+        "excluded": int(trace.excluded.sum()),
+        "sha256": h.hexdigest(),
+        "methods": methods,
+        "latency_quantiles_s": digest,
+    }

@@ -1,0 +1,117 @@
+"""spec_grid semantics and determinism of scenario-grid fan-out."""
+
+import pytest
+
+from repro.api import ExperimentSpec, Runner, spec_grid
+from repro.scenarios import flash_crowd, lossy_edge, scenario_grid
+from repro.testbed import collect, dataset, unregister_dataset
+
+from tests.conftest import assert_traces_equal
+
+
+class TestSpecGrid:
+    def test_cross_product_over_list_axes(self):
+        specs = spec_grid(
+            dataset=["ronnarrow", "ron2003"],
+            duration_s=[300.0, 600.0],
+            seeds=(1, 2),
+        )
+        assert len(specs) == 4
+        assert {(s.dataset, s.duration_s) for s in specs} == {
+            ("ronnarrow", 300.0),
+            ("ronnarrow", 600.0),
+            ("ron2003", 300.0),
+            ("ron2003", 600.0),
+        }
+        assert all(s.seeds == (1, 2) for s in specs)
+
+    def test_scalars_are_literals_not_axes(self):
+        specs = spec_grid(dataset="ronnarrow", duration_s=300.0)
+        assert len(specs) == 1
+        assert specs[0].label is None  # nothing varies: no auto label
+
+    def test_tuples_are_literals(self):
+        (spec,) = spec_grid(
+            dataset="ronnarrow", duration_s=300.0, methods=("loss", "direct_rand")
+        )
+        assert spec.methods == ("loss", "direct_rand")
+
+    def test_auto_labels_name_varying_axes(self):
+        specs = spec_grid(dataset=["ronnarrow"], duration_s=[300.0, 600.0])
+        assert specs[0].label == "dataset=ronnarrow,duration_s=300"
+        assert specs[1].label == "dataset=ronnarrow,duration_s=600"
+
+    def test_label_fmt_overrides(self):
+        specs = spec_grid(
+            label_fmt="{dataset}@{duration_s:g}",
+            dataset=["ronnarrow"],
+            duration_s=[300.0],
+        )
+        assert specs[0].label == "ronnarrow@300"
+
+    def test_explicit_label_axis_wins_over_auto(self):
+        specs = spec_grid(dataset=["ronnarrow", "ron2003"], duration_s=300.0,
+                          label="fixed")
+        assert [s.label for s in specs] == ["fixed", "fixed"]
+
+    def test_validation_happens_at_build_time(self):
+        with pytest.raises(KeyError):
+            spec_grid(dataset=["no-such-dataset"], duration_s=300.0)
+        with pytest.raises(ValueError):
+            spec_grid(dataset=["ronnarrow"], duration_s=[-1.0])
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="no values"):
+            spec_grid(dataset=["ronnarrow"], duration_s=[])
+
+    def test_dataset_required(self):
+        with pytest.raises(TypeError, match="dataset"):
+            spec_grid(duration_s=[300.0])
+
+
+class TestScenarioGridDeterminism:
+    """PR 1 guaranteed thread fan-out == sequential collect on the canned
+    datasets; the same identity must hold over generated scenarios."""
+
+    DURATION = 240.0
+
+    @pytest.fixture()
+    def grid_specs(self):
+        scenarios = [
+            flash_crowd(n_hosts=6, regions=("us-east", "us-west")),
+            lossy_edge(spokes_per_hub=2),
+        ]
+        specs = scenario_grid(
+            scenarios, duration_s=[self.DURATION], seeds=(1, 2)
+        )
+        yield specs
+        for s in scenarios:
+            unregister_dataset(s.name)
+
+    def test_parallel_fanout_matches_sequential(self, grid_specs):
+        serial = Runner().sweep(grid_specs)
+        parallel = Runner(max_workers=4).sweep(grid_specs)
+        assert len(serial) == len(parallel) == 4
+        for s, p in zip(serial, parallel):
+            assert s.seed == p.seed
+            assert_traces_equal(s.raw_trace, p.raw_trace)
+
+    def test_fanout_matches_handwritten_collect(self, grid_specs):
+        sweep = Runner(max_workers=4).sweep(grid_specs)
+        for res in sweep:
+            ref = collect(
+                dataset(res.spec.dataset),
+                self.DURATION,
+                seed=res.seed,
+                include_events=res.spec.include_events,
+            )
+            assert_traces_equal(res.raw_trace, ref.trace)
+
+    def test_mixed_generated_and_canned_grid(self, grid_specs):
+        specs = grid_specs + scenario_grid(
+            ["ronnarrow"], duration_s=[self.DURATION], seeds=(1,)
+        )
+        sweep = Runner(max_workers=4).sweep(specs)
+        assert len(sweep) == 5
+        ref = collect(dataset("ronnarrow"), self.DURATION, seed=1)
+        assert_traces_equal(sweep[-1].raw_trace, ref.trace)

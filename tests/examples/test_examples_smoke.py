@@ -25,6 +25,10 @@ CASES = {
         ["--hours", "0.05", "--seeds", "1", "2", "--workers", "2"],
         "substrates built",
     ),
+    "scenario_zoo.py": (
+        ["--minutes", "3", "--seeds", "1", "--workers", "2", "--mesh-hosts", "12"],
+        "Scenario catalogue",
+    ),
     "outage_drill.py": ([], "Section 3.1"),
     "budget_planner.py": ([], "Figure 6"),
     "voip_fec_planner.py": ([], "residual loss"),

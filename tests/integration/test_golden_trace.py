@@ -1,0 +1,95 @@
+"""Golden-trace regression: silent kernel drift must fail loudly.
+
+Two fixed-seed mini-collections — one canned dataset, one generated
+scenario — are fingerprinted (array SHA-256, per-method loss rates,
+latency quantile digest) and compared against the committed
+``golden_trace.json``.  Any bitwise change in the probing, scheduling,
+routing or packet-fate kernels changes the hash; the loss/latency
+digests then localise which statistic moved.
+
+If the change is *intentional*, regenerate the golden file::
+
+    PYTHONPATH=src python tools/golden.py --update
+
+and commit it together with the change that moved it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios import FlashCrowd, GeoCluster, Scenario
+from repro.testbed import collect, dataset
+from repro.trace import trace_fingerprint
+
+GOLDEN_PATH = Path(__file__).with_name("golden_trace.json")
+
+#: the golden scenario is pinned explicitly (not via catalogue defaults)
+#: so catalogue evolution does not silently re-baseline the kernel.
+GOLDEN_SCENARIO = Scenario(
+    "golden-flash-crowd",
+    GeoCluster(n_hosts=7, regions=("us-east", "us-west", "europe"), seed=2),
+    pathologies=(FlashCrowd(start_frac=0.4, duration_frac=0.1, severity=0.3),),
+)
+
+GOLDEN_RUNS: dict[str, dict] = {
+    "ronnarrow-mini": dict(source="ronnarrow", duration_s=600.0, seed=7),
+    "golden-flash-crowd-mini": dict(
+        source=GOLDEN_SCENARIO, duration_s=600.0, seed=7
+    ),
+}
+
+
+def compute_fingerprints() -> dict[str, dict]:
+    """Collect and fingerprint every golden run (used by tools/golden.py)."""
+    out: dict[str, dict] = {}
+    for key, run in GOLDEN_RUNS.items():
+        source = run["source"]
+        if isinstance(source, Scenario):
+            source.register()
+            ds = dataset(source.name)
+        else:
+            ds = dataset(source)
+        col = collect(ds, run["duration_s"], seed=run["seed"])
+        out[key] = trace_fingerprint(col.trace)
+    return out
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    if not GOLDEN_PATH.exists():
+        pytest.fail(
+            f"{GOLDEN_PATH} is missing; generate it with "
+            "`PYTHONPATH=src python tools/golden.py --update`"
+        )
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def actual() -> dict[str, dict]:
+    yield compute_fingerprints()
+    GOLDEN_SCENARIO.unregister()  # leave the catalogue as we found it
+
+
+@pytest.mark.parametrize("run_key", sorted(GOLDEN_RUNS))
+def test_fingerprint_is_bitwise_stable(run_key, golden, actual):
+    expected = golden["runs"][run_key]
+    got = actual[run_key]
+    # compare the readable digests first so a drift report says *what*
+    # moved, then the hash to guarantee bitwise identity
+    for field in ("probes", "excluded", "methods", "latency_quantiles_s"):
+        assert got[field] == expected[field], (
+            f"{run_key}: {field} drifted from the golden fingerprint; if "
+            "intentional, regenerate with `python tools/golden.py --update`"
+        )
+    assert got["sha256"] == expected["sha256"], (
+        f"{run_key}: trace bytes drifted with summary statistics intact; "
+        "the kernel is producing different probe-level outcomes"
+    )
+
+
+def test_golden_runs_cover_canned_and_generated(golden):
+    assert set(golden["runs"]) == set(GOLDEN_RUNS)

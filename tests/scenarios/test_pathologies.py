@@ -1,0 +1,135 @@
+"""Pathology families: each lever does what its docstring promises."""
+
+import pytest
+
+from repro.netsim import config_2003
+from repro.scenarios import (
+    CongestionStorm,
+    DiurnalSwing,
+    FlashCrowd,
+    GeoCluster,
+    LossyAccessCohort,
+    Pathology,
+    RegionalOutage,
+)
+
+# all-ethernet so cohort tests can count degraded hosts exactly
+HOSTS = GeoCluster(
+    n_hosts=9,
+    regions=("us-east", "us-west", "europe"),
+    link_mix=(("ethernet", 1.0),),
+    seed=1,
+).hosts()
+
+
+def test_base_pathology_is_identity():
+    p = Pathology()
+    cfg = config_2003()
+    assert p.transform_hosts(HOSTS) is HOSTS
+    assert p.transform_config(cfg) is cfg
+    assert p.events(3600.0, HOSTS) == ()
+
+
+class TestFlashCrowd:
+    def test_targets_every_host_in_named_regions(self):
+        fc = FlashCrowd(regions=("us-east",), severity=0.3)
+        events = fc.events(1000.0, HOSTS)
+        east = [h.name for h in HOSTS if h.region == "us-east"]
+        assert sorted(e.target for e in events) == sorted(f"host:{n}" for n in east)
+        for e in events:
+            assert e.severity == 0.3
+            assert e.duration_s == pytest.approx(fc.duration_frac * 1000.0)
+            assert e.start_frac == fc.start_frac
+
+    def test_defaults_to_all_hosts(self):
+        assert len(FlashCrowd().events(100.0, HOSTS)) == len(HOSTS)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [dict(start_frac=1.0), dict(duration_frac=0.0), dict(severity=1.5),
+         dict(added_delay_ms=-1.0)],
+    )
+    def test_bad_knobs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FlashCrowd(**kwargs)
+
+
+class TestRegionalOutage:
+    def test_cuts_every_trunk_touching_the_region(self):
+        events = RegionalOutage(regions=("us-east",)).events(1000.0, HOSTS)
+        assert sorted(e.target for e in events) == [
+            "trunk:us-east:europe",
+            "trunk:us-east:us-west",
+        ]
+        starts = {e.start_frac for e in events}
+        assert len(starts) == 1  # correlated: one shared start
+
+    def test_multi_region_outage_deduplicates_pairs(self):
+        events = RegionalOutage(regions=("us-east", "us-west")).events(1000.0, HOSTS)
+        targets = [e.target for e in events]
+        assert len(targets) == len(set(targets)) == 3
+
+    def test_empty_region_list_rejected(self):
+        with pytest.raises(ValueError):
+            RegionalOutage(regions=())
+
+
+class TestCongestionStorm:
+    def test_scales_every_class_rate(self):
+        cfg = config_2003()
+        stormy = CongestionStorm(rate_factor=3.0).transform_config(cfg)
+        for name in ("access", "isp", "trunk", "middle"):
+            before, after = getattr(cfg, name), getattr(stormy, name)
+            assert after.congestion.rate_per_hour == pytest.approx(
+                3.0 * before.congestion.rate_per_hour
+            )
+            assert after.outage.rate_per_day == pytest.approx(
+                3.0 * before.outage.rate_per_day
+            )
+            assert after.base_loss == before.base_loss  # base untouched by default
+            # episode shapes are preserved
+            assert after.congestion.severity == before.congestion.severity
+            assert after.congestion.corr_length_s == before.congestion.corr_length_s
+
+    def test_base_factor_scales_background_loss(self):
+        cfg = config_2003()
+        quiet = CongestionStorm(rate_factor=1.0, base_factor=0.5).transform_config(cfg)
+        assert quiet.access.base_loss == pytest.approx(0.5 * cfg.access.base_loss)
+
+    def test_negative_factor_rejected(self):
+        with pytest.raises(ValueError):
+            CongestionStorm(rate_factor=-1.0)
+
+
+class TestDiurnalSwing:
+    def test_sets_amplitude(self):
+        cfg = DiurnalSwing(amplitude=0.1).transform_config(config_2003())
+        assert cfg.diurnal_amplitude == 0.1
+
+    def test_amplitude_beyond_unit_rejected(self):
+        # amplitudes > 1 would drive congestion rates negative at night
+        with pytest.raises(ValueError):
+            DiurnalSwing(amplitude=1.2)
+
+
+class TestLossyAccessCohort:
+    def test_degrades_the_requested_fraction(self):
+        out = LossyAccessCohort(fraction=1 / 3, link="dsl", seed=2).transform_hosts(HOSTS)
+        degraded = [h for h in out if h.link == "dsl"]
+        assert len(degraded) == 3
+        # untouched hosts are identical objects
+        names = {h.name for h in degraded}
+        for before, after in zip(HOSTS, out):
+            if after.name not in names:
+                assert after is before
+
+    def test_deterministic_in_seed(self):
+        cohort = LossyAccessCohort(fraction=0.5, seed=9)
+        assert cohort.transform_hosts(HOSTS) == cohort.transform_hosts(HOSTS)
+
+    def test_zero_fraction_is_identity(self):
+        assert LossyAccessCohort(fraction=0.0).transform_hosts(HOSTS) is HOSTS
+
+    def test_unknown_link_rejected(self):
+        with pytest.raises(KeyError):
+            LossyAccessCohort(link="warp")

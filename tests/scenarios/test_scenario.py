@@ -1,0 +1,183 @@
+"""Scenario compilation, registration semantics, and end-to-end runs."""
+
+import numpy as np
+import pytest
+
+from repro import Experiment
+from repro.api import ExperimentSpec
+from repro.scenarios import (
+    FlashCrowd,
+    GeoCluster,
+    LossyAccessCohort,
+    RegionalOutage,
+    Scenario,
+    diurnal_isp,
+    flash_crowd,
+    lossy_edge,
+    quiet_wide_area,
+    regional_blackout,
+    standard_catalogue,
+    stress_mesh,
+)
+from repro.testbed import DATASETS, dataset
+
+TOPO = GeoCluster(n_hosts=6, regions=("us-east", "us-west"), seed=4)
+
+
+@pytest.fixture()
+def clean_catalogue():
+    """Snapshot the dataset catalogue and restore it afterwards."""
+    before = dict(DATASETS)
+    yield
+    DATASETS.clear()
+    DATASETS.update(before)
+
+
+class TestCompilation:
+    def test_build_compiles_every_lever(self):
+        sc = Scenario(
+            "levers",
+            TOPO,
+            pathologies=(LossyAccessCohort(fraction=0.5, seed=1), FlashCrowd()),
+        )
+        ds = sc.build()
+        assert ds.name == "levers"
+        assert ds.mode == "oneway"
+        assert ds.paper_samples == 0
+        assert len(ds.hosts()) == 6
+        assert len(ds.network_config(1000.0).major_events) == 6
+        assert ds.network_config(1000.0, include_events=False).major_events == ()
+
+    def test_equal_scenarios_compile_to_equal_specs(self):
+        a = Scenario("twin", TOPO, pathologies=(FlashCrowd(),))
+        b = Scenario("twin", TOPO, pathologies=(FlashCrowd(),))
+        assert a == b
+        assert a.build() == b.build()
+        assert hash(a.build()) == hash(b.build())
+
+    def test_no_events_means_no_events_fn(self):
+        assert Scenario("calm", TOPO).build().events_fn is None
+
+    def test_pathologies_accept_single_instance(self):
+        sc = Scenario("single", TOPO, pathologies=FlashCrowd())
+        assert sc.pathologies == (FlashCrowd(),)
+
+    def test_probe_methods_canonicalized(self):
+        sc = Scenario("canon", TOPO, probe_methods=("Direct", "LOSS"))
+        assert sc.probe_methods == ("direct", "loss")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(name=""),
+            dict(base="1999"),
+            dict(probe_methods=("no_such_method",)),
+            dict(probe_methods=()),
+            dict(mode="telepathy"),
+            dict(paper_duration_s=0.0),
+        ],
+    )
+    def test_bad_scenarios_rejected(self, kwargs):
+        base = dict(name="bad", topology=TOPO)
+        base.update(kwargs)
+        with pytest.raises((ValueError, KeyError)):
+            Scenario(**base)
+
+    def test_non_topology_rejected(self):
+        with pytest.raises(TypeError):
+            Scenario("bad", topology="ron2003")
+        with pytest.raises(TypeError):
+            Scenario("bad", TOPO, pathologies=("flash",))
+
+
+class TestRegistration:
+    def test_register_is_idempotent(self, clean_catalogue):
+        a = Scenario("reg-twin", TOPO).register()
+        b = Scenario("reg-twin", TOPO).register()
+        assert a == b
+        assert dataset("reg-twin") == a
+
+    def test_conflicting_scenario_rejected(self, clean_catalogue):
+        Scenario("reg-clash", TOPO).register()
+        other = Scenario("reg-clash", TOPO, pathologies=(FlashCrowd(),))
+        with pytest.raises(ValueError, match="already registered"):
+            other.register()
+        other.register(overwrite=True)
+        assert dataset("reg-clash") == other.build()
+
+    def test_unregister_round_trip(self, clean_catalogue):
+        sc = Scenario("reg-tmp", TOPO)
+        sc.register()
+        sc.unregister()
+        with pytest.raises(KeyError):
+            dataset("reg-tmp")
+        sc.unregister()  # second removal is a no-op
+
+    def test_builtin_datasets_protected(self):
+        from repro.testbed import unregister_dataset
+
+        with pytest.raises(ValueError, match="built in"):
+            unregister_dataset("ron2003")
+
+    def test_experiment_spec_registers_and_validates(self, clean_catalogue):
+        sc = Scenario("reg-spec", TOPO)
+        spec = sc.experiment_spec(300.0, seeds=(1, 2))
+        assert isinstance(spec, ExperimentSpec)
+        assert spec.dataset == "reg-spec"
+        assert spec.seeds == (1, 2)
+        assert spec.probe_methods == sc.probe_methods
+
+
+SMALL_FAMILIES = [
+    flash_crowd(n_hosts=6, regions=("us-east", "us-west")),
+    regional_blackout(n_hosts=6),
+    lossy_edge(spokes_per_hub=2),
+    diurnal_isp(spokes_per_hub=2),
+    stress_mesh(n_hosts=8),
+    quiet_wide_area(n_hosts=6),
+]
+
+
+@pytest.mark.parametrize("scenario", SMALL_FAMILIES, ids=lambda s: s.name)
+def test_every_family_runs_end_to_end(scenario, clean_catalogue):
+    """The acceptance criterion: each family's DatasetSpec flows through
+    Experiment.run() and yields a sane, analysable trace."""
+    result = Experiment(scenario.experiment_spec(240.0, seeds=(1,))).run()
+    trace = result.trace
+    assert len(trace) > 0
+    assert trace.meta.dataset == scenario.name
+    assert set(trace.meta.method_names) == set(scenario.probe_methods)
+    n = len(scenario.hosts())
+    assert trace.src.max() < n and trace.dst.max() < n
+    loss = trace.lost1.mean()
+    assert 0.0 <= loss < 0.5
+    lat = trace.latency1[~np.isnan(trace.latency1)]
+    assert len(lat) > 0 and (lat > 0).all()
+    # the analysis pipeline accepts the generated trace
+    assert scenario.probe_methods[0] in result.stats_by_method
+
+
+def test_standard_catalogue_names_are_unique_and_deterministic():
+    cat = standard_catalogue(seed=0)
+    assert len(cat) == 6
+    assert standard_catalogue(seed=0) == cat
+    assert set(standard_catalogue(seed=1)) != set(cat)  # names carry the seed
+
+
+def test_knob_sweeps_get_distinct_names(clean_catalogue):
+    """Constructor knobs are part of the name, so sweeping a knob yields
+    distinct catalogue entries instead of a registration clash."""
+    variants = [
+        flash_crowd(severity=0.2),
+        flash_crowd(severity=0.4),
+        lossy_edge(cohort_fraction=0.2),
+        lossy_edge(cohort_fraction=0.6),
+        diurnal_isp(amplitude=0.5),
+        stress_mesh(n_hosts=8, rate_factor=3.0),
+        regional_blackout(n_hosts=6, severity=0.5),
+    ]
+    names = [s.name for s in variants]
+    assert len(set(names)) == len(names)
+    for s in variants:
+        s.register()  # no collision
+        assert dataset(s.name) == s.build()

@@ -1,0 +1,138 @@
+"""Topology families: determinism, validity, knob behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.netsim import LINK_CLASSES, Network, config_2003
+from repro.scenarios import GeoCluster, HubAndSpoke, ScaledMesh
+from repro.testbed import REGIONS, synth_host
+from repro.testbed.hosts import ALL_HOSTS
+
+FAMILIES = [
+    GeoCluster(n_hosts=9, seed=3),
+    HubAndSpoke(spokes_per_hub=2, seed=3),
+    ScaledMesh(n_hosts=35, seed=3),
+]
+
+
+@pytest.mark.parametrize("family", FAMILIES, ids=lambda f: type(f).__name__)
+class TestEveryFamily:
+    def test_deterministic(self, family):
+        assert family.hosts() == family.hosts()
+
+    def test_names_unique(self, family):
+        names = [h.name for h in family.hosts()]
+        assert len(set(names)) == len(names)
+
+    def test_links_and_regions_valid(self, family):
+        for h in family.hosts():
+            assert h.link in LINK_CLASSES
+            assert h.region in REGIONS
+            assert -85.0 <= h.lat <= 85.0
+
+    def test_builds_a_topology(self, family):
+        net = Network.build(family.hosts(), config_2003(), horizon=60.0, seed=1)
+        n = family.n_hosts
+        assert net.topology.n_hosts == n
+        assert net.paths.valid.sum() == n * (n - 1) + n * (n - 1) * (n - 2)
+
+
+class TestGeoCluster:
+    def test_round_robins_regions(self):
+        hosts = GeoCluster(n_hosts=8, regions=("us-east", "europe")).hosts()
+        assert [h.region for h in hosts] == ["us-east", "europe"] * 4
+
+    def test_seed_changes_draw(self):
+        a = GeoCluster(n_hosts=9, seed=1).hosts()
+        b = GeoCluster(n_hosts=9, seed=2).hosts()
+        assert a != b
+
+    def test_spread_bounds_distance_from_anchor(self):
+        fam = GeoCluster(n_hosts=12, regions=("us-west",), spread_deg=1.0)
+        anchor = REGIONS["us-west"]
+        for h in fam.hosts():
+            assert abs(h.lat - anchor.lat) <= 1.0 + 1e-9
+            assert abs(h.lon - anchor.lon) <= 1.0 + 1e-9
+
+    def test_link_mix_respected(self):
+        fam = GeoCluster(n_hosts=10, link_mix=(("dsl", 1.0),))
+        assert {h.link for h in fam.hosts()} == {"dsl"}
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n_hosts=2),
+            dict(regions=()),
+            dict(regions=("atlantis",)),
+            dict(regions=("us-east", "us-east")),
+            dict(link_mix=()),
+            dict(link_mix=(("warp", 1.0),)),
+            dict(link_mix=(("dsl", -1.0),)),
+            dict(spread_deg=-1.0),
+        ],
+    )
+    def test_bad_knobs_rejected(self, kwargs):
+        with pytest.raises((ValueError, KeyError)):
+            GeoCluster(**kwargs)
+
+
+class TestHubAndSpoke:
+    def test_one_hub_per_region_plus_spokes(self):
+        fam = HubAndSpoke(regions=("us-east", "asia"), spokes_per_hub=3)
+        hosts = fam.hosts()
+        hubs = [h for h in hosts if h.category == "ISP hub"]
+        spokes = [h for h in hosts if h.category == "Consumer spoke"]
+        assert len(hubs) == 2 and len(spokes) == 6
+        assert {h.link for h in hubs} == {"oc3"}
+        assert {h.link for h in spokes} <= {"dsl", "cable"}
+
+    def test_spokes_cycle_link_classes(self):
+        fam = HubAndSpoke(regions=("us-east",), spokes_per_hub=4, spoke_links=("t1",))
+        spokes = [h for h in fam.hosts() if h.category == "Consumer spoke"]
+        assert {h.link for h in spokes} == {"t1"}
+
+    def test_too_small_overlay_rejected(self):
+        with pytest.raises(ValueError):
+            HubAndSpoke(regions=("us-east",), spokes_per_hub=1)
+
+    def test_unknown_links_rejected(self):
+        with pytest.raises(KeyError):
+            HubAndSpoke(hub_link="warp")
+        with pytest.raises(KeyError):
+            HubAndSpoke(spoke_links=("warp",))
+
+    def test_duplicate_regions_rejected(self):
+        # duplicates would emit colliding host names
+        with pytest.raises(ValueError, match="unique"):
+            HubAndSpoke(regions=("us-east", "us-east"))
+
+
+class TestScaledMesh:
+    def test_first_copies_are_the_catalogue(self):
+        hosts = ScaledMesh(n_hosts=35).hosts()
+        assert hosts[: len(ALL_HOSTS)] == ALL_HOSTS
+
+    def test_clones_keep_region_and_link(self):
+        hosts = ScaledMesh(n_hosts=40).hosts()
+        for i, clone in enumerate(hosts[len(ALL_HOSTS) :]):
+            template = ALL_HOSTS[i]
+            assert clone.name == f"{template.name}-c1"
+            assert clone.region == template.region
+            assert clone.link == template.link
+            assert clone.tz_offset_h == template.tz_offset_h
+
+    def test_jitter_moves_clones(self):
+        hosts = ScaledMesh(n_hosts=31, jitter_deg=0.5).hosts()
+        clone, template = hosts[30], ALL_HOSTS[0]
+        assert clone.lat != template.lat or clone.lon != template.lon
+        assert abs(clone.lat - template.lat) <= 0.5
+
+
+def test_synth_host_validates():
+    with pytest.raises(KeyError, match="unknown region"):
+        synth_host("x", "atlantis")
+    with pytest.raises(KeyError, match="unknown link class"):
+        synth_host("x", "us-east", "warp")
+    h = synth_host("x", "asia", "cable")
+    assert h.tz_offset_h == REGIONS["asia"].tz_offset_h
+    assert (h.lat, h.lon) == (REGIONS["asia"].lat, REGIONS["asia"].lon)

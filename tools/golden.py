@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Maintain the golden-trace fingerprint file.
+
+``--check`` (default) recomputes the fingerprints and diffs them against
+``tests/integration/golden_trace.json``; ``--update`` rewrites the file
+after an intentional kernel change.  The run definitions live next to
+the regression test so the two can never disagree.
+
+Usage::
+
+    PYTHONPATH=src python tools/golden.py [--check | --update]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT))
+sys.path.insert(0, str(ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from tests.integration.test_golden_trace import (  # noqa: E402
+    GOLDEN_PATH,
+    compute_fingerprints,
+)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--update", action="store_true", help="rewrite the golden file"
+    )
+    parser.add_argument(
+        "--check", action="store_true", help="diff against the golden file (default)"
+    )
+    args = parser.parse_args()
+
+    fingerprints = compute_fingerprints()
+    payload = {
+        # informational only — the test compares just "runs"
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "runs": fingerprints,
+    }
+
+    if args.update:
+        GOLDEN_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {GOLDEN_PATH}")
+        return 0
+
+    if not GOLDEN_PATH.exists():
+        print(f"{GOLDEN_PATH} missing; run with --update to create it")
+        return 1
+    golden = json.loads(GOLDEN_PATH.read_text())
+    if golden["runs"] == fingerprints:
+        print("golden fingerprints match")
+        return 0
+    for key, fp in fingerprints.items():
+        ref = golden["runs"].get(key)
+        status = "ok" if fp == ref else "DRIFTED"
+        print(f"{key}: {status}")
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
