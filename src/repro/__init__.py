@@ -37,6 +37,7 @@ available::
 
 from .analysis import method_stats_table, render_loss_table
 from .api import (
+    EngineConfig,
     Experiment,
     ExperimentResult,
     ExperimentSpec,
@@ -46,6 +47,7 @@ from .api import (
     SweepResult,
     spec_grid,
 )
+from .engine import ShardedCollector
 from .core import METHODS, Method, RouteKind, method, register_method
 from .netsim import (
     Network,
@@ -77,6 +79,7 @@ __version__ = "1.0.0"
 __all__ = [
     "CollectionResult",
     "DatasetSpec",
+    "EngineConfig",
     "Experiment",
     "ExperimentResult",
     "ExperimentSpec",
@@ -93,6 +96,7 @@ __all__ = [
     "RouteKind",
     "Runner",
     "Scenario",
+    "ShardedCollector",
     "SweepResult",
     "Trace",
     "__version__",

@@ -9,7 +9,10 @@ This package is the composable front door to the reproduction:
 * :class:`Runner` — executes one spec or a sweep, fanning independent
   runs over a thread pool and reusing prebuilt substrates across
   same-weather variants, while staying bitwise-identical to sequential
-  :func:`repro.testbed.collect` calls;
+  :func:`repro.testbed.collect` calls; pass an
+  :class:`~repro.engine.EngineConfig` to collect large scenarios on the
+  sharded scale-out engine (:mod:`repro.engine`), still bit-for-bit
+  identical;
 * :class:`ExperimentResult` / :class:`SweepResult` — traces plus lazy
   accessors for the Table 5/7 and Figure 2-6 analyses;
 * :class:`Experiment` — the facade tying the three together;
@@ -23,6 +26,7 @@ families of workloads that run through this API unchanged.
 """
 
 from repro.core.methods import MethodRegistry, register_method
+from repro.engine import EngineConfig
 
 from .experiment import Experiment
 from .grid import spec_grid
@@ -31,6 +35,7 @@ from .runner import Runner
 from .spec import ExperimentSpec, FecSpec
 
 __all__ = [
+    "EngineConfig",
     "Experiment",
     "ExperimentResult",
     "ExperimentSpec",

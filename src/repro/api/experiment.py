@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from repro.engine import EngineConfig
 from repro.testbed.datasets import DatasetSpec, dataset, register_dataset
 
 from .result import ExperimentResult, SweepResult
@@ -81,36 +82,48 @@ class Experiment:
     # ------------------------------------------------------------------
 
     def run(
-        self, runner: Runner | None = None, max_workers: int | None = None
+        self,
+        runner: Runner | None = None,
+        max_workers: int | None = None,
+        engine: EngineConfig | None = None,
     ) -> ExperimentResult | SweepResult:
         """Execute the spec at every seed.
 
         Returns the single :class:`ExperimentResult` for one-seed specs,
         a :class:`SweepResult` otherwise.  Pass a shared :class:`Runner`
-        to reuse substrates across experiments (``max_workers`` then
-        belongs to that runner, so combining the two is an error).
+        to reuse substrates across experiments (``max_workers`` and
+        ``engine`` then belong to that runner, so combining them is an
+        error), or an ``engine`` config to collect large scenarios on
+        the sharded scale-out engine.
         """
-        runner = self._resolve_runner(runner, max_workers)
+        runner = self._resolve_runner(runner, max_workers, engine)
         sweep = runner.run(self.spec)
         return sweep[0] if len(sweep) == 1 else sweep
 
     @staticmethod
-    def _resolve_runner(runner: Runner | None, max_workers: int | None) -> Runner:
-        if runner is not None and max_workers is not None:
+    def _resolve_runner(
+        runner: Runner | None,
+        max_workers: int | None,
+        engine: EngineConfig | None = None,
+    ) -> Runner:
+        if runner is not None and (max_workers is not None or engine is not None):
             raise ValueError(
-                "pass either a runner or max_workers, not both "
-                "(width is the runner's setting)"
+                "pass either a runner or max_workers/engine, not both "
+                "(width and engine are the runner's settings)"
             )
-        return runner if runner is not None else Runner(max_workers=max_workers)
+        if runner is not None:
+            return runner
+        return Runner(max_workers=max_workers, engine=engine)
 
     def sweep(
         self,
         others: Iterable["Experiment | ExperimentSpec"] = (),
         runner: Runner | None = None,
         max_workers: int | None = None,
+        engine: EngineConfig | None = None,
     ) -> SweepResult:
         """Execute this experiment together with others as one batch."""
         specs = [self.spec] + [
             o.spec if isinstance(o, Experiment) else o for o in others
         ]
-        return self._resolve_runner(runner, max_workers).sweep(specs)
+        return self._resolve_runner(runner, max_workers, engine).sweep(specs)

@@ -23,6 +23,7 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Iterable
 
+from repro.engine import EngineConfig, ShardedCollector
 from repro.netsim.network import Network
 from repro.testbed.collection import collect
 from repro.testbed.datasets import DatasetSpec, dataset
@@ -52,13 +53,27 @@ class Runner:
         keep substrates cached across runs sharing the same weather
         (dataset, duration, seed, events).  Disable to trade speed for
         memory on very large sweeps.
+    engine:
+        a :class:`repro.engine.EngineConfig` to execute *single* large
+        runs on the scale-out engine: scenarios with at least
+        ``engine.min_hosts`` hosts are collected by a
+        :class:`~repro.engine.ShardedCollector` (all cores on one run,
+        optionally over a lazy substrate) instead of the sequential
+        pipeline.  Results are bitwise identical either way; smaller
+        scenarios keep the cheaper sequential path.
     """
 
-    def __init__(self, max_workers: int | None = None, reuse_networks: bool = True) -> None:
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        reuse_networks: bool = True,
+        engine: EngineConfig | None = None,
+    ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         self.max_workers = max_workers
         self.reuse_networks = reuse_networks
+        self.engine = engine
         self._networks: dict[_WeatherKey, tuple[Network, dict]] = {}
         self._locks: dict[_WeatherKey, threading.Lock] = {}
         self._registry_lock = threading.Lock()
@@ -88,10 +103,11 @@ class Runner:
     def run_one(self, spec: ExperimentSpec, seed: int) -> ExperimentResult:
         """Execute one (spec, seed) run; equivalent to one ``collect()``."""
         ds = spec.resolved_dataset()
+        collector = self._engine_collector(ds)
+        # engine and sequential paths share the collect() signature
+        run = collect if collector is None else collector.collect
         if not self.reuse_networks:
-            col = collect(
-                ds, spec.duration_s, seed=seed, include_events=spec.include_events
-            )
+            col = run(ds, spec.duration_s, seed=seed, include_events=spec.include_events)
             return ExperimentResult(spec=spec.single(seed), seed=seed, collection=col)
 
         key: _WeatherKey = (
@@ -101,8 +117,8 @@ class Runner:
             spec.include_events,
         )
         with self._lock_for(key):
-            network = self._network_for(key, ds, spec, seed)
-            col = collect(
+            network = self._network_for(key, ds, spec, seed, collector is not None)
+            col = run(
                 ds,
                 spec.duration_s,
                 seed=seed,
@@ -110,6 +126,12 @@ class Runner:
                 network=network,
             )
         return ExperimentResult(spec=spec.single(seed), seed=seed, collection=col)
+
+    def _engine_collector(self, ds: DatasetSpec) -> ShardedCollector | None:
+        """The engine path for this dataset, if configured and big enough."""
+        if self.engine is None or len(ds.hosts()) < self.engine.min_hosts:
+            return None
+        return ShardedCollector(self.engine)
 
     # ------------------------------------------------------------------
     # substrate cache
@@ -120,17 +142,32 @@ class Runner:
             return self._locks.setdefault(key, threading.Lock())
 
     def _network_for(
-        self, key: _WeatherKey, ds, spec: ExperimentSpec, seed: int
+        self, key: _WeatherKey, ds, spec: ExperimentSpec, seed: int, engine_run: bool
     ) -> Network:
-        """The cached substrate for one weather key, traffic RNG rewound
-        to its pristine post-build state (caller holds the key lock)."""
+        """The cached substrate for one weather key (caller holds the
+        key lock).  Engine-eligible runs get the engine's substrate
+        flavour; sub-``min_hosts`` runs keep the eager default, so small
+        sweeps never pay lazy-bank bookkeeping on the sequential path."""
         entry = self._networks.get(key)
         if entry is None:
             cfg = ds.network_config(spec.duration_s, include_events=spec.include_events)
-            network = Network.build(ds.hosts(), cfg, spec.duration_s, seed=seed)
+            substrate = self.engine.substrate if engine_run else "eager"
+            budget = self.engine.max_cached_segments if engine_run else None
+            network = Network.build(
+                ds.hosts(),
+                cfg,
+                spec.duration_s,
+                seed=seed,
+                substrate=substrate,
+                max_cached_segments=budget,
+            )
             entry = (network, network.traffic_rng_state)
             self._networks[key] = entry
         network, pristine = entry
+        # collection draws from per-host substreams, never network._rng,
+        # so this rewind protects only other default-rng consumers (e.g.
+        # an Overlay driven over a reused substrate) — not correctness
+        # of the runs themselves
         network.traffic_rng_state = pristine
         return network
 

@@ -1,0 +1,29 @@
+"""`repro.engine`: the scale-out collection engine.
+
+The measurement pipeline in :mod:`repro.testbed.collection` defines the
+*semantics* of a run; this package makes large runs fast without
+changing a single output bit:
+
+* :class:`ShardedCollector` splits one ``collect()`` by source host into
+  deterministic shards executed on a thread/process pool and merged with
+  :meth:`repro.trace.Trace.concatenate` — the trace fingerprint is
+  identical to a sequential run, because every source block draws from
+  its own named RNG substreams and canonical row order is by probe id.
+* :class:`~repro.engine.substrate.LazyTimelineBank` (via
+  ``Network.build(..., substrate="lazy")``) generates per-segment
+  substrate timelines on demand behind an LRU budget, so 100-host
+  meshes don't pay for — or hold — state their probes never touch.
+
+Wire it into sweeps through ``repro.api.Runner(engine=EngineConfig())``.
+"""
+
+from .sharding import EngineConfig, ShardedCollector, always_shard, plan_shards
+from .substrate import LazyTimelineBank
+
+__all__ = [
+    "EngineConfig",
+    "ShardedCollector",
+    "always_shard",
+    "plan_shards",
+    "LazyTimelineBank",
+]

@@ -1,0 +1,191 @@
+"""Sharded collection: one big ``collect()`` across all cores.
+
+:class:`ShardedCollector` partitions a run's source hosts into
+contiguous shards, evaluates each shard's schedule slice against the
+shared read-only :class:`~repro.netsim.network.Network`, and merges the
+partial traces with :meth:`repro.trace.Trace.concatenate`.  The shard
+layout cannot affect the output: every source block consumes its own
+named RNG substreams, the probing subsystem and schedule are generated
+once in the parent, and the merged rows land in canonical probe-id
+order — so 1 shard, 2 shards or one shard per host all fingerprint
+identically to the sequential pipeline.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, replace
+
+from repro.netsim.network import Network
+from repro.testbed.collection import (
+    CollectionPlan,
+    CollectionResult,
+    collect_rows,
+    prepare_collection,
+)
+from repro.testbed.datasets import DatasetSpec
+from repro.trace.records import Trace
+
+__all__ = ["EngineConfig", "ShardedCollector", "plan_shards", "always_shard"]
+
+_EXECUTORS = ("serial", "thread", "process")
+_SUBSTRATES = ("eager", "lazy")
+
+
+def plan_shards(n_hosts: int, n_shards: int) -> list[tuple[int, int]]:
+    """Contiguous host ranges ``[lo, hi)`` covering ``range(n_hosts)``.
+
+    Shard sizes differ by at most one host; asking for more shards than
+    hosts yields one host per shard.
+    """
+    if n_hosts < 1:
+        raise ValueError("need at least one host")
+    if n_shards < 1:
+        raise ValueError("need at least one shard")
+    n_shards = min(n_shards, n_hosts)
+    base, extra = divmod(n_hosts, n_shards)
+    ranges: list[tuple[int, int]] = []
+    lo = 0
+    for i in range(n_shards):
+        hi = lo + base + (1 if i < extra else 0)
+        ranges.append((lo, hi))
+        lo = hi
+    return ranges
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """How the engine should execute one large collection.
+
+    ``n_shards=None`` means one shard per available core.  The
+    ``executor`` is ``"thread"`` by default (the kernels are NumPy-heavy
+    and release the GIL); ``"process"`` forks workers for fully parallel
+    Python at the cost of shipping partial traces back through pickling;
+    ``"serial"`` runs shards inline (debugging, tests).  ``min_hosts``
+    is the scenario size at which :class:`repro.api.Runner` switches a
+    run from the sequential pipeline to the engine.  ``substrate="lazy"``
+    builds networks with on-demand timeline generation bounded by an LRU
+    budget of ``max_cached_segments`` per cause.
+
+    The engine parallelises *within* one run; the runner's
+    ``max_workers`` parallelises *across* runs.  Combining both
+    oversubscribes cores (each concurrent run spawns its own shard
+    pool), so engine sweeps should keep ``Runner(max_workers=1)`` (the
+    default) or cap per-run width via ``max_workers`` here.
+    """
+
+    n_shards: int | None = None
+    executor: str = "thread"
+    max_workers: int | None = None
+    min_hosts: int = 32
+    substrate: str = "eager"
+    max_cached_segments: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_shards is not None and self.n_shards < 1:
+            raise ValueError("n_shards must be None (auto) or >= 1")
+        if self.executor not in _EXECUTORS:
+            raise ValueError(f"executor must be one of {_EXECUTORS}, got {self.executor!r}")
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ValueError("max_workers must be None or >= 1")
+        if self.min_hosts < 1:
+            raise ValueError("min_hosts must be >= 1")
+        if self.substrate not in _SUBSTRATES:
+            raise ValueError(f"substrate must be one of {_SUBSTRATES}, got {self.substrate!r}")
+
+
+# -- process-pool plumbing ---------------------------------------------------
+# fork workers inherit the plan (network included) by memory, so nothing
+# but the (small) shard ranges and partial traces crosses the pipe.
+
+_WORKER_PLAN: CollectionPlan | None = None
+
+
+def _init_worker(plan: CollectionPlan) -> None:
+    global _WORKER_PLAN
+    _WORKER_PLAN = plan
+
+
+def _run_shard(bounds: tuple[int, int]) -> Trace:
+    assert _WORKER_PLAN is not None, "worker used before initialisation"
+    return collect_rows(_WORKER_PLAN, *bounds)
+
+
+class ShardedCollector:
+    """Executes one collection sharded by source host.
+
+    Drop-in for :func:`repro.testbed.collect`::
+
+        col = ShardedCollector().collect(dataset("ron2003"), 3600.0, seed=1)
+
+    produces a :class:`CollectionResult` whose trace fingerprint is
+    identical to the sequential call with the same arguments.
+    """
+
+    def __init__(self, config: EngineConfig | None = None, **overrides) -> None:
+        if config is not None and overrides:
+            raise ValueError("pass either a config or field overrides, not both")
+        self.config = config if config is not None else EngineConfig(**overrides)
+
+    def resolve_shards(self, n_hosts: int) -> int:
+        wanted = self.config.n_shards or os.cpu_count() or 1
+        return max(1, min(wanted, n_hosts))
+
+    def collect(
+        self,
+        spec: DatasetSpec,
+        duration_s: float,
+        seed: int = 0,
+        include_events: bool = True,
+        network: Network | None = None,
+    ) -> CollectionResult:
+        """Collect ``spec`` sharded across the configured executor."""
+        plan = prepare_collection(
+            spec,
+            duration_s,
+            seed=seed,
+            include_events=include_events,
+            network=network,
+            substrate=self.config.substrate,
+            max_cached_segments=self.config.max_cached_segments,
+        )
+        ranges = plan_shards(plan.n_hosts, self.resolve_shards(plan.n_hosts))
+        parts = self._run(plan, ranges)
+        trace = Trace.concatenate(parts)
+        return CollectionResult(trace=trace, network=plan.network, tables=plan.tables)
+
+    # ------------------------------------------------------------------
+    # executors
+    # ------------------------------------------------------------------
+
+    def _workers(self, n_ranges: int) -> int:
+        return min(self.config.max_workers or os.cpu_count() or 1, n_ranges)
+
+    def _run(self, plan: CollectionPlan, ranges: list[tuple[int, int]]) -> list[Trace]:
+        if self.config.executor == "serial" or len(ranges) == 1:
+            return [collect_rows(plan, lo, hi) for lo, hi in ranges]
+        if self.config.executor == "thread":
+            with ThreadPoolExecutor(max_workers=self._workers(len(ranges))) as pool:
+                return list(pool.map(lambda b: collect_rows(plan, *b), ranges))
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError as exc:  # pragma: no cover - non-POSIX platforms
+            raise RuntimeError(
+                "the 'process' executor needs fork(); use executor='thread'"
+            ) from exc
+        with ProcessPoolExecutor(
+            max_workers=self._workers(len(ranges)),
+            mp_context=ctx,
+            initializer=_init_worker,
+            initargs=(plan,),
+        ) as pool:
+            return list(pool.map(_run_shard, ranges))
+
+
+# re-exported convenience: an EngineConfig with sharding forced on for
+# any size, used by tests and small-scenario experiments
+def always_shard(**overrides) -> EngineConfig:
+    """An :class:`EngineConfig` that engages the engine at any host count."""
+    return replace(EngineConfig(min_hosts=1), **overrides)

@@ -1,0 +1,12 @@
+"""Lazy substrate — the engine's public face for
+:class:`repro.netsim.substrate.LazyTimelineBank`.
+
+The implementation lives in :mod:`repro.netsim.substrate` (it depends
+only on netsim types, and ``build_state(substrate="lazy")`` must not
+drag the engine/testbed stack into a pure netsim operation); this
+module re-exports it as part of the scale-out engine's API.
+"""
+
+from repro.netsim.substrate import LazyTimelineBank
+
+__all__ = ["LazyTimelineBank"]

@@ -36,7 +36,8 @@ from .links import LINK_CLASSES, AccessLinkClass, link_class
 from .network import Network, PacketOutcome, PairOutcome, conditional_loss_prob
 from .rng import RngFactory
 from .segments import Segment, SegmentKind, SegmentRegistry
-from .state import SegmentState, TimelineBank, build_state
+from .state import SegmentState, SegmentTimelineRecipe, TimelineBank, build_state
+from .substrate import LazyTimelineBank
 from .topology import HostSpec, PathTable, Topology, build_topology
 
 __all__ = [
@@ -47,6 +48,7 @@ __all__ = [
     "EventLoop",
     "HostFailureParams",
     "HostSpec",
+    "LazyTimelineBank",
     "LINK_CLASSES",
     "MajorEvent",
     "Network",
@@ -63,6 +65,7 @@ __all__ = [
     "SegmentKind",
     "SegmentRegistry",
     "SegmentState",
+    "SegmentTimelineRecipe",
     "SeverityMixture",
     "Timeline",
     "TimelineBank",

@@ -115,11 +115,25 @@ class Network:
         config: NetworkConfig,
         horizon: float,
         seed: int = 0,
+        substrate: str = "eager",
+        max_cached_segments: int | None = None,
     ) -> "Network":
-        """Convenience constructor: topology + state in one call."""
+        """Convenience constructor: topology + state in one call.
+
+        ``substrate="lazy"`` defers per-segment timeline generation to
+        first use behind an LRU budget of ``max_cached_segments`` (see
+        :mod:`repro.engine.substrate`); query results are bitwise
+        identical to the eager default.
+        """
         rngs = RngFactory(seed)
         topology = build_topology(hosts, config, rngs)
-        state = build_state(topology, horizon, rngs)
+        state = build_state(
+            topology,
+            horizon,
+            rngs,
+            substrate=substrate,
+            max_cached_segments=max_cached_segments,
+        )
         return cls(topology, state, rngs)
 
     @property
@@ -128,10 +142,12 @@ class Network:
 
     @property
     def traffic_rng_state(self) -> dict:
-        """State of the internal traffic RNG (the one default sampling
-        draws from).  Snapshot it right after :meth:`build` and restore
-        it before re-running a collection on this network to make reuse
-        bitwise-identical to a fresh build."""
+        """State of the internal traffic RNG (what default sampling
+        draws from).  Collection no longer touches it — every
+        ``collect()`` passes explicit per-source substreams — but other
+        default-rng consumers (``sample_*`` without ``rng``, the
+        event-driven Overlay) still do; snapshot after :meth:`build` and
+        restore before reuse to keep those reproducible."""
         return self._rng.bit_generator.state
 
     @traffic_rng_state.setter

@@ -15,6 +15,7 @@ generation fast.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 import numpy as np
@@ -28,11 +29,11 @@ from .episodes import (
     pareto_sampler,
 )
 from .rng import RngFactory
-from .segments import SegmentKind
+from .segments import Segment, SegmentKind
 from .topology import Topology
 from .units import HOUR, MILLISECOND
 
-__all__ = ["TimelineBank", "SegmentState", "build_state"]
+__all__ = ["TimelineBank", "SegmentState", "SegmentTimelineRecipe", "build_state"]
 
 
 class TimelineBank:
@@ -194,99 +195,186 @@ def _apply_major_events(
                 )
 
 
-def build_state(
-    topology: Topology, horizon: float, rngs: RngFactory
-) -> SegmentState:
-    """Draw all stochastic state for ``topology`` over ``[0, horizon)``."""
-    if horizon <= 0:
-        raise ValueError("horizon must be positive")
-    cfg = topology.config
-    reg = topology.registry
-    n_seg = len(reg)
+class SegmentTimelineRecipe:
+    """Deterministic per-segment timeline generation, kind by kind.
 
-    class_cfg = {
-        SegmentKind.ACCESS_OUT: cfg.access,
-        SegmentKind.ACCESS_IN: cfg.access,
-        SegmentKind.ISP: cfg.isp,
-        SegmentKind.TRUNK: cfg.trunk,
-        SegmentKind.MIDDLE: cfg.middle,
-    }
+    Every segment's congestion/outage/delay timeline is a pure function
+    of (topology, horizon, seed) through its own named RNG substream, so
+    timelines can be generated in any order — eagerly all at once (the
+    classic :func:`build_state` path) or on demand by the engine's
+    :class:`repro.engine.substrate.LazyTimelineBank` — and come out
+    bitwise identical.  Shared-risk-group episodes are drawn once per
+    group (thread-safe) from the group's own stream.
+    """
 
-    cong_tls: list[Timeline] = []
-    outage_extra: dict[int, list[EpisodeSet]] = {}
-    delay_extra: dict[int, list[EpisodeSet]] = {}
-    _apply_major_events(topology, horizon, cfg.major_events, outage_extra, delay_extra)
+    def __init__(self, topology: Topology, horizon: float, rngs: RngFactory) -> None:
+        self.topology = topology
+        self.horizon = float(horizon)
+        self._rngs = rngs
+        cfg = topology.config
+        self.cfg = cfg
+        self.class_cfg = {
+            SegmentKind.ACCESS_OUT: cfg.access,
+            SegmentKind.ACCESS_IN: cfg.access,
+            SegmentKind.ISP: cfg.isp,
+            SegmentKind.TRUNK: cfg.trunk,
+            SegmentKind.MIDDLE: cfg.middle,
+        }
+        self._outage_extra: dict[int, list[EpisodeSet]] = {}
+        self._delay_extra: dict[int, list[EpisodeSet]] = {}
+        _apply_major_events(
+            topology, horizon, cfg.major_events, self._outage_extra, self._delay_extra
+        )
+        # SRG-correlated outages: physical events (fibre cuts, line
+        # drops) drawn once per shared-risk group, applied to all members.
+        # The group's outage params and rate multiplier come from its
+        # lowest-sid member with an outage config — pinned here so
+        # generation order (eager sweep, lazy first-touch, concurrent
+        # shard threads) can never change which member's settings win.
+        self._srg_outage: dict[str, tuple[OutageParams, float]] = {}
+        for seg in topology.registry:
+            scfg = self.class_cfg[seg.kind]
+            if (
+                seg.srg is not None
+                and scfg.outage is not None
+                and seg.srg not in self._srg_outage
+            ):
+                self._srg_outage[seg.srg] = (scfg.outage, self._mults(seg)[1])
+        self._srg_events: dict[str, EpisodeSet] = {}
+        self._srg_lock = threading.Lock()
 
-    base_loss = np.zeros(n_seg)
-    jitter_s = np.zeros(n_seg)
-    queue_s = np.zeros(n_seg)
-
-    # SRG-correlated outages: physical events (fibre cuts, line drops)
-    # drawn once per shared-risk group and applied to all members.
-    srg_events: dict[str, EpisodeSet] = {}
-
-    outage_tls: list[Timeline] = []
-    delay_tls: list[Timeline] = []
-    for seg in reg:
-        scfg = class_cfg[seg.kind]
-        cong_mult = 1.0
-        outage_mult = 1.0
+    def _mults(self, seg: Segment) -> tuple[float, float, float]:
+        """(congestion multiplier, outage multiplier, tz offset) of a segment."""
+        cong_mult = outage_mult = 1.0
         tz = 0.0
         if seg.host is not None:
-            host = topology.host(seg.host)
+            host = self.topology.host(seg.host)
             tz = host.tz_offset_h
             if seg.kind in (SegmentKind.ACCESS_IN, SegmentKind.ACCESS_OUT):
                 cong_mult = host.link_class.congestion_mult
                 outage_mult = host.link_class.outage_mult
+        return cong_mult, outage_mult, tz
 
-        # -- congestion --------------------------------------------------
-        if scfg.congestion is not None:
-            cp = scfg.congestion
-            profile = _diurnal_profile(horizon, cfg.diurnal_amplitude, tz)
-            rng = rngs.stream("congestion", seg.name)
-            eps = generate_poisson_episodes(
-                rng,
-                horizon,
-                cp.rate_per_hour * cong_mult * profile,
-                lognormal_sampler(cp.duration_median_s, cp.duration_sigma),
-                cp.severity.sampler(),
-            )
-            cong_tls.append(Timeline.from_episodes(eps, horizon, cp.corr_length_s))
-        else:
-            cong_tls.append(Timeline.quiet(horizon))
+    def congestion(self, seg: Segment) -> Timeline:
+        scfg = self.class_cfg[seg.kind]
+        if scfg.congestion is None:
+            return Timeline.quiet(self.horizon)
+        cp = scfg.congestion
+        cong_mult, _, tz = self._mults(seg)
+        profile = _diurnal_profile(self.horizon, self.cfg.diurnal_amplitude, tz)
+        rng = self._rngs.stream("congestion", seg.name)
+        eps = generate_poisson_episodes(
+            rng,
+            self.horizon,
+            cp.rate_per_hour * cong_mult * profile,
+            lognormal_sampler(cp.duration_median_s, cp.duration_sigma),
+            cp.severity.sampler(),
+        )
+        return Timeline.from_episodes(eps, self.horizon, cp.corr_length_s)
 
-        # -- outages -----------------------------------------------------
+    def _srg(self, srg: str) -> EpisodeSet:
+        with self._srg_lock:
+            if srg not in self._srg_events:
+                params, mult = self._srg_outage[srg]
+                srg_rng = self._rngs.stream("srg", srg)
+                # shared events are rarer than per-direction ones
+                self._srg_events[srg] = _outage_episodes(
+                    srg_rng, self.horizon, params, 0.5 * mult
+                )
+            return self._srg_events[srg]
+
+    def outage(self, seg: Segment) -> Timeline:
+        scfg = self.class_cfg[seg.kind]
+        _, outage_mult, _ = self._mults(seg)
         pieces: list[EpisodeSet] = []
         if scfg.outage is not None:
-            rng = rngs.stream("outage", seg.name)
-            pieces.append(_outage_episodes(rng, horizon, scfg.outage, outage_mult))
+            rng = self._rngs.stream("outage", seg.name)
+            pieces.append(_outage_episodes(rng, self.horizon, scfg.outage, outage_mult))
             if seg.srg is not None:
-                if seg.srg not in srg_events:
-                    srg_rng = rngs.stream("srg", seg.srg)
-                    # shared events are rarer than per-direction ones
-                    srg_events[seg.srg] = _outage_episodes(
-                        srg_rng, horizon, scfg.outage, 0.5 * outage_mult
-                    )
-                pieces.append(srg_events[seg.srg])
-        pieces.extend(outage_extra.get(seg.sid, []))
-        corr = scfg.outage.corr_length_s if scfg.outage else 120.0
-        outage_tls.append(
-            Timeline.from_episodes(EpisodeSet.concat(pieces), horizon, corr)
+                pieces.append(self._srg(seg.srg))
+        pieces.extend(self._outage_extra.get(seg.sid, []))
+        return Timeline.from_episodes(
+            EpisodeSet.concat(pieces), self.horizon, self.corr_length(seg, "outage")
         )
 
-        # -- delay pathologies (access segments only) ----------------------
+    def delay(self, seg: Segment) -> Timeline:
         dpieces: list[EpisodeSet] = []
         if seg.kind in (SegmentKind.ACCESS_IN, SegmentKind.ACCESS_OUT):
-            rng = rngs.stream("pathology", seg.name)
-            dpieces.append(_pathology_episodes(rng, horizon, cfg.pathology))
-        dpieces.extend(delay_extra.get(seg.sid, []))
-        delay_tls.append(
-            Timeline.from_episodes(EpisodeSet.concat(dpieces), horizon, 60.0)
+            rng = self._rngs.stream("pathology", seg.name)
+            dpieces.append(_pathology_episodes(rng, self.horizon, self.cfg.pathology))
+        dpieces.extend(self._delay_extra.get(seg.sid, []))
+        return Timeline.from_episodes(EpisodeSet.concat(dpieces), self.horizon, 60.0)
+
+    def timeline(self, kind: str, seg: Segment) -> Timeline:
+        return {"congestion": self.congestion, "outage": self.outage, "delay": self.delay}[
+            kind
+        ](seg)
+
+    def corr_length(self, seg: Segment, kind: str) -> float:
+        """Correlation length of one cause on one segment (config-only:
+        needs no episode generation, so lazy banks can expose the full
+        ``corr_length`` array up front)."""
+        scfg = self.class_cfg[seg.kind]
+        if kind == "congestion":
+            return scfg.congestion.corr_length_s if scfg.congestion else 0.0
+        if kind == "outage":
+            return scfg.outage.corr_length_s if scfg.outage else 120.0
+        if kind == "delay":
+            return 60.0
+        raise ValueError(f"unknown timeline kind {kind!r}")
+
+    def corr_lengths(self, kind: str) -> np.ndarray:
+        return np.array(
+            [self.corr_length(seg, kind) for seg in self.topology.registry],
+            dtype=np.float64,
         )
 
+
+def build_state(
+    topology: Topology,
+    horizon: float,
+    rngs: RngFactory,
+    substrate: str = "eager",
+    max_cached_segments: int | None = None,
+) -> SegmentState:
+    """Draw all stochastic state for ``topology`` over ``[0, horizon)``.
+
+    ``substrate="eager"`` (the default) generates every segment's
+    timelines up front; ``"lazy"`` defers generation to first use behind
+    an LRU budget of ``max_cached_segments`` per cause (see
+    :mod:`repro.engine.substrate`).  Both produce bitwise-identical
+    query results.
+    """
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    if substrate not in ("eager", "lazy"):
+        raise ValueError(f"substrate must be 'eager' or 'lazy', got {substrate!r}")
+    cfg = topology.config
+    reg = topology.registry
+    n_seg = len(reg)
+    recipe = SegmentTimelineRecipe(topology, horizon, rngs)
+
+    base_loss = np.zeros(n_seg)
+    jitter_s = np.zeros(n_seg)
+    queue_s = np.zeros(n_seg)
+    for seg in reg:
         base_loss[seg.sid] = seg.base_loss
         jitter_s[seg.sid] = seg.jitter_ms * MILLISECOND
         queue_s[seg.sid] = seg.queue_ms * MILLISECOND
+
+    if substrate == "lazy":
+        # function-level: netsim.substrate imports this module's types
+        from .substrate import LazyTimelineBank
+
+        banks = {
+            kind: LazyTimelineBank(recipe, kind, max_cached=max_cached_segments)
+            for kind in ("congestion", "outage", "delay")
+        }
+    else:
+        banks = {
+            kind: TimelineBank([recipe.timeline(kind, seg) for seg in reg], horizon)
+            for kind in ("congestion", "outage", "delay")
+        }
 
     # -- whole-host failures ---------------------------------------------
     host_down: list[Timeline] = []
@@ -305,9 +393,9 @@ def build_state(
     return SegmentState(
         topology=topology,
         horizon=horizon,
-        congestion=TimelineBank(cong_tls, horizon),
-        outage=TimelineBank(outage_tls, horizon),
-        delay=TimelineBank(delay_tls, horizon),
+        congestion=banks["congestion"],
+        outage=banks["outage"],
+        delay=banks["delay"],
         base_loss=base_loss,
         jitter_s=jitter_s,
         queue_s=queue_s,

@@ -1,0 +1,184 @@
+"""Lazy substrate: per-segment timelines generated on demand.
+
+Lives in ``repro.netsim`` (it depends on nothing above the netsim
+layer) and is re-exported as :mod:`repro.engine.substrate`, the
+scale-out engine's public face for it.
+
+A 100-host mesh has ~10k segments, each with three stochastic
+timelines.  Eager :func:`repro.netsim.state.build_state` draws them all
+before the first packet flies; this module defers each segment's
+generation to its first query and keeps at most ``max_cached`` of them
+alive per cause (LRU).  Because every timeline comes from its own named
+RNG substream (:class:`~repro.netsim.state.SegmentTimelineRecipe`),
+generation order — and eviction followed by regeneration — cannot
+change a single drawn value, so lazy and eager substrates answer every
+query bitwise identically.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+from .episodes import Timeline
+from .state import SegmentTimelineRecipe, TimelineBank
+
+__all__ = ["LazyTimelineBank"]
+
+
+class LazyTimelineBank:
+    """Drop-in for :class:`~repro.netsim.state.TimelineBank` that
+    materialises per-segment timelines on first use.
+
+    Queries use the same shifted-boundary arithmetic as the eager bank
+    (``t + sid * shift`` against ``boundaries + sid * shift``), with the
+    concatenation restricted to the segments a query actually touches —
+    the floats are computed from identical expressions, so results match
+    the eager bank bit for bit.
+    """
+
+    def __init__(
+        self,
+        recipe: SegmentTimelineRecipe,
+        kind: str,
+        max_cached: int | None = None,
+    ) -> None:
+        if max_cached is not None and max_cached < 1:
+            raise ValueError("max_cached must be None (unbounded) or >= 1")
+        self.recipe = recipe
+        self.kind = kind
+        self.horizon = recipe.horizon
+        self.shift = self.horizon * 2.0 + 1.0
+        self.corr_length = recipe.corr_lengths(kind)
+        self.n_segments = len(recipe.topology.registry)
+        self.max_cached = max_cached
+        self._cache: OrderedDict[int, Timeline] = OrderedDict()
+        self._lock = threading.Lock()
+        self._generated = 0
+        self._mean_severity: np.ndarray | None = None
+        #: once an unbounded cache holds every segment, queries delegate
+        #: to this prebuilt eager bank instead of re-concatenating
+        self._flat: TimelineBank | None = None
+
+    # ------------------------------------------------------------------
+    # cache
+    # ------------------------------------------------------------------
+
+    @property
+    def cached_segments(self) -> int:
+        return len(self._cache)
+
+    @property
+    def generated_segments(self) -> int:
+        """Lifetime generation count (> n_segments means LRU churn)."""
+        return self._generated
+
+    def _timelines_for(self, sids: np.ndarray) -> list[Timeline]:
+        reg = self.recipe.topology.registry
+        found: dict[int, Timeline] = {}
+        with self._lock:
+            for s in sids:
+                sid = int(s)
+                tl = self._cache.get(sid)
+                if tl is not None:
+                    self._cache.move_to_end(sid)
+                    found[sid] = tl
+        # generate misses *outside* the lock: each timeline comes from its
+        # own named substream, so concurrent shard threads generating the
+        # same segment produce identical objects — no serialisation needed
+        fresh = {
+            sid: self.recipe.timeline(self.kind, reg[sid])
+            for sid in {int(s) for s in sids} - found.keys()
+        }
+        if fresh:
+            with self._lock:
+                for sid, tl in fresh.items():
+                    cached = self._cache.get(sid)
+                    if cached is None:
+                        self._cache[sid] = tl
+                        self._generated += 1
+                    else:  # another thread won the race; both are identical
+                        self._cache.move_to_end(sid)
+                        fresh[sid] = cached
+                if self.max_cached is not None:
+                    while len(self._cache) > self.max_cached:
+                        self._cache.popitem(last=False)
+            found.update(fresh)
+        return [found[int(s)] for s in sids]
+
+    # ------------------------------------------------------------------
+    # queries (TimelineBank-compatible)
+    # ------------------------------------------------------------------
+
+    def severity_at(self, sids: np.ndarray, times: np.ndarray) -> np.ndarray:
+        """Severity of segment ``sids[i]`` at ``times[i]`` (vectorised).
+
+        ``sids`` may contain NO_SEGMENT (-1) padding; those entries and
+        out-of-horizon times return 0.
+        """
+        if self._flat is not None:
+            return self._flat.severity_at(sids, times)
+        sids, t = np.broadcast_arrays(
+            np.asarray(sids), np.asarray(times, dtype=np.float64)
+        )
+        ok = (sids >= 0) & (t >= 0.0) & (t < self.horizon)
+        out = np.zeros(sids.shape, dtype=np.float64)
+        if not ok.any():
+            return out
+        uniq = np.unique(sids[ok]).astype(np.int64)
+        tls = self._timelines_for(uniq)
+        bounds = np.concatenate(
+            [tl.boundaries + sid * self.shift for sid, tl in zip(uniq, tls)]
+        )
+        sevs = np.concatenate([tl.severity for tl in tls])
+        q = t[ok] + sids[ok] * self.shift
+        idx = np.searchsorted(bounds, q, side="right") - 1
+        out[ok] = sevs[idx]
+        self._maybe_flatten()
+        return out
+
+    #: unbounded caches graduate to the eager layout at this coverage
+    #: (some segments — e.g. same-region trunks of single-host regions —
+    #: sit on no path at all, so exact-full never happens).
+    FLATTEN_MIN_FRACTION = 0.95
+
+    def _maybe_flatten(self) -> None:
+        """Nearly-warm unbounded caches graduate to the eager layout, so
+        a long collection stops paying per-query concatenation; the few
+        never-touched stragglers are generated once here (the flat bank
+        answers bitwise identically either way)."""
+        if self.max_cached is not None or self._flat is not None:
+            return
+        if len(self._cache) < self.FLATTEN_MIN_FRACTION * self.n_segments:
+            return
+        tls = self._timelines_for(np.arange(self.n_segments))
+        with self._lock:
+            if self._flat is None:
+                self._flat = TimelineBank(tls, self.horizon)
+                # the flat bank owns the data now; keeping the per-segment
+                # cache too would double the substrate's memory
+                self._cache.clear()
+
+    @property
+    def mean_severity(self) -> np.ndarray:
+        """Per-segment time-average severity (generates every segment —
+        a diagnostics accessor, not a hot path)."""
+        if self._mean_severity is None:
+            if self._flat is not None:
+                self._mean_severity = self._flat.mean_severity
+            else:
+                tls = self._timelines_for(np.arange(self.n_segments))
+                self._mean_severity = np.array(
+                    [tl.mean_severity() for tl in tls], dtype=np.float64
+                )
+        return self._mean_severity
+
+    def materialize(self) -> TimelineBank:
+        """The equivalent eager bank (generates every segment)."""
+        if self._flat is not None:
+            return self._flat
+        return TimelineBank(
+            self._timelines_for(np.arange(self.n_segments)), self.horizon
+        )

@@ -113,6 +113,62 @@ class PathTable:
         self.relay_host[pid] = relay_host
         self.valid[pid] = True
 
+    #: rows per batch chunk; bounds the (rows, k) float temporaries.
+    BATCH_CHUNK = 262_144
+
+    def set_paths_batch(
+        self,
+        pids: np.ndarray,
+        segs: np.ndarray,
+        seg_prop: np.ndarray,
+        forward_loss: np.ndarray | float = 0.0,
+        forward_delay: float = 0.0,
+        relay_host: np.ndarray | int = -1,
+        forward_after: int | None = None,
+    ) -> None:
+        """Record a whole family of equal-length paths at once.
+
+        ``segs`` is ``(rows, k)`` of segment ids (no padding — every row
+        has exactly ``k`` segments) and ``seg_prop`` maps segment id to
+        propagation delay.  Offsets accumulate left-to-right exactly like
+        :meth:`set_path` (``np.cumsum`` adds in the same order as the
+        scalar loop, so the floats are bitwise identical), with
+        ``forward_delay`` folded in after column ``forward_after``.
+        """
+        pids = np.asarray(pids, dtype=np.int64)
+        segs = np.asarray(segs)
+        if segs.ndim != 2 or len(pids) != len(segs):
+            raise ValueError("segs must be (rows, k) matching pids")
+        k = segs.shape[1]
+        if k > self.MAX_LEN:
+            raise ValueError(f"paths of {k} segments exceed MAX_LEN")
+        if forward_after is not None and not 0 <= forward_after < k:
+            raise ValueError(f"forward_after {forward_after} outside path of {k} segments")
+        forward_loss = np.broadcast_to(np.asarray(forward_loss, dtype=np.float64), pids.shape)
+        relay_host = np.broadcast_to(np.asarray(relay_host, dtype=np.int32), pids.shape)
+        for lo in range(0, len(pids), self.BATCH_CHUNK):
+            hi = min(lo + self.BATCH_CHUNK, len(pids))
+            p, s = pids[lo:hi], segs[lo:hi]
+            prop = seg_prop[s]
+            if forward_after is None:
+                cum = np.cumsum(prop, axis=1)
+            else:
+                # splice the forwarding delay into the accumulation after
+                # the forward_after column, as the scalar loop does
+                ext = np.insert(prop, forward_after + 1, forward_delay, axis=1)
+                cum_ext = np.cumsum(ext, axis=1)
+                # offsets skip the fd entry up to forward_after and include
+                # it afterwards, which is exactly cum_ext minus column fa
+                cum = np.delete(cum_ext, forward_after, axis=1)
+            self.seg[p, :k] = s
+            self.offset[p, 0] = 0.0
+            self.offset[p, 1:k] = cum[:, :-1]
+            self.prop_total[p] = cum[:, -1]
+            self.forward_loss[p] = forward_loss[lo:hi]
+            self.forward_delay[p] = forward_delay
+            self.relay_host[p] = relay_host[lo:hi]
+            self.valid[p] = True
+
 
 @dataclass
 class Topology:
@@ -289,57 +345,77 @@ def build_topology(
                 queue_ms=config.middle.queue_ms,
             )
 
-    # --- path table ------------------------------------------------------
+    # --- path table (batch-assembled: N^2 direct + N^3 relay rows) -------
     paths = PathTable(n)
-    for s in range(n):
-        for d in range(n):
-            if s == d:
-                continue
-            hs, hd = hosts[s], hosts[d]
-            direct_segs = [
-                acc_out[s],
-                isp[s],
-                trunk[(hs.region, hd.region)],
-                middle[(s, d)],
-                isp[d],
-                acc_in[d],
-            ]
-            paths.set_path(paths.direct_pid(s, d), direct_segs)
-    for s in range(n):
-        for r in range(n):
-            for d in range(n):
-                if len({s, r, d}) != 3:
-                    continue
-                hs, hr, hd = hosts[s], hosts[r], hosts[d]
-                # per-host forwarding loss: explicit override, else the
-                # link-class default scaled by the config-wide knob
-                # (config.forward_loss == 0.009 leaves classes untouched).
-                fwd_loss = (
-                    hr.forward_loss
-                    if hr.forward_loss is not None
-                    else hr.link_class.forward_loss * (config.forward_loss / 0.009)
-                )
-                relay_segs = [
-                    acc_out[s],
-                    isp[s],
-                    trunk[(hs.region, hr.region)],
-                    middle[(s, r)],
-                    isp[r],
-                    acc_in[r],
-                    acc_out[r],
-                    trunk[(hr.region, hd.region)],
-                    middle[(r, d)],
-                    isp[d],
-                    acc_in[d],
-                ]
-                paths.set_path(
-                    paths.relay_pid(s, r, d),
-                    relay_segs,
-                    forward_loss=fwd_loss,
-                    forward_delay=config.forward_delay_ms * MILLISECOND,
-                    relay_host=r,
-                    forward_after=5,  # after the relay's ACCESS_IN
-                )
+    seg_prop = np.array([seg.prop_delay_s for seg in registry], dtype=np.float64)
+    acc_out_sid = np.array([seg.sid for seg in acc_out], dtype=np.int32)
+    acc_in_sid = np.array([seg.sid for seg in acc_in], dtype=np.int32)
+    isp_sid = np.array([seg.sid for seg in isp], dtype=np.int32)
+    region_idx = np.array([regions.index(h.region) for h in hosts], dtype=np.int64)
+    trunk_sid = np.array(
+        [[trunk[(r1, r2)].sid for r2 in regions] for r1 in regions], dtype=np.int32
+    )
+    middle_sid = np.full((n, n), NO_SEGMENT, dtype=np.int32)
+    for (s, d), seg in middle.items():
+        middle_sid[s, d] = seg.sid
+    # per-host forwarding loss: explicit override, else the link-class
+    # default scaled by the config-wide knob (config.forward_loss ==
+    # 0.009 leaves classes untouched).
+    fwd_loss_host = np.array(
+        [
+            h.forward_loss
+            if h.forward_loss is not None
+            else h.link_class.forward_loss * (config.forward_loss / 0.009)
+            for h in hosts
+        ],
+        dtype=np.float64,
+    )
+
+    idx = np.arange(n)
+    S, D = (a.ravel() for a in np.meshgrid(idx, idx, indexing="ij"))
+    keep = S != D
+    S, D = S[keep], D[keep]
+    direct_segs = np.stack(
+        [
+            acc_out_sid[S],
+            isp_sid[S],
+            trunk_sid[region_idx[S], region_idx[D]],
+            middle_sid[S, D],
+            isp_sid[D],
+            acc_in_sid[D],
+        ],
+        axis=1,
+    )
+    paths.set_paths_batch(paths.direct_pids(S, D), direct_segs, seg_prop)
+
+    S, R, D = (a.ravel() for a in np.meshgrid(idx, idx, idx, indexing="ij"))
+    keep = (S != R) & (S != D) & (R != D)
+    S, R, D = S[keep], R[keep], D[keep]
+    relay_segs = np.stack(
+        [
+            acc_out_sid[S],
+            isp_sid[S],
+            trunk_sid[region_idx[S], region_idx[R]],
+            middle_sid[S, R],
+            isp_sid[R],
+            acc_in_sid[R],
+            acc_out_sid[R],
+            trunk_sid[region_idx[R], region_idx[D]],
+            middle_sid[R, D],
+            isp_sid[D],
+            acc_in_sid[D],
+        ],
+        axis=1,
+    )
+    paths.set_paths_batch(
+        paths.relay_pids(S, R, D),
+        relay_segs,
+        seg_prop,
+        forward_loss=fwd_loss_host[R],
+        forward_delay=config.forward_delay_ms * MILLISECOND,
+        relay_host=R,
+        forward_after=5,  # after the relay's ACCESS_IN
+    )
 
     return Topology(
         hosts=hosts,

@@ -9,6 +9,20 @@ Round-trip mode (the RONwide dataset) sends a response packet back over
 the reverse of each forward route; a probe is lost if either direction
 loses it, and its RTT is the sum of the one-way latencies — matching
 Table 7's round-trip accounting.
+
+Execution model
+---------------
+The run is split into independent *source blocks*: every host's probes
+form one contiguous schedule slice, and each block draws its routing
+and packet-fate randomness from its own named substreams
+(``routes/<host>`` and ``traffic/<host>`` of the run's
+:class:`~repro.netsim.rng.RngFactory`).  A block's outcomes therefore
+depend only on (spec, seed, host) — never on which other blocks ran in
+the same process — which is what lets :class:`repro.engine.ShardedCollector`
+farm blocks out across cores and still produce the bitwise-identical
+trace.  The canonical row order of a finished trace is ascending
+``probe_id`` (applied here and by :meth:`Trace.concatenate`), so
+sequential and sharded runs serialise identically.
 """
 
 from __future__ import annotations
@@ -26,12 +40,23 @@ from repro.netsim.topology import PathTable
 from repro.trace.records import Trace, TraceMeta
 
 from .datasets import DatasetSpec
-from .probes import generate_schedule
+from .probes import ProbeSchedule, generate_schedule
 
-__all__ = ["collect", "CollectionResult"]
+__all__ = [
+    "collect",
+    "CollectionResult",
+    "CollectionPlan",
+    "prepare_collection",
+    "collect_rows",
+    "MAX_HOSTS",
+]
 
 #: turnaround delay at the responder for round-trip probes.
 RTT_TURNAROUND_S = 2e-4
+
+#: host ids, relays and trace host columns are int16; one more host and
+#: the trace arrays would silently wrap.
+MAX_HOSTS = int(np.iinfo(np.int16).max)
 
 
 @dataclass(frozen=True, eq=False)
@@ -51,6 +76,30 @@ class CollectionResult:
         )
 
 
+@dataclass(frozen=True, eq=False)
+class CollectionPlan:
+    """Everything the source blocks of one run share, read-only.
+
+    Built once by :func:`prepare_collection` (substrate, probing,
+    routing tables, schedule) and then handed to every evaluator —
+    the sequential loop in :func:`collect` or the shard workers of
+    :class:`repro.engine.ShardedCollector`.
+    """
+
+    meta: TraceMeta
+    seed: int
+    network: Network
+    methods: tuple[Method, ...]
+    tables: RoutingTables | None
+    sched: ProbeSchedule
+    #: host ``h`` owns schedule rows ``[bounds[h], bounds[h+1])``.
+    bounds: np.ndarray
+
+    @property
+    def n_hosts(self) -> int:
+        return len(self.meta.host_names)
+
+
 def _reverse_pids(
     paths: PathTable, src: np.ndarray, dst: np.ndarray, relay: np.ndarray
 ) -> np.ndarray:
@@ -66,13 +115,14 @@ def _eval_oneway(
     pid1: np.ndarray,
     pid2: np.ndarray | None,
     times: np.ndarray,
+    rng: np.random.Generator,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """(lost1, lat1, lost2, lat2) for one-way probes of one method."""
     if pid2 is None:
-        out = net.sample_packets(pid1, times)
+        out = net.sample_packets(pid1, times, rng=rng)
         n = len(times)
         return out.lost, out.latency, np.zeros(n, bool), np.full(n, np.nan)
-    pair: PairOutcome = net.sample_pairs(pid1, pid2, times, gap=m.gap_s)
+    pair: PairOutcome = net.sample_pairs(pid1, pid2, times, gap=m.gap_s, rng=rng)
     return pair.lost1, pair.latency1, pair.lost2, pair.latency2
 
 
@@ -86,6 +136,7 @@ def _eval_rtt(
     pid1: np.ndarray,
     pid2: np.ndarray | None,
     times: np.ndarray,
+    rng: np.random.Generator,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Round-trip evaluation: forward leg then response on the reverse route.
 
@@ -96,23 +147,187 @@ def _eval_rtt(
     paths = net.paths
     rpid1 = _reverse_pids(paths, src, dst, relay1)
     if pid2 is None:
-        fwd = net.sample_packets(pid1, times)
+        fwd = net.sample_packets(pid1, times, rng=rng)
         back_t = times + np.nan_to_num(fwd.latency, nan=0.0) + RTT_TURNAROUND_S
-        back = net.sample_packets(rpid1, back_t)
+        back = net.sample_packets(rpid1, back_t, rng=rng)
         lost = fwd.lost | back.lost
         rtt = fwd.latency + back.latency + RTT_TURNAROUND_S
         n = len(times)
         return lost, rtt, np.zeros(n, bool), np.full(n, np.nan)
     assert relay2 is not None
     rpid2 = _reverse_pids(paths, src, dst, relay2)
-    fwd = net.sample_pairs(pid1, pid2, times, gap=m.gap_s)
+    fwd = net.sample_pairs(pid1, pid2, times, gap=m.gap_s, rng=rng)
     back_t = times + np.nan_to_num(fwd.latency1, nan=0.0) + RTT_TURNAROUND_S
-    back = net.sample_pairs(rpid1, rpid2, back_t, gap=m.gap_s)
+    back = net.sample_pairs(rpid1, rpid2, back_t, gap=m.gap_s, rng=rng)
     lost1 = fwd.lost1 | back.lost1
     lost2 = fwd.lost2 | back.lost2
     rtt1 = fwd.latency1 + back.latency1 + RTT_TURNAROUND_S
     rtt2 = fwd.latency2 + back.latency2 + RTT_TURNAROUND_S
     return lost1, rtt1, lost2, rtt2
+
+
+def prepare_collection(
+    spec: DatasetSpec,
+    duration_s: float,
+    seed: int = 0,
+    include_events: bool = True,
+    network: Network | None = None,
+    substrate: str = "eager",
+    max_cached_segments: int | None = None,
+) -> CollectionPlan:
+    """Run the shared (unsharded) stages of a collection.
+
+    Substrate build (unless ``network`` is passed in), the probing
+    subsystem, routing tables and the measurement schedule all happen
+    exactly once per run, whatever the shard layout.  ``substrate`` /
+    ``max_cached_segments`` configure the build (see
+    :meth:`Network.build`) and are ignored for a prebuilt network.
+    """
+    if duration_s <= 0:
+        raise ValueError("duration must be positive")
+    rngs = RngFactory(seed)
+    cfg = spec.network_config(duration_s, include_events=include_events)
+    hosts = spec.hosts()
+    if len(hosts) > MAX_HOSTS:
+        raise ValueError(
+            f"{len(hosts)} hosts exceed the int16 host/relay id range of the "
+            f"trace arrays (max {MAX_HOSTS}); widen Trace.src/dst/relay "
+            "dtypes before scaling further"
+        )
+    if network is None:
+        network = Network.build(
+            hosts,
+            cfg,
+            duration_s,
+            seed=seed,
+            substrate=substrate,
+            max_cached_segments=max_cached_segments,
+        )
+    methods = tuple(METHODS.lookup(name) for name in spec.probe_methods)
+
+    # 1. the probing subsystem + routing tables (if any method needs them)
+    tables: RoutingTables | None = None
+    if any(m.needs_probing for m in methods):
+        series = run_probing(network, cfg.probing, rngs)
+        tables = build_routing_tables(series, cfg.probing)
+
+    # 2. measurement probe schedule
+    sched_rng = rngs.stream("schedule")
+    sched = generate_schedule(len(hosts), len(methods), duration_s, sched_rng)
+
+    meta = TraceMeta(
+        dataset=spec.name,
+        mode=spec.mode,
+        horizon_s=duration_s,
+        seed=seed,
+        host_names=tuple(h.name for h in hosts),
+        method_names=tuple(m.name for m in methods),
+    )
+    return CollectionPlan(
+        meta=meta,
+        seed=seed,
+        network=network,
+        methods=methods,
+        tables=tables,
+        sched=sched,
+        bounds=sched.source_bounds(len(hosts)),
+    )
+
+
+def collect_rows(plan: CollectionPlan, host_lo: int, host_hi: int) -> Trace:
+    """Route and evaluate the source blocks ``[host_lo, host_hi)``.
+
+    Returns a partial :class:`Trace` (full run meta, schedule row order)
+    covering exactly those hosts' probes.  Each block consumes its own
+    ``routes/<host>`` and ``traffic/<host>`` substreams, so the result
+    is identical whether blocks run in one process, across threads, or
+    in separate worker processes.
+    """
+    if not 0 <= host_lo < host_hi <= plan.n_hosts:
+        raise ValueError(f"invalid host range [{host_lo}, {host_hi})")
+    network, sched, mode = plan.network, plan.sched, plan.meta.mode
+    rngs = RngFactory(plan.seed)
+    lo, hi = int(plan.bounds[host_lo]), int(plan.bounds[host_hi])
+    n = hi - lo
+    relay1 = np.full(n, -1, dtype=np.int16)
+    relay2 = np.full(n, -1, dtype=np.int16)
+    lost1 = np.zeros(n, dtype=bool)
+    lost2 = np.zeros(n, dtype=bool)
+    lat1 = np.full(n, np.nan, dtype=np.float32)
+    lat2 = np.full(n, np.nan, dtype=np.float32)
+
+    # 3. route + evaluate, one source block at a time
+    for h in range(host_lo, host_hi):
+        blo, bhi = int(plan.bounds[h]), int(plan.bounds[h + 1])
+        if blo == bhi:
+            continue
+        route_rng = rngs.stream("routes", str(h))
+        traffic_rng = rngs.stream("traffic", str(h))
+        block_methods = sched.method_id[blo:bhi]
+        for mid, m in enumerate(plan.methods):
+            mask = block_methods == mid
+            if not mask.any():
+                continue
+            src = sched.src[blo:bhi][mask]
+            dst = sched.dst[blo:bhi][mask]
+            times = sched.t_send[blo:bhi][mask]
+            routes = resolve_routes(
+                m, src, dst, times, network.paths, plan.tables, route_rng
+            )
+            if mode == "oneway":
+                l1, la1, l2, la2 = _eval_oneway(
+                    network, m, routes.pid1, routes.pid2, times, traffic_rng
+                )
+            else:
+                l1, la1, l2, la2 = _eval_rtt(
+                    network,
+                    m,
+                    src,
+                    dst,
+                    routes.relay1,
+                    routes.relay2,
+                    routes.pid1,
+                    routes.pid2,
+                    times,
+                    traffic_rng,
+                )
+            sel = np.flatnonzero(mask) + (blo - lo)
+            relay1[sel] = routes.relay1
+            if routes.relay2 is not None:
+                relay2[sel] = routes.relay2
+            lost1[sel] = l1
+            lost2[sel] = l2
+            lat1[sel] = np.where(l1, np.nan, la1)
+            lat2[sel] = np.where(l2, np.nan, la2)
+
+    # 4. host-failure exclusions (the collector-side ground truth; the
+    # paper's trace-side detection lives in repro.trace.filters)
+    src_rows = sched.src[lo:hi]
+    dst_rows = sched.dst[lo:hi]
+    t_rows = sched.t_send[lo:hi]
+    send_down = network.state.host_down_at(src_rows, t_rows)
+    recv_down = network.state.host_down_at(dst_rows, t_rows)
+    excluded = send_down | recv_down
+    # probes to a dead receiver are also losses on the wire
+    pair_mask = np.array([m.is_pair for m in plan.methods])[sched.method_id[lo:hi]]
+    lost1 |= recv_down
+    lost2 |= recv_down & pair_mask
+
+    return Trace(
+        meta=plan.meta,
+        probe_id=sched.probe_id[lo:hi],
+        method_id=sched.method_id[lo:hi],
+        src=src_rows.astype(np.int16),
+        dst=dst_rows.astype(np.int16),
+        t_send=t_rows,
+        relay1=relay1,
+        relay2=relay2,
+        lost1=lost1,
+        lost2=lost2,
+        latency1=lat1,
+        latency2=lat2,
+        excluded=excluded,
+    )
 
 
 def collect(
@@ -128,100 +343,10 @@ def collect(
     Pass a prebuilt ``network`` to reuse substrate state across
     collections (ablations that compare methods on identical weather).
     """
-    if duration_s <= 0:
-        raise ValueError("duration must be positive")
-    rngs = RngFactory(seed)
-    cfg = spec.network_config(duration_s, include_events=include_events)
-    hosts = spec.hosts()
-    if network is None:
-        network = Network.build(hosts, cfg, duration_s, seed=seed)
-    methods = [METHODS.lookup(name) for name in spec.probe_methods]
-
-    # 1. the probing subsystem + routing tables (if any method needs them)
-    tables: RoutingTables | None = None
-    if any(m.needs_probing for m in methods):
-        series = run_probing(network, cfg.probing, rngs)
-        tables = build_routing_tables(series, cfg.probing)
-
-    # 2. measurement probe schedule
-    sched_rng = rngs.stream("schedule")
-    sched = generate_schedule(
-        len(hosts), len(methods), duration_s, sched_rng
+    plan = prepare_collection(
+        spec, duration_s, seed=seed, include_events=include_events, network=network
     )
-
-    # 3. route + evaluate per method
-    route_rng = rngs.stream("routes")
-    n = len(sched)
-    relay1 = np.full(n, -1, dtype=np.int16)
-    relay2 = np.full(n, -1, dtype=np.int16)
-    lost1 = np.zeros(n, dtype=bool)
-    lost2 = np.zeros(n, dtype=bool)
-    lat1 = np.full(n, np.nan, dtype=np.float32)
-    lat2 = np.full(n, np.nan, dtype=np.float32)
-
-    for mid, m in enumerate(methods):
-        mask = sched.method_id == mid
-        if not mask.any():
-            continue
-        src = sched.src[mask].astype(np.int64)
-        dst = sched.dst[mask].astype(np.int64)
-        times = sched.t_send[mask]
-        routes = resolve_routes(m, src, dst, times, network.paths, tables, route_rng)
-        if spec.mode == "oneway":
-            l1, la1, l2, la2 = _eval_oneway(
-                network, m, routes.pid1, routes.pid2, times
-            )
-        else:
-            l1, la1, l2, la2 = _eval_rtt(
-                network,
-                m,
-                src,
-                dst,
-                routes.relay1,
-                routes.relay2,
-                routes.pid1,
-                routes.pid2,
-                times,
-            )
-        relay1[mask] = routes.relay1
-        if routes.relay2 is not None:
-            relay2[mask] = routes.relay2
-        lost1[mask] = l1
-        lost2[mask] = l2
-        lat1[mask] = np.where(l1, np.nan, la1)
-        lat2[mask] = np.where(l2, np.nan, la2)
-
-    # 4. host-failure exclusions (the collector-side ground truth; the
-    # paper's trace-side detection lives in repro.trace.filters)
-    send_down = network.state.host_down_at(sched.src, sched.t_send)
-    recv_down = network.state.host_down_at(sched.dst, sched.t_send)
-    excluded = send_down | recv_down
-    # probes to a dead receiver are also losses on the wire
-    pair_mask = np.array([m.is_pair for m in methods])[sched.method_id]
-    lost1 |= recv_down
-    lost2 |= recv_down & pair_mask
-
-    meta = TraceMeta(
-        dataset=spec.name,
-        mode=spec.mode,
-        horizon_s=duration_s,
-        seed=seed,
-        host_names=tuple(h.name for h in hosts),
-        method_names=tuple(m.name for m in methods),
-    )
-    trace = Trace(
-        meta=meta,
-        probe_id=sched.probe_id,
-        method_id=sched.method_id,
-        src=sched.src,
-        dst=sched.dst,
-        t_send=sched.t_send,
-        relay1=relay1,
-        relay2=relay2,
-        lost1=lost1,
-        lost2=lost2,
-        latency1=lat1,
-        latency2=lat2,
-        excluded=excluded,
-    )
-    return CollectionResult(trace=trace, network=network, tables=tables)
+    # concatenate of one part applies the canonical probe_id ordering,
+    # making this literally the one-shard case of the engine
+    trace = Trace.concatenate([collect_rows(plan, 0, plan.n_hosts)])
+    return CollectionResult(trace=trace, network=plan.network, tables=plan.tables)

@@ -24,13 +24,22 @@ class ProbeSchedule:
     """All measurement probes of a run, before routing/evaluation."""
 
     t_send: np.ndarray  # float64, sorted within each source
-    src: np.ndarray  # int16
-    dst: np.ndarray  # int16
+    src: np.ndarray  # int64; rows are grouped by source (host 0 first)
+    dst: np.ndarray  # int64
     method_id: np.ndarray  # int16 into the run's method list
     probe_id: np.ndarray  # uint64 random identifiers
 
     def __len__(self) -> int:
         return len(self.t_send)
+
+    def source_bounds(self, n_hosts: int) -> np.ndarray:
+        """Row bounds of each source host's contiguous block.
+
+        Host ``h`` owns rows ``[bounds[h], bounds[h+1])`` — the layout
+        :func:`generate_schedule` emits, which is what lets sharded
+        collection slice the schedule without reordering it.
+        """
+        return np.searchsorted(self.src, np.arange(n_hosts + 1))
 
 
 def generate_schedule(
@@ -68,7 +77,7 @@ def generate_schedule(
 
     t_send = np.concatenate([t for t, _ in per_host])
     src = np.concatenate(
-        [np.full(len(t), h, dtype=np.int16) for t, h in per_host]
+        [np.full(len(t), h, dtype=np.int64) for t, h in per_host]
     )
     # cycle methods per host, offset by host index
     method_id = np.concatenate(
@@ -77,8 +86,9 @@ def generate_schedule(
             for t, h in per_host
         ]
     )
-    # uniform destination != src
-    dst = rng.integers(0, n_hosts - 1, len(t_send)).astype(np.int16)
+    # uniform destination != src; emitted at int64 so routing and path-id
+    # arithmetic downstream never needs widening copies
+    dst = rng.integers(0, n_hosts - 1, len(t_send))
     dst = dst + (dst >= src)
     probe_id = rng.integers(0, 2**63, len(t_send), dtype=np.uint64)
     return ProbeSchedule(

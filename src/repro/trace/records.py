@@ -171,17 +171,43 @@ class Trace:
 
     @staticmethod
     def concatenate(traces: list["Trace"]) -> "Trace":
-        """Merge traces from one run (same meta), ordered by send time."""
+        """Merge partial traces of one run into canonical order.
+
+        Every part must carry the *same* run meta (dataset, mode,
+        horizon, seed, hosts, methods) — merging shards of different
+        runs would silently interleave incompatible probes, so a
+        mismatch raises naming the offending fields.  The merged rows
+        are sorted by ``probe_id``: the identifiers are random 63-bit
+        values, so this is a deterministic total order that does not
+        depend on how the run was sharded.
+        """
         if not traces:
             raise ValueError("cannot concatenate zero traces")
         meta = traces[0].meta
-        for t in traces[1:]:
+        for i, t in enumerate(traces[1:], start=1):
             if t.meta != meta:
-                raise ValueError("cannot concatenate traces with different meta")
+                fields = [
+                    f
+                    for f in (
+                        "dataset",
+                        "mode",
+                        "horizon_s",
+                        "seed",
+                        "host_names",
+                        "method_names",
+                    )
+                    if getattr(t.meta, f) != getattr(meta, f)
+                ]
+                raise ValueError(
+                    f"cannot concatenate traces from different runs: part {i} "
+                    f"disagrees with part 0 on {', '.join(fields)} "
+                    f"({meta.dataset!r} seed {meta.seed} vs "
+                    f"{t.meta.dataset!r} seed {t.meta.seed})"
+                )
         kwargs = {
             name: np.concatenate([getattr(t, name) for t in traces])
             for name in Trace.ARRAY_FIELDS
         }
         merged = Trace(meta=meta, **kwargs)
-        order = np.argsort(merged.t_send, kind="stable")
+        order = np.argsort(merged.probe_id, kind="stable")
         return merged.select(order)

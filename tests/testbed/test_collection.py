@@ -63,6 +63,20 @@ class TestRon2003Collection:
         with pytest.raises(ValueError):
             collect(RON2003, duration_s=0.0)
 
+    def test_rejects_hosts_beyond_int16_range(self):
+        import dataclasses
+
+        from repro.testbed import RON2003, hosts_2003
+        from repro.testbed.collection import MAX_HOSTS
+
+        template = hosts_2003()[0]
+        big = [
+            dataclasses.replace(template, name=f"h{i}") for i in range(MAX_HOSTS + 1)
+        ]
+        spec = dataclasses.replace(RON2003, name="TooBig", hosts_fn=lambda: big)
+        with pytest.raises(ValueError, match="int16"):
+            collect(spec, duration_s=10.0, seed=0)
+
 
 class TestNarrowCollection:
     @pytest.fixture(scope="class")

@@ -41,6 +41,21 @@ class TestSchedule:
         s = generate_schedule(3, 2, 3600.0, rng)
         assert len(np.unique(s.probe_id)) == len(s)
 
+    def test_host_ids_emitted_at_int64(self, rng):
+        # routing/path-id arithmetic consumes these directly; emitting
+        # int64 here is what keeps collect() free of widening copies
+        s = generate_schedule(4, 2, 600.0, rng)
+        assert s.src.dtype == np.int64
+        assert s.dst.dtype == np.int64
+
+    def test_rows_grouped_by_source(self, rng):
+        s = generate_schedule(5, 2, 900.0, rng)
+        assert np.all(np.diff(s.src) >= 0)
+        bounds = s.source_bounds(5)
+        assert bounds[0] == 0 and bounds[-1] == len(s)
+        for h in range(5):
+            assert np.all(s.src[bounds[h] : bounds[h + 1]] == h)
+
     def test_validation(self, rng):
         with pytest.raises(ValueError):
             generate_schedule(1, 1, 100.0, rng)

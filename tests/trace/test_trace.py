@@ -88,17 +88,29 @@ class TestTrace:
         assert recs[1].relay2 == "C"
         assert recs[0].relay1 is None  # direct
 
-    def test_concatenate_sorts_by_time(self):
+    def test_concatenate_sorts_by_probe_id(self):
         t = make_trace(10)
         a = t.select(np.arange(10) >= 5)
         b = t.select(np.arange(10) < 5)
         merged = Trace.concatenate([a, b])
-        assert np.all(np.diff(merged.t_send) >= 0)
+        assert np.all(np.diff(merged.probe_id.astype(np.int64)) >= 0)
         assert len(merged) == 10
 
+    def test_concatenate_is_shard_invariant(self):
+        # any partition of the rows merges back to the same canonical order
+        t = Trace.concatenate([make_trace(12)])
+        thirds = [t.select(np.arange(12) % 3 == k) for k in range(3)]
+        halves = [t.select(np.arange(12) < 6), t.select(np.arange(12) >= 6)]
+        for parts in (thirds, halves):
+            merged = Trace.concatenate(parts)
+            np.testing.assert_array_equal(merged.probe_id, t.probe_id)
+            np.testing.assert_array_equal(merged.t_send, t.t_send)
+
     def test_concatenate_rejects_mixed_meta(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="mode"):
             Trace.concatenate([make_trace(2, seed=0), make_trace(2, mode="rtt")])
+        with pytest.raises(ValueError, match="seed"):
+            Trace.concatenate([make_trace(2, seed=0), make_trace(2, seed=1)])
 
     def test_meta_validation(self):
         with pytest.raises(ValueError):
