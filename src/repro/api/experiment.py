@@ -94,7 +94,9 @@ class Experiment:
         to reuse substrates across experiments (``max_workers`` and
         ``engine`` then belong to that runner, so combining them is an
         error), or an ``engine`` config to collect large scenarios on
-        the sharded scale-out engine.
+        the sharded scale-out engine — probing, routing-table build and
+        collection all fan out across cores, bitwise identical to the
+        sequential pipeline.
         """
         runner = self._resolve_runner(runner, max_workers, engine)
         sweep = runner.run(self.spec)

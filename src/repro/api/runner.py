@@ -59,8 +59,12 @@ class Runner:
         ``engine.min_hosts`` hosts are collected by a
         :class:`~repro.engine.ShardedCollector` (all cores on one run,
         optionally over a lazy substrate) instead of the sequential
-        pipeline.  Results are bitwise identical either way; smaller
-        scenarios keep the cheaper sequential path.
+        pipeline.  The probing subsystem of an engine run is sharded
+        too (:class:`~repro.engine.ShardedProbe`, tuned by
+        ``engine.probe_shards``/``probe_executor``): routing tables are
+        computed once in parallel, then shared read-only by every
+        collection shard.  Results are bitwise identical either way;
+        smaller scenarios keep the cheaper sequential path.
     """
 
     def __init__(

@@ -23,9 +23,27 @@ from .methods import (
     method,
     register_method,
 )
-from .reactive import ProbeSeries, RoutingTables, build_routing_tables, run_probing
+from .reactive import (
+    ProbeBlock,
+    ProbeSeries,
+    ProbingPlan,
+    RoutingTables,
+    build_routing_tables,
+    merge_probe_blocks,
+    prepare_probing,
+    probe_estimates,
+    probe_rows,
+    run_probing,
+)
 from .router import ResolvedRoutes, resolve_routes
-from .selector import DIRECT, Choice, SelectionTables, combine_loss, select_paths
+from .selector import (
+    DIRECT,
+    Choice,
+    SelectionTables,
+    combine_loss,
+    select_paths,
+    select_paths_batch,
+)
 
 __all__ = [
     "Choice",
@@ -34,7 +52,9 @@ __all__ = [
     "Method",
     "MethodRegistry",
     "PathHistory",
+    "ProbeBlock",
     "ProbeSeries",
+    "ProbingPlan",
     "RON2003_PROBE_METHODS",
     "RONNARROW_PROBE_METHODS",
     "RONWIDE_PROBE_METHODS",
@@ -46,10 +66,15 @@ __all__ = [
     "TABLE7_ROWS",
     "build_routing_tables",
     "combine_loss",
+    "merge_probe_blocks",
     "method",
+    "prepare_probing",
+    "probe_estimates",
+    "probe_rows",
     "random_relays",
     "register_method",
     "resolve_routes",
     "run_probing",
     "select_paths",
+    "select_paths_batch",
 ]

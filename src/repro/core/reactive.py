@@ -11,10 +11,27 @@ substrate.  :func:`build_routing_tables` turns the outcome series into
 per-grid-slot best/runner-up path choices for both optimisation
 criteria.  The event-driven node in :mod:`repro.testbed.ron` implements
 the identical protocol probe-by-probe; tests cross-validate the two.
+
+Execution model
+---------------
+Like the measurement pipeline, probing splits into independent *source
+blocks*: :func:`prepare_probing` fixes the shared slot grid, and
+:func:`probe_rows` evaluates every probe sent *by* one contiguous range
+of source hosts, with each host drawing its phases and packet fates
+from its own named substream (``probing/<host>``).  A block therefore
+depends only on (network, params, seed, host) — never on which other
+blocks ran alongside it — which is what lets
+:class:`repro.engine.ShardedProbe` farm blocks out across cores and
+still merge (:func:`merge_probe_blocks`) into the bitwise-identical
+:class:`ProbeSeries`.  :func:`build_routing_tables` then selects paths
+for *all* slots at once via
+:func:`~repro.core.selector.select_paths_batch`, in slot blocks that
+bound the (G, n, n, n) candidate working set.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -23,9 +40,28 @@ from repro.netsim.config import ProbingParams
 from repro.netsim.network import Network
 from repro.netsim.rng import RngFactory
 
-from .selector import DIRECT, SelectionTables, select_paths
+from .selector import select_paths_batch
 
-__all__ = ["ProbeSeries", "RoutingTables", "run_probing", "build_routing_tables"]
+__all__ = [
+    "ProbeSeries",
+    "RoutingTables",
+    "ProbingPlan",
+    "ProbeBlock",
+    "prepare_probing",
+    "probe_rows",
+    "merge_probe_blocks",
+    "run_probing",
+    "probe_estimates",
+    "build_routing_tables",
+]
+
+
+def _digest(arrays) -> str:
+    """SHA-256 over the raw bytes of a sequence of arrays."""
+    h = hashlib.sha256()
+    for a in arrays:
+        h.update(np.ascontiguousarray(a).tobytes())
+    return h.hexdigest()
 
 
 @dataclass
@@ -47,6 +83,10 @@ class ProbeSeries:
     @property
     def n_hosts(self) -> int:
         return self.lost.shape[1]
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the outcome arrays: bitwise identity witness."""
+        return _digest((self.lost, self.latency))
 
 
 @dataclass
@@ -72,6 +112,12 @@ class RoutingTables:
         return self.loss_best.shape[0]
 
     def slot_of(self, times: np.ndarray) -> np.ndarray:
+        """Grid slot in force at each time, clamped to the horizon.
+
+        Times past the last slot (and before the first) clamp rather
+        than index out of bounds: stale tables stay in force, exactly
+        like a real node that has stopped hearing fresh probes.
+        """
         g = (np.asarray(times, dtype=np.float64) // self.interval).astype(np.int64)
         return np.clip(g, 0, self.n_slots - 1)
 
@@ -95,6 +141,145 @@ class RoutingTables:
             raise ValueError(f"unknown criterion {criterion!r} (use 'loss' or 'lat')")
         return table[g, src, dst]
 
+    def fingerprint(self) -> str:
+        """SHA-256 over every table array: bitwise identity witness."""
+        return _digest(
+            (
+                self.loss_best,
+                self.loss_second,
+                self.lat_best,
+                self.lat_second,
+                self.loss_est,
+                self.failed,
+            )
+        )
+
+
+@dataclass(frozen=True, eq=False)
+class ProbingPlan:
+    """Everything the source blocks of one probing run share, read-only.
+
+    Built once by :func:`prepare_probing` and handed to every
+    :func:`probe_rows` evaluator — the serial loop in
+    :func:`run_probing` or the shard workers of
+    :class:`repro.engine.ShardedProbe`.
+    """
+
+    network: Network
+    params: ProbingParams
+    rngs: RngFactory
+    n_slots: int
+
+    @property
+    def n_hosts(self) -> int:
+        return self.network.topology.n_hosts
+
+    @property
+    def interval(self) -> float:
+        return self.params.probe_interval_s
+
+
+@dataclass(frozen=True, eq=False)
+class ProbeBlock:
+    """Probe outcomes for the source hosts ``[host_lo, host_hi)``.
+
+    ``lost``/``latency`` are (G, host_hi - host_lo, n): row ``h -
+    host_lo`` holds host ``h``'s probes toward every destination.
+    """
+
+    host_lo: int
+    host_hi: int
+    lost: np.ndarray
+    latency: np.ndarray
+
+
+def prepare_probing(
+    network: Network,
+    params: ProbingParams,
+    rngs: RngFactory,
+) -> ProbingPlan:
+    """Fix the shared state of one probing run (the slot grid)."""
+    n_slots = max(int(network.horizon // params.probe_interval_s), 1)
+    return ProbingPlan(network=network, params=params, rngs=rngs, n_slots=n_slots)
+
+
+def probe_rows(plan: ProbingPlan, host_lo: int, host_hi: int) -> ProbeBlock:
+    """Evaluate every probe sent by the source hosts ``[host_lo, host_hi)``.
+
+    Each host draws its per-destination phases and packet fates from its
+    own ``probing/<host>`` substream, so the block is identical whether
+    it runs alone, alongside other blocks, or inside one big range —
+    the invariant behind :class:`repro.engine.ShardedProbe`.  Probes to
+    or from a failed host are counted as lost — which is exactly what
+    lets reactive routing route around host and access failures.
+    """
+    n = plan.n_hosts
+    if not 0 <= host_lo < host_hi <= n:
+        raise ValueError(f"invalid host range [{host_lo}, {host_hi})")
+    network, interval, n_slots = plan.network, plan.interval, plan.n_slots
+    width = host_hi - host_lo
+    lost = np.zeros((n_slots, width, n), dtype=bool)
+    latency = np.full((n_slots, width, n), np.nan, dtype=np.float32)
+    hosts = np.arange(n)
+
+    for h in range(host_lo, host_hi):
+        rng = plan.rngs.stream("probing", str(h))
+        dst = hosts[hosts != h]
+        n_dst = len(dst)
+        if n_dst == 0:
+            continue
+        pids = network.paths.direct_pids(np.full(n_dst, h), dst)
+        phase = rng.uniform(0.0, interval, n_dst)
+        row = h - host_lo
+
+        # evaluate slot-blocks in batches to bound memory; the block
+        # size depends only on n, so every shard layout draws the
+        # host's stream in the identical order
+        block = max(1, int(2_000_000 // n_dst))
+        for g0 in range(0, n_slots, block):
+            g1 = min(g0 + block, n_slots)
+            slots = np.arange(g0, g1)
+            times = (slots[:, None] * interval + phase[None, :]).ravel()
+            b_pids = np.tile(pids, g1 - g0)
+            out = network.sample_packets(b_pids, times, rng=rng)
+            b_lost = out.lost.reshape(g1 - g0, n_dst)
+            b_lat = out.latency.reshape(g1 - g0, n_dst)
+
+            # host failures take whole nodes out: probes die
+            down = network.state.host_down_at(
+                np.tile(dst, g1 - g0), times
+            ) | network.state.host_down_at(np.full((g1 - g0) * n_dst, h), times)
+            b_lost |= down.reshape(g1 - g0, n_dst)
+
+            lost[g0:g1, row, dst] = b_lost
+            latency[g0:g1, row, dst] = np.where(b_lost, np.nan, b_lat)
+
+    return ProbeBlock(host_lo=host_lo, host_hi=host_hi, lost=lost, latency=latency)
+
+
+def merge_probe_blocks(plan: ProbingPlan, blocks) -> ProbeSeries:
+    """Assemble source blocks into the full (G, n, n) probe series.
+
+    Blocks may arrive in any order but must tile ``range(n_hosts)``
+    exactly once; gaps and overlaps raise with the offending hosts.
+    """
+    n, n_slots = plan.n_hosts, plan.n_slots
+    lost = np.zeros((n_slots, n, n), dtype=bool)
+    latency = np.full((n_slots, n, n), np.nan, dtype=np.float32)
+    covered = np.zeros(n, dtype=bool)
+    for b in blocks:
+        if covered[b.host_lo : b.host_hi].any():
+            raise ValueError(
+                f"overlapping probe blocks at hosts [{b.host_lo}, {b.host_hi})"
+            )
+        covered[b.host_lo : b.host_hi] = True
+        lost[:, b.host_lo : b.host_hi, :] = b.lost
+        latency[:, b.host_lo : b.host_hi, :] = b.latency
+    if not covered.all():
+        missing = np.flatnonzero(~covered)
+        raise ValueError(f"probe blocks left source hosts {missing.tolist()} uncovered")
+    return ProbeSeries(interval=plan.interval, lost=lost, latency=latency)
+
 
 def run_probing(
     network: Network,
@@ -104,47 +289,13 @@ def run_probing(
     """Simulate the all-pairs probing subsystem over the whole horizon.
 
     Each ordered pair is probed once per ``probe_interval_s`` with a
-    stable per-pair phase.  Probes to or from a failed host are counted
-    as lost — which is exactly what lets reactive routing route around
-    host and access failures.
+    stable per-pair phase.  This is the one-block case of the sharded
+    evaluator: ``prepare_probing`` + a single ``probe_rows`` over every
+    source host, so :class:`repro.engine.ShardedProbe` output is
+    bitwise identical by construction.
     """
-    n = network.topology.n_hosts
-    interval = params.probe_interval_s
-    n_slots = max(int(network.horizon // interval), 1)
-    rng = rngs.stream("probing")
-
-    src, dst = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
-    off_diag = src != dst
-    src = src[off_diag]
-    dst = dst[off_diag]
-    n_pairs = len(src)
-    pids = network.paths.direct_pids(src, dst)
-    phase = rng.uniform(0.0, interval, n_pairs)
-
-    lost = np.zeros((n_slots, n, n), dtype=bool)
-    latency = np.full((n_slots, n, n), np.nan, dtype=np.float32)
-
-    # evaluate slot-blocks in batches to bound memory
-    block = max(1, int(2_000_000 // max(n_pairs, 1)))
-    for g0 in range(0, n_slots, block):
-        g1 = min(g0 + block, n_slots)
-        slots = np.arange(g0, g1)
-        times = (slots[:, None] * interval + phase[None, :]).ravel()
-        b_pids = np.tile(pids, g1 - g0)
-        out = network.sample_packets(b_pids, times, rng=rng)
-        b_lost = out.lost.reshape(g1 - g0, n_pairs)
-        b_lat = out.latency.reshape(g1 - g0, n_pairs)
-
-        # host failures take whole nodes out: probes die
-        down = network.state.host_down_at(
-            np.tile(dst, g1 - g0), times
-        ) | network.state.host_down_at(np.tile(src, g1 - g0), times)
-        b_lost |= down.reshape(g1 - g0, n_pairs)
-
-        lost[g0:g1, src, dst] = b_lost
-        latency[g0:g1, src, dst] = np.where(b_lost, np.nan, b_lat)
-
-    return ProbeSeries(interval=interval, lost=lost, latency=latency)
+    plan = prepare_probing(network, params, rngs)
+    return merge_probe_blocks(plan, [probe_rows(plan, 0, plan.n_hosts)])
 
 
 def _rolling_mean_excl(
@@ -165,17 +316,29 @@ def _rolling_mean_excl(
     return sums / counts.reshape((-1,) + (1,) * (x.ndim - 1))
 
 
-def build_routing_tables(
+#: slot-block budget for batched selection: bounds the (B, n, n, n)
+#: float64 candidate tensors of select_paths_batch to ~16 MB apiece
+#: (larger blocks lose more to cache pressure than they save in trips
+#: through Python; measured at n=100 in benchmarks/test_probing_scaling).
+_SELECT_BUDGET = 2_000_000
+
+
+def _slot_block(n: int, budget: int = _SELECT_BUDGET) -> int:
+    """How many slots to select at once for an n-host mesh."""
+    return max(1, int(budget // max(n * n * n, 1)))
+
+
+def probe_estimates(
     series: ProbeSeries,
     params: ProbingParams,
-) -> RoutingTables:
-    """Turn probe outcomes into per-slot best-path choices.
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-slot leg estimates ``(loss_est, lat_est, failed)``, each (G, n, n).
 
     The estimate in force during slot ``g`` uses probes from slots
     ``< g`` only — routing reacts with at least one probe interval of
     lag, like the real system.
     """
-    g_total, n, _ = series.lost.shape
+    g_total = series.n_slots
     lost = series.lost.astype(np.float64)
 
     loss_est = _rolling_mean_excl(lost, params.loss_window)
@@ -193,19 +356,37 @@ def build_routing_tables(
     g = np.arange(g_total)
     enough = (np.minimum(g, params.failure_detect_probes) == params.failure_detect_probes)
     failed = (frac_lost_f >= 1.0) & enough.reshape(-1, 1, 1)
+    return loss_est, lat_est, failed
+
+
+def build_routing_tables(
+    series: ProbeSeries,
+    params: ProbingParams,
+) -> RoutingTables:
+    """Turn probe outcomes into per-slot best-path choices.
+
+    Estimates come from :func:`probe_estimates`; selection runs through
+    :func:`~repro.core.selector.select_paths_batch` in slot blocks
+    sized by :func:`_slot_block`, elementwise identical to the per-slot
+    loop it replaced.
+    """
+    g_total, n = series.n_slots, series.n_hosts
+    loss_est, lat_est, failed = probe_estimates(series, params)
 
     loss_best = np.empty((g_total, n, n), dtype=np.int16)
     loss_second = np.empty_like(loss_best)
     lat_best = np.empty_like(loss_best)
     lat_second = np.empty_like(loss_best)
-    for slot in range(g_total):
-        tables: SelectionTables = select_paths(
-            loss_est[slot], lat_est[slot], failed[slot], params.selection_margin
+    block = _slot_block(n)
+    for g0 in range(0, g_total, block):
+        g1 = min(g0 + block, g_total)
+        tables = select_paths_batch(
+            loss_est[g0:g1], lat_est[g0:g1], failed[g0:g1], params.selection_margin
         )
-        loss_best[slot] = tables.loss_best
-        loss_second[slot] = tables.loss_second
-        lat_best[slot] = tables.lat_best
-        lat_second[slot] = tables.lat_second
+        loss_best[g0:g1] = tables.loss_best
+        loss_second[g0:g1] = tables.loss_second
+        lat_best[g0:g1] = tables.lat_best
+        lat_second[g0:g1] = tables.lat_second
 
     return RoutingTables(
         interval=series.interval,

@@ -24,7 +24,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["Choice", "SelectionTables", "combine_loss", "select_paths"]
+__all__ = [
+    "Choice",
+    "SelectionTables",
+    "combine_loss",
+    "select_paths",
+    "select_paths_batch",
+]
 
 #: sentinel meaning "use the direct path" in choice arrays.
 DIRECT = -1
@@ -45,8 +51,10 @@ class Choice:
 class SelectionTables:
     """Vectorised selection results for all ordered pairs.
 
-    Arrays are (n, n) int16: entry [s, d] is a relay index or DIRECT.
-    ``*_second`` is the best option distinct from ``*_best``.
+    Arrays are (n, n) int16 — or (G, n, n) from
+    :func:`select_paths_batch` — where entry [..., s, d] is a relay
+    index or DIRECT.  ``*_second`` is the best option distinct from
+    ``*_best``.
     """
 
     loss_best: np.ndarray
@@ -77,6 +85,95 @@ def _top2(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     return order[:, 0], order[:, 1]
 
 
+def select_paths_batch(
+    loss_est: np.ndarray,
+    lat_est: np.ndarray,
+    failed: np.ndarray,
+    margin: float = 0.005,
+) -> SelectionTables:
+    """Compute best/runner-up choices for every ordered pair and slot.
+
+    The batched form of :func:`select_paths`: the estimate matrices
+    carry a leading slot axis and every slot is selected in one NumPy
+    pass — elementwise identical to looping :func:`select_paths` over
+    the slots, but without G round-trips through Python.  Callers with
+    large G bound the (G, n, n, n) candidate working set by passing slot
+    blocks (see :func:`repro.core.reactive.build_routing_tables`).
+
+    Parameters
+    ----------
+    loss_est, lat_est:
+        (G, n, n) per-slot, per-ordered-pair leg estimates (direct
+        probes); the diagonal is ignored.  ``lat_est`` may contain +inf
+        for legs with no successful probes.
+    failed:
+        (G, n, n) bool; legs considered down (run of lost probes).
+    margin:
+        hysteresis: an indirect option must beat direct loss by this
+        absolute amount to be selected.
+    """
+    if loss_est.ndim != 3:
+        raise ValueError("estimate matrices must be (G, n, n)")
+    g, n = loss_est.shape[0], loss_est.shape[1]
+    if (
+        loss_est.shape != (g, n, n)
+        or lat_est.shape != (g, n, n)
+        or failed.shape != (g, n, n)
+    ):
+        raise ValueError("estimate matrices must all be (G, n, n)")
+
+    idx = np.arange(n)
+
+    # --- candidate matrices: option axis = [direct] + relays ----------
+    # loss of s->r->d for all (g, s, r, d)
+    l1 = loss_est[:, :, :, None]  # (g, s, r, 1)
+    l2 = loss_est[:, None, :, :]  # (g, 1, r, d)
+    relay_loss = combine_loss(l1, l2)  # (g, s, r, d)
+    relay_lat = lat_est[:, :, :, None] + lat_est[:, None, :, :]
+
+    # forbid r == s and r == d
+    relay_loss[:, idx, idx, :] = np.inf
+    relay_lat[:, idx, idx, :] = np.inf
+    relay_loss[:, :, idx, idx] = np.inf
+    relay_lat[:, :, idx, idx] = np.inf
+
+    # the latency optimiser "avoids completely failed links"; failed or
+    # never-probed options stay *legal* (rank above forbidden relays)
+    leg_failed = failed[:, :, :, None] | failed[:, None, :, :]
+    relay_lat = np.where(leg_failed | ~np.isfinite(relay_lat), _UNATTRACTIVE, relay_lat)
+    relay_lat[:, idx, idx, :] = np.inf  # re-forbid r == s / r == d
+    relay_lat[:, :, idx, idx] = np.inf
+    direct_lat = np.where(failed | ~np.isfinite(lat_est), _UNATTRACTIVE, lat_est)
+
+    # --- loss criterion ------------------------------------------------
+    # options: direct (with a hysteresis *bonus*) vs relays; we subtract
+    # the margin from direct's effective loss so relays only win when
+    # they are better by > margin.
+    n_rows = g * n * n
+    direct_col = (loss_est - margin).reshape(n_rows, 1)
+    relay_cols = relay_loss.transpose(0, 1, 3, 2).reshape(n_rows, n)
+    loss_options = np.concatenate([direct_col, relay_cols], axis=1)
+    best, second = _top2(loss_options)
+    loss_best = (best - 1).astype(np.int16).reshape(g, n, n)  # option 0 -> DIRECT
+    loss_second = (second - 1).astype(np.int16).reshape(g, n, n)
+
+    # --- latency criterion ---------------------------------------------
+    # direct wins ties (subtract a tiny epsilon rather than a loss margin)
+    direct_col = (direct_lat - 1e-4).reshape(n_rows, 1)
+    relay_cols = relay_lat.transpose(0, 1, 3, 2).reshape(n_rows, n)
+    lat_options = np.concatenate([direct_col, relay_cols], axis=1)
+    best, second = _top2(lat_options)
+    lat_best = (best - 1).astype(np.int16).reshape(g, n, n)
+    lat_second = (second - 1).astype(np.int16).reshape(g, n, n)
+
+    return SelectionTables(
+        loss_best=loss_best,
+        loss_second=loss_second,
+        lat_best=lat_best,
+        lat_second=lat_second,
+    )
+
+
 def select_paths(
     loss_est: np.ndarray,
     lat_est: np.ndarray,
@@ -85,69 +182,19 @@ def select_paths(
 ) -> SelectionTables:
     """Compute best/runner-up choices for every ordered pair.
 
-    Parameters
-    ----------
-    loss_est, lat_est:
-        (n, n) per-ordered-pair leg estimates (direct probes); the
-        diagonal is ignored.  ``lat_est`` may contain +inf for legs with
-        no successful probes.
-    failed:
-        (n, n) bool; legs considered down (run of lost probes).
-    margin:
-        hysteresis: an indirect option must beat direct loss by this
-        absolute amount to be selected.
+    The single-slot view of :func:`select_paths_batch` (to which it
+    defers, so the two can never disagree): ``loss_est``/``lat_est``/
+    ``failed`` are (n, n) and the returned tables are (n, n).
     """
     n = loss_est.shape[0]
     if loss_est.shape != (n, n) or lat_est.shape != (n, n) or failed.shape != (n, n):
         raise ValueError("estimate matrices must all be (n, n)")
-
-    idx = np.arange(n)
-
-    # --- candidate matrices: option axis = [direct] + relays ----------
-    # loss of s->r->d for all (s, r, d)
-    l1 = loss_est[:, :, None]  # (s, r, 1)
-    l2 = loss_est[None, :, :]  # (1, r, d)
-    relay_loss = combine_loss(l1, l2)  # (s, r, d)
-    relay_lat = lat_est[:, :, None] + lat_est[None, :, :]
-
-    # forbid r == s and r == d
-    relay_loss[idx, idx, :] = np.inf
-    relay_lat[idx, idx, :] = np.inf
-    relay_loss[:, idx, idx] = np.inf
-    relay_lat[:, idx, idx] = np.inf
-
-    # the latency optimiser "avoids completely failed links"; failed or
-    # never-probed options stay *legal* (rank above forbidden relays)
-    leg_failed = failed[:, :, None] | failed[None, :, :]
-    relay_lat = np.where(leg_failed | ~np.isfinite(relay_lat), _UNATTRACTIVE, relay_lat)
-    relay_lat[idx, idx, :] = np.inf  # re-forbid r == s / r == d
-    relay_lat[:, idx, idx] = np.inf
-    direct_lat = np.where(failed | ~np.isfinite(lat_est), _UNATTRACTIVE, lat_est)
-
-    # --- loss criterion ------------------------------------------------
-    # options: direct (with a hysteresis *bonus*) vs relays; we subtract
-    # the margin from direct's effective loss so relays only win when
-    # they are better by > margin.
-    n_pairs = n * n
-    direct_col = (loss_est - margin).reshape(n_pairs, 1)
-    relay_cols = relay_loss.transpose(0, 2, 1).reshape(n_pairs, n)
-    loss_options = np.concatenate([direct_col, relay_cols], axis=1)
-    best, second = _top2(loss_options)
-    loss_best = (best - 1).astype(np.int16).reshape(n, n)  # option 0 -> DIRECT
-    loss_second = (second - 1).astype(np.int16).reshape(n, n)
-
-    # --- latency criterion ---------------------------------------------
-    # direct wins ties (subtract a tiny epsilon rather than a loss margin)
-    direct_col = (direct_lat - 1e-4).reshape(n_pairs, 1)
-    relay_cols = relay_lat.transpose(0, 2, 1).reshape(n_pairs, n)
-    lat_options = np.concatenate([direct_col, relay_cols], axis=1)
-    best, second = _top2(lat_options)
-    lat_best = (best - 1).astype(np.int16).reshape(n, n)
-    lat_second = (second - 1).astype(np.int16).reshape(n, n)
-
+    t = select_paths_batch(
+        loss_est[None], lat_est[None], failed[None], margin
+    )
     return SelectionTables(
-        loss_best=loss_best,
-        loss_second=loss_second,
-        lat_best=lat_best,
-        lat_second=lat_second,
+        loss_best=t.loss_best[0],
+        loss_second=t.loss_second[0],
+        lat_best=t.lat_best[0],
+        lat_second=t.lat_second[0],
     )

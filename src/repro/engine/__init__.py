@@ -9,6 +9,12 @@ changing a single output bit:
   :meth:`repro.trace.Trace.concatenate` — the trace fingerprint is
   identical to a sequential run, because every source block draws from
   its own named RNG substreams and canonical row order is by probe id.
+* :class:`ShardedProbe` does the same for the probing subsystem — the
+  all-pairs probe grid that feeds reactive routing: per-source-host
+  ``probing/<host>`` substreams make any shard layout merge into the
+  bitwise-identical :class:`~repro.core.reactive.ProbeSeries`, and the
+  routing tables built from it select every grid slot in one batched
+  NumPy pass instead of a per-slot Python loop.
 * :class:`~repro.engine.substrate.LazyTimelineBank` (via
   ``Network.build(..., substrate="lazy")``) generates per-segment
   substrate timelines on demand behind an LRU budget, so 100-host
@@ -17,12 +23,14 @@ changing a single output bit:
 Wire it into sweeps through ``repro.api.Runner(engine=EngineConfig())``.
 """
 
+from .probing import ShardedProbe
 from .sharding import EngineConfig, ShardedCollector, always_shard, plan_shards
 from .substrate import LazyTimelineBank
 
 __all__ = [
     "EngineConfig",
     "ShardedCollector",
+    "ShardedProbe",
     "always_shard",
     "plan_shards",
     "LazyTimelineBank",

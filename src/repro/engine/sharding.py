@@ -28,10 +28,49 @@ from repro.testbed.collection import (
 from repro.testbed.datasets import DatasetSpec
 from repro.trace.records import Trace
 
-__all__ = ["EngineConfig", "ShardedCollector", "plan_shards", "always_shard"]
+__all__ = [
+    "EngineConfig",
+    "ShardedCollector",
+    "plan_shards",
+    "always_shard",
+    "run_shards",
+]
 
 _EXECUTORS = ("serial", "thread", "process")
 _SUBSTRATES = ("eager", "lazy")
+
+
+def run_shards(plan, ranges, kernel, worker, initializer, executor, max_workers):
+    """Evaluate ``kernel(plan, lo, hi)`` over shard ``ranges`` on one of
+    the three executors — the dispatch shared by every sharded stage
+    (collection, probing).
+
+    ``serial`` (or a single range) runs inline; ``thread`` maps the
+    kernel over a pool (the kernels are NumPy-heavy and release the
+    GIL); ``process`` forks workers that inherit ``plan`` by memory
+    through ``initializer`` and run the module-level ``worker`` (it
+    must be picklable by name), so nothing but the (small) shard ranges
+    and partial results crosses the pipe.
+    """
+    if executor == "serial" or len(ranges) == 1:
+        return [kernel(plan, lo, hi) for lo, hi in ranges]
+    workers = min(max_workers or os.cpu_count() or 1, len(ranges))
+    if executor == "thread":
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(lambda b: kernel(plan, *b), ranges))
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError as exc:  # pragma: no cover - non-POSIX platforms
+        raise RuntimeError(
+            "the 'process' executor needs fork(); use executor='thread'"
+        ) from exc
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=ctx,
+        initializer=initializer,
+        initargs=(plan,),
+    ) as pool:
+        return list(pool.map(worker, ranges))
 
 
 def plan_shards(n_hosts: int, n_shards: int) -> list[tuple[int, int]]:
@@ -69,6 +108,13 @@ class EngineConfig:
     builds networks with on-demand timeline generation bounded by an LRU
     budget of ``max_cached_segments`` per cause.
 
+    The probing subsystem — formerly the last sequential stage of a
+    sharded run — is sharded too: ``probe_shards``/``probe_executor``
+    configure the :class:`~repro.engine.ShardedProbe` that computes the
+    probe grid and routing tables once in the parent, before collection
+    shards fan out and share them read-only.  Both default to ``None``,
+    meaning "inherit ``n_shards``/``executor``".
+
     The engine parallelises *within* one run; the runner's
     ``max_workers`` parallelises *across* runs.  Combining both
     oversubscribes cores (each concurrent run spawns its own shard
@@ -82,6 +128,8 @@ class EngineConfig:
     min_hosts: int = 32
     substrate: str = "eager"
     max_cached_segments: int | None = None
+    probe_shards: int | None = None
+    probe_executor: str | None = None
 
     def __post_init__(self) -> None:
         if self.n_shards is not None and self.n_shards < 1:
@@ -94,6 +142,13 @@ class EngineConfig:
             raise ValueError("min_hosts must be >= 1")
         if self.substrate not in _SUBSTRATES:
             raise ValueError(f"substrate must be one of {_SUBSTRATES}, got {self.substrate!r}")
+        if self.probe_shards is not None and self.probe_shards < 1:
+            raise ValueError("probe_shards must be None (inherit) or >= 1")
+        if self.probe_executor is not None and self.probe_executor not in _EXECUTORS:
+            raise ValueError(
+                f"probe_executor must be None or one of {_EXECUTORS}, "
+                f"got {self.probe_executor!r}"
+            )
 
 
 # -- process-pool plumbing ---------------------------------------------------
@@ -133,6 +188,21 @@ class ShardedCollector:
         wanted = self.config.n_shards or os.cpu_count() or 1
         return max(1, min(wanted, n_hosts))
 
+    def probe_runner(self):
+        """The :class:`~repro.engine.ShardedProbe` this config implies.
+
+        ``probe_shards``/``probe_executor`` default to the collection
+        settings, so one config scales both stages together.
+        """
+        from .probing import ShardedProbe  # sharding <-> probing cycle
+
+        cfg = self.config
+        return ShardedProbe(
+            n_shards=cfg.probe_shards if cfg.probe_shards is not None else cfg.n_shards,
+            executor=cfg.probe_executor or cfg.executor,
+            max_workers=cfg.max_workers,
+        )
+
     def collect(
         self,
         spec: DatasetSpec,
@@ -141,7 +211,11 @@ class ShardedCollector:
         include_events: bool = True,
         network: Network | None = None,
     ) -> CollectionResult:
-        """Collect ``spec`` sharded across the configured executor."""
+        """Collect ``spec`` sharded across the configured executor.
+
+        The probing stage runs first, itself sharded (see
+        :meth:`probe_runner`); the resulting routing tables are part of
+        the shared plan every collection shard reads."""
         plan = prepare_collection(
             spec,
             duration_s,
@@ -150,38 +224,23 @@ class ShardedCollector:
             network=network,
             substrate=self.config.substrate,
             max_cached_segments=self.config.max_cached_segments,
+            probing=self.probe_runner(),
         )
         ranges = plan_shards(plan.n_hosts, self.resolve_shards(plan.n_hosts))
         parts = self._run(plan, ranges)
         trace = Trace.concatenate(parts)
         return CollectionResult(trace=trace, network=plan.network, tables=plan.tables)
 
-    # ------------------------------------------------------------------
-    # executors
-    # ------------------------------------------------------------------
-
-    def _workers(self, n_ranges: int) -> int:
-        return min(self.config.max_workers or os.cpu_count() or 1, n_ranges)
-
     def _run(self, plan: CollectionPlan, ranges: list[tuple[int, int]]) -> list[Trace]:
-        if self.config.executor == "serial" or len(ranges) == 1:
-            return [collect_rows(plan, lo, hi) for lo, hi in ranges]
-        if self.config.executor == "thread":
-            with ThreadPoolExecutor(max_workers=self._workers(len(ranges))) as pool:
-                return list(pool.map(lambda b: collect_rows(plan, *b), ranges))
-        try:
-            ctx = multiprocessing.get_context("fork")
-        except ValueError as exc:  # pragma: no cover - non-POSIX platforms
-            raise RuntimeError(
-                "the 'process' executor needs fork(); use executor='thread'"
-            ) from exc
-        with ProcessPoolExecutor(
-            max_workers=self._workers(len(ranges)),
-            mp_context=ctx,
+        return run_shards(
+            plan,
+            ranges,
+            kernel=collect_rows,
+            worker=_run_shard,
             initializer=_init_worker,
-            initargs=(plan,),
-        ) as pool:
-            return list(pool.map(_run_shard, ranges))
+            executor=self.config.executor,
+            max_workers=self.config.max_workers,
+        )
 
 
 # re-exported convenience: an EngineConfig with sharding forced on for

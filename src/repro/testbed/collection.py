@@ -16,11 +16,13 @@ The run is split into independent *source blocks*: every host's probes
 form one contiguous schedule slice, and each block draws its routing
 and packet-fate randomness from its own named substreams
 (``routes/<host>`` and ``traffic/<host>`` of the run's
-:class:`~repro.netsim.rng.RngFactory`).  A block's outcomes therefore
-depend only on (spec, seed, host) — never on which other blocks ran in
-the same process — which is what lets :class:`repro.engine.ShardedCollector`
-farm blocks out across cores and still produce the bitwise-identical
-trace.  The canonical row order of a finished trace is ascending
+:class:`~repro.netsim.rng.RngFactory`; the probing subsystem that runs
+first uses ``probing/<host>`` the same way).  A block's outcomes
+therefore depend only on (spec, seed, host) — never on which other
+blocks ran in the same process — which is what lets
+:class:`repro.engine.ShardedCollector` farm blocks out across cores
+(and :class:`repro.engine.ShardedProbe` do the same for the probe
+grid) and still produce the bitwise-identical trace.  The canonical row order of a finished trace is ascending
 ``probe_id`` (applied here and by :meth:`Trace.concatenate`), so
 sequential and sharded runs serialise identically.
 """
@@ -174,14 +176,20 @@ def prepare_collection(
     network: Network | None = None,
     substrate: str = "eager",
     max_cached_segments: int | None = None,
+    probing=None,
 ) -> CollectionPlan:
-    """Run the shared (unsharded) stages of a collection.
+    """Run the shared stages of a collection, exactly once per run.
 
     Substrate build (unless ``network`` is passed in), the probing
     subsystem, routing tables and the measurement schedule all happen
     exactly once per run, whatever the shard layout.  ``substrate`` /
     ``max_cached_segments`` configure the build (see
     :meth:`Network.build`) and are ignored for a prebuilt network.
+    ``probing`` optionally replaces the serial :func:`run_probing` with
+    a sharded runner — anything with a ``run(network, params, rngs) ->
+    ProbeSeries`` method, in practice :class:`repro.engine.ShardedProbe`;
+    the output is bitwise identical either way, so the resulting
+    routing tables can be shared read-only by every collection shard.
     """
     if duration_s <= 0:
         raise ValueError("duration must be positive")
@@ -208,7 +216,10 @@ def prepare_collection(
     # 1. the probing subsystem + routing tables (if any method needs them)
     tables: RoutingTables | None = None
     if any(m.needs_probing for m in methods):
-        series = run_probing(network, cfg.probing, rngs)
+        if probing is None:
+            series = run_probing(network, cfg.probing, rngs)
+        else:
+            series = probing.run(network, cfg.probing, rngs)
         tables = build_routing_tables(series, cfg.probing)
 
     # 2. measurement probe schedule

@@ -96,8 +96,29 @@ class TestRoutingTables:
                 assert r.shape == (1,)
 
     def test_lookup_rejects_unknown_criterion(self, tables):
-        with pytest.raises(ValueError):
+        # the error must name the offending value, not just reject it
+        with pytest.raises(ValueError, match="'bandwidth'"):
             tables.lookup("bandwidth", np.array([0.0]), np.array([0]), np.array([1]))
+        with pytest.raises(ValueError, match="'latency'"):
+            tables.lookup(
+                "latency", np.array([0.0]), np.array([0]), np.array([1]), alternate=True
+            )
+
+    def test_slot_of_clamps_past_horizon(self, tables):
+        """Regression: send times past the last grid slot (and before the
+        first) clamp to the stale table instead of indexing out of
+        bounds."""
+        last = tables.n_slots - 1
+        beyond = np.array([last * 15.0 + 15.0, 1e12, np.float64(2**40)])
+        np.testing.assert_array_equal(tables.slot_of(beyond), [last, last, last])
+        np.testing.assert_array_equal(tables.slot_of(np.array([-1.0, -1e9])), [0, 0])
+        # and the full lookup path serves the clamped slots' entries
+        src = np.zeros(3, dtype=np.int64)
+        dst = np.ones(3, dtype=np.int64)
+        got = tables.lookup("loss", beyond, src, dst)
+        np.testing.assert_array_equal(got, tables.loss_best[last, 0, 1].repeat(3))
+        got = tables.lookup("lat", np.array([-50.0]), src[:1], dst[:1], alternate=True)
+        assert got[0] == tables.lat_second[0, 0, 1]
 
     def test_best_and_alternate_differ(self, tables):
         g = tables.n_slots // 2

@@ -1,0 +1,110 @@
+"""Property tests for the probing estimators (Hypothesis).
+
+The rolling-mean kernel and the failure detector are the load-bearing
+statistics of reactive routing: every routing table entry flows through
+them.  These properties pin the contracts the cross-validation replay
+relies on — strict exclusivity of the current slot, window clipping at
+the start of a run, the constant-input fixed point, and the failure
+detector's warm-up edge at exactly ``failure_detect_probes`` slots.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.reactive import ProbeSeries, _rolling_mean_excl, build_routing_tables
+from repro.netsim.config import ProbingParams
+
+#: bounded, non-degenerate floats so means stay well-conditioned.
+VALUES = st.floats(
+    min_value=0.0, max_value=10.0, allow_nan=False, allow_infinity=False
+)
+
+
+def arrays(min_len=1, max_len=64):
+    return st.lists(VALUES, min_size=min_len, max_size=max_len).map(
+        lambda v: np.asarray(v, dtype=np.float64).reshape(-1, 1)
+    )
+
+
+class TestRollingMeanProperties:
+    @given(x=arrays(min_len=2), window=st.integers(1, 16), data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_strictly_excludes_slot_g(self, x, window, data):
+        """output[g] must not read x[g] (or anything after it): rewriting
+        x[g:] arbitrarily cannot change output[: g + 1]."""
+        g = data.draw(st.integers(0, len(x) - 1))
+        out = _rolling_mean_excl(x, window)
+        y = x.copy()
+        y[g:] = data.draw(VALUES)
+        out_mod = _rolling_mean_excl(y, window)
+        np.testing.assert_array_equal(out[: g + 1], out_mod[: g + 1])
+
+    @given(x=arrays(), window=st.integers(1, 16))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_clipped_window_bruteforce(self, x, window):
+        """output[g] is the mean of x[max(0, g - window) : g] — the window
+        clips at the start of the run instead of padding; output[0] is 0
+        (a fresh node trusts every path)."""
+        out = _rolling_mean_excl(x, window)
+        assert out[0] == 0.0
+        for g in range(1, len(x)):
+            lo = max(g - window, 0)
+            expected = x[lo:g].sum(dtype=np.float64) / (g - lo)
+            np.testing.assert_allclose(out[g, 0], expected, rtol=1e-12, atol=1e-12)
+
+    @given(
+        c=VALUES,
+        length=st.integers(2, 64),
+        window=st.integers(1, 16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_constant_input_fixed_point(self, c, length, window):
+        """A constant series is a fixed point: every estimate after the
+        first equals the constant, whatever the window or run length."""
+        x = np.full((length, 1), c, dtype=np.float64)
+        out = _rolling_mean_excl(x, window)
+        assert out[0, 0] == 0.0
+        np.testing.assert_allclose(out[1:, 0], c, rtol=1e-12, atol=1e-15)
+
+
+def _series(lost: np.ndarray) -> ProbeSeries:
+    """A ProbeSeries with the given (G, n, n) loss pattern; latency is
+    NaN where lost (as run_probing guarantees) and constant elsewhere."""
+    lat = np.where(lost, np.nan, np.float32(0.05))
+    return ProbeSeries(interval=15.0, lost=lost, latency=lat.astype(np.float32))
+
+
+class TestFailureDetectorWarmup:
+    @given(f=st.integers(1, 8), extra=st.integers(1, 20))
+    @settings(max_examples=40, deadline=None)
+    def test_all_lost_flips_exactly_at_f_slots(self, f, extra):
+        """Under a dead-from-boot leg the detector must stay off for
+        exactly ``failure_detect_probes`` slots (the warm-up: fewer than
+        F probes can never prove a failure) and on forever after."""
+        g_total = f + extra
+        lost = np.zeros((g_total, 2, 2), dtype=bool)
+        lost[:, 0, 1] = True
+        params = ProbingParams(failure_detect_probes=f)
+        tables = build_routing_tables(_series(lost), params)
+        assert not tables.failed[:f, 0, 1].any(), "failed before F probes seen"
+        assert tables.failed[f:, 0, 1].all(), "not failed after F lost probes"
+        # the healthy legs never trip
+        assert not tables.failed[:, 1, 0].any()
+
+    @given(
+        f=st.integers(1, 6),
+        pattern=st.lists(st.booleans(), min_size=1, max_size=40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_bruteforce_definition(self, f, pattern):
+        """failed[g] iff at least F probes have been seen and the last F
+        were all lost — the brute-force reading of Section 3.1's
+        "run of lost probes" detector."""
+        lost = np.zeros((len(pattern), 2, 2), dtype=bool)
+        lost[:, 0, 1] = pattern
+        params = ProbingParams(failure_detect_probes=f)
+        tables = build_routing_tables(_series(lost), params)
+        for g in range(len(pattern)):
+            expected = g >= f and all(pattern[g - f : g])
+            assert bool(tables.failed[g, 0, 1]) == expected, f"slot {g}"

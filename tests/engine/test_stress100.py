@@ -1,11 +1,13 @@
-"""The ISSUE 3 acceptance gate: a 100-host generated mesh builds its
-path table in seconds and collects identically sharded or sequential."""
+"""The 100-host acceptance gates (ISSUE 3 + ISSUE 4): a generated mesh
+builds its path table in seconds, probes + builds routing tables inside
+a bounded budget, and collects identically sharded or sequential."""
 
 import time
 
 import pytest
 
-from repro.engine import ShardedCollector
+from repro.core.reactive import build_routing_tables
+from repro.engine import ShardedCollector, ShardedProbe
 from repro.netsim import Network, RngFactory
 from repro.netsim.topology import build_topology
 from repro.scenarios import stress_mesh
@@ -32,6 +34,27 @@ def test_topology_build_under_ten_seconds(scenario):
     n = len(hosts)
     assert int(topo.paths.valid.sum()) == n * (n - 1) * (n - 1)
     assert elapsed < 10.0, f"100-host topology took {elapsed:.1f}s (budget 10s)"
+
+
+def test_probing_and_tables_within_budget(scenario):
+    """The ISSUE 4 acceptance gate: sharded probing plus the batched
+    routing-table build on the 100-host storm mesh stay inside a bounded
+    wall-clock budget (generously padded for CI noise — the trajectory
+    numbers live in benchmarks/test_probing_scaling.py)."""
+    hosts = scenario.hosts()
+    cfg = scenario.network_config()
+    horizon = 300.0
+    network = Network.build(hosts, cfg, horizon, seed=1, substrate="lazy")
+    t0 = time.perf_counter()
+    series = ShardedProbe(executor="thread").run(network, cfg.probing, RngFactory(1))
+    t_probe = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    tables = build_routing_tables(series, cfg.probing)
+    t_tables = time.perf_counter() - t0
+    assert series.n_slots == int(horizon // cfg.probing.probe_interval_s)
+    assert tables.loss_best.shape == (series.n_slots, 100, 100)
+    assert t_probe < 30.0, f"100-host probing took {t_probe:.1f}s (budget 30s)"
+    assert t_tables < 30.0, f"100-host table build took {t_tables:.1f}s (budget 30s)"
 
 
 def test_full_sharded_collect_matches_sequential(scenario):
