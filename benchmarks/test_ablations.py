@@ -11,7 +11,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.analysis import render_comparison
 from repro.models import detection_delay_s

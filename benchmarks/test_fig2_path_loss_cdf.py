@@ -12,7 +12,6 @@ import numpy as np
 from repro.analysis import empirical_cdf, per_path_loss, render_cdf_series
 
 from .conftest import write_output
-from .paper_values import SEC4_FINDINGS
 
 
 def test_fig2(benchmark, ron2003_quiet_trace, ronnarrow_trace):

@@ -19,14 +19,14 @@ GLYPH = {"reactive": "R", "redundant": "D", "none": ".", "both": "B"}
 def _render(space: DesignSpace, n: int = 21) -> str:
     lines = [
         "Figure 6: cheaper scheme by (improvement, utilisation)",
-        f"  R = reactive cheaper, D = redundant cheaper, . = infeasible",
-        f"  independence limit (redundant) at improvement "
+        "  R = reactive cheaper, D = redundant cheaper, . = infeasible",
+        "  independence limit (redundant) at improvement "
         f"{space.redundant_limit():.2f}; best-path limit at {space.reactive_limit():.2f}",
         "  improvement ->",
     ]
     improvements = np.linspace(0.0, 1.0, n)
     utilisations = np.linspace(0.0, 1.0, n)
-    header = "util  " + "".join(f"{i:.1f}"[-2] for i in improvements)
+    lines.append("util  " + "".join(f"{i:.1f}"[-2] for i in improvements))
     for u in utilisations:
         row = []
         for i in improvements:

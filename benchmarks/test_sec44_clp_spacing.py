@@ -9,7 +9,6 @@ bench sweeps the spacing directly against the substrate, including the
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.analysis import render_comparison
 from repro.netsim import Network, RngFactory, config_2003

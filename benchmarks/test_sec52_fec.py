@@ -23,7 +23,7 @@ import numpy as np
 from repro.analysis import render_comparison
 from repro.fec import ReedSolomonCode, simulate_group_delivery, transmission_plan
 from repro.netsim import Network, RngFactory, config_2003
-from repro.netsim.episodes import EpisodeSet, Timeline, generate_poisson_episodes
+from repro.netsim.episodes import Timeline, generate_poisson_episodes
 from repro.netsim.state import TimelineBank
 from repro.testbed import hosts_2003
 

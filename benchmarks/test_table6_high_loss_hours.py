@@ -9,7 +9,7 @@ the high-loss tail.
 
 from __future__ import annotations
 
-from repro.analysis import high_loss_table, render_high_loss_table
+from repro.analysis import render_high_loss_table
 
 from .conftest import write_output
 from .paper_values import TABLE6

@@ -30,7 +30,7 @@ def main() -> None:
 
     print(
         f"Collecting {args.days:g} days of RON2003 "
-        f"(paper: 14 days, 32,602,776 samples)..."
+        "(paper: 14 days, 32,602,776 samples)..."
     )
     t0 = time.time()
     result = Experiment(

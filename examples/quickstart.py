@@ -49,10 +49,10 @@ def main() -> None:
     saved = 100 * (1 - by["direct_rand"].totlp / by["direct"].totlp)
     print(
         f"\n2-redundant mesh routing removed {saved:.0f}% of losses "
-        f"(paper: ~40%), at 2x traffic."
+        "(paper: ~40%), at 2x traffic."
     )
     print(
-        f"Conditional loss probability through a random intermediate: "
+        "Conditional loss probability through a random intermediate: "
         f"{by['direct_rand'].clp:.0f}% (paper: 62%) - "
         "losses on 'independent' overlay paths are strongly correlated."
     )

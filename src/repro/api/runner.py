@@ -58,13 +58,16 @@ class Runner:
         runs on the scale-out engine: scenarios with at least
         ``engine.min_hosts`` hosts are collected by a
         :class:`~repro.engine.ShardedCollector` (all cores on one run,
-        optionally over a lazy substrate) instead of the sequential
-        pipeline.  The probing subsystem of an engine run is sharded
-        too (:class:`~repro.engine.ShardedProbe`, tuned by
-        ``engine.probe_shards``/``probe_executor``): routing tables are
-        computed once in parallel, then shared read-only by every
-        collection shard.  Results are bitwise identical either way;
-        smaller scenarios keep the cheaper sequential path.
+        optionally over a lazy or shared-memory substrate) instead of
+        the sequential pipeline.  The probing subsystem of an engine
+        run is sharded too (:class:`~repro.engine.ShardedProbe`, tuned
+        by ``engine.probe_shards``/``probe_executor``): routing tables
+        are computed once in parallel, then shared read-only by every
+        collection shard.  ``engine.spill_dir`` additionally streams
+        shard traces through disk with bounded residency
+        (``engine.max_resident_shards``) for runs larger than RAM.
+        Results are bitwise identical either way; smaller scenarios
+        keep the cheaper sequential path.
     """
 
     def __init__(
@@ -155,7 +158,7 @@ class Runner:
         entry = self._networks.get(key)
         if entry is None:
             cfg = ds.network_config(spec.duration_s, include_events=spec.include_events)
-            substrate = self.engine.substrate if engine_run else "eager"
+            substrate = self.engine.resolved_substrate if engine_run else "eager"
             budget = self.engine.max_cached_segments if engine_run else None
             network = Network.build(
                 ds.hosts(),

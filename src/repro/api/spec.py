@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.methods import METHODS
 from repro.fec import DuplicationCode, ReedSolomonCode, TransmissionPlan, transmission_plan

@@ -39,6 +39,7 @@ import numpy as np
 from repro.netsim.config import ProbingParams
 from repro.netsim.network import Network
 from repro.netsim.rng import RngFactory
+from repro.trace.records import id_dtype
 
 from .selector import select_paths_batch
 
@@ -100,7 +101,7 @@ class RoutingTables:
     """
 
     interval: float
-    loss_best: np.ndarray  # (G, n, n) int16
+    loss_best: np.ndarray  # (G, n, n) id_dtype(n); int16 below 32768 hosts
     loss_second: np.ndarray
     lat_best: np.ndarray
     lat_second: np.ndarray
@@ -373,7 +374,7 @@ def build_routing_tables(
     g_total, n = series.n_slots, series.n_hosts
     loss_est, lat_est, failed = probe_estimates(series, params)
 
-    loss_best = np.empty((g_total, n, n), dtype=np.int16)
+    loss_best = np.empty((g_total, n, n), dtype=id_dtype(n))
     loss_second = np.empty_like(loss_best)
     lat_best = np.empty_like(loss_best)
     lat_second = np.empty_like(loss_best)

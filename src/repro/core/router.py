@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.netsim.topology import PathTable
+from repro.trace.records import id_dtype
 
 from .mesh import random_relays
 from .methods import Method, RouteKind
@@ -55,14 +56,15 @@ def _resolve_kind(
     exclude: np.ndarray | None = None,
 ) -> np.ndarray:
     """Relay choice (or DIRECT) for one route kind."""
+    hid = id_dtype(n_hosts)
     if kind == RouteKind.DIRECT:
-        return np.full(len(src), DIRECT, dtype=np.int16)
+        return np.full(len(src), DIRECT, dtype=hid)
     if kind == RouteKind.RAND:
-        return random_relays(rng, n_hosts, src, dst, exclude=exclude).astype(np.int16)
+        return random_relays(rng, n_hosts, src, dst, exclude=exclude).astype(hid)
     if tables is None:
         raise ValueError(f"route kind {kind.value} needs routing tables")
     criterion = "lat" if kind == RouteKind.LAT else "loss"
-    return tables.lookup(criterion, times, src, dst).astype(np.int16)
+    return tables.lookup(criterion, times, src, dst).astype(hid)
 
 
 def _pids_for(
@@ -100,10 +102,10 @@ def resolve_routes(
     if m.same_path:
         return ResolvedRoutes(pid1=pid1, relay1=relay1, pid2=pid1, relay2=relay1)
 
+    hid = id_dtype(n_hosts)
     if m.second == RouteKind.RAND:
         # a random relay is drawn to differ from the first packet's relay
         # (rand rand uses two distinct intermediates)
-        exclude = np.where(relay1 == DIRECT, -1, relay1)
         if np.any(relay1 != DIRECT):
             relay2 = np.empty_like(relay1)
             has_ex = relay1 != DIRECT
@@ -114,13 +116,13 @@ def resolve_routes(
                     src[has_ex],
                     dst[has_ex],
                     exclude=relay1[has_ex].astype(np.int64),
-                ).astype(np.int16)
+                ).astype(hid)
             if (~has_ex).any():
                 relay2[~has_ex] = random_relays(
                     rng, n_hosts, src[~has_ex], dst[~has_ex]
-                ).astype(np.int16)
+                ).astype(hid)
         else:
-            relay2 = random_relays(rng, n_hosts, src, dst).astype(np.int16)
+            relay2 = random_relays(rng, n_hosts, src, dst).astype(hid)
         pid2 = _pids_for(paths, src, dst, relay2)
         return ResolvedRoutes(pid1=pid1, relay1=relay1, pid2=pid2, relay2=relay2)
 
@@ -132,7 +134,7 @@ def resolve_routes(
         criterion = "lat" if m.second == RouteKind.LAT else "loss"
         alt = tables.lookup(
             criterion, times[clash], src[clash], dst[clash], alternate=True
-        ).astype(np.int16)
+        ).astype(hid)
         relay2 = relay2.copy()
         relay2[clash] = alt
     pid2 = _pids_for(paths, src, dst, relay2)

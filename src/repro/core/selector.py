@@ -24,6 +24,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.trace.records import id_dtype
+
 __all__ = [
     "Choice",
     "SelectionTables",
@@ -51,10 +53,10 @@ class Choice:
 class SelectionTables:
     """Vectorised selection results for all ordered pairs.
 
-    Arrays are (n, n) int16 — or (G, n, n) from
-    :func:`select_paths_batch` — where entry [..., s, d] is a relay
-    index or DIRECT.  ``*_second`` is the best option distinct from
-    ``*_best``.
+    Arrays are (n, n) — or (G, n, n) from :func:`select_paths_batch` —
+    in the capacity-chosen ``id_dtype(n)`` (int16 below 32768 hosts),
+    where entry [..., s, d] is a relay index or DIRECT.  ``*_second``
+    is the best option distinct from ``*_best``.
     """
 
     loss_best: np.ndarray
@@ -145,6 +147,8 @@ def select_paths_batch(
     relay_lat[:, :, idx, idx] = np.inf
     direct_lat = np.where(failed | ~np.isfinite(lat_est), _UNATTRACTIVE, lat_est)
 
+    hid = id_dtype(n)
+
     # --- loss criterion ------------------------------------------------
     # options: direct (with a hysteresis *bonus*) vs relays; we subtract
     # the margin from direct's effective loss so relays only win when
@@ -154,8 +158,8 @@ def select_paths_batch(
     relay_cols = relay_loss.transpose(0, 1, 3, 2).reshape(n_rows, n)
     loss_options = np.concatenate([direct_col, relay_cols], axis=1)
     best, second = _top2(loss_options)
-    loss_best = (best - 1).astype(np.int16).reshape(g, n, n)  # option 0 -> DIRECT
-    loss_second = (second - 1).astype(np.int16).reshape(g, n, n)
+    loss_best = (best - 1).astype(hid).reshape(g, n, n)  # option 0 -> DIRECT
+    loss_second = (second - 1).astype(hid).reshape(g, n, n)
 
     # --- latency criterion ---------------------------------------------
     # direct wins ties (subtract a tiny epsilon rather than a loss margin)
@@ -163,8 +167,8 @@ def select_paths_batch(
     relay_cols = relay_lat.transpose(0, 1, 3, 2).reshape(n_rows, n)
     lat_options = np.concatenate([direct_col, relay_cols], axis=1)
     best, second = _top2(lat_options)
-    lat_best = (best - 1).astype(np.int16).reshape(g, n, n)
-    lat_second = (second - 1).astype(np.int16).reshape(g, n, n)
+    lat_best = (best - 1).astype(hid).reshape(g, n, n)
+    lat_second = (second - 1).astype(hid).reshape(g, n, n)
 
     return SelectionTables(
         loss_best=loss_best,

@@ -19,19 +19,36 @@ changing a single output bit:
   ``Network.build(..., substrate="lazy")``) generates per-segment
   substrate timelines on demand behind an LRU budget, so 100-host
   meshes don't pay for — or hold — state their probes never touch.
+* **Out-of-core runs** — ``EngineConfig(spill_dir=...)`` streams each
+  shard's partial trace through disk as it completes
+  (:mod:`repro.engine.spill`) and merges into memory-mapped arrays, so
+  a run larger than RAM finishes with residency bounded by
+  ``max_resident_shards``; ``shared_memory=True`` parks the substrate
+  timeline arrays in one ``multiprocessing.shared_memory`` block
+  (:class:`~repro.engine.substrate.SharedTimelineBank`) so process
+  pools stop duplicating the substrate — at which point ``"process"``
+  becomes the default executor above ``process_min_hosts`` hosts.
 
 Wire it into sweeps through ``repro.api.Runner(engine=EngineConfig())``.
 """
 
 from .probing import ShardedProbe
-from .sharding import EngineConfig, ShardedCollector, always_shard, plan_shards
-from .substrate import LazyTimelineBank
+from .sharding import (
+    EngineConfig,
+    ShardedCollector,
+    always_shard,
+    auto_executor,
+    plan_shards,
+)
+from .substrate import LazyTimelineBank, SharedTimelineBank
 
 __all__ = [
     "EngineConfig",
     "ShardedCollector",
     "ShardedProbe",
     "always_shard",
+    "auto_executor",
     "plan_shards",
     "LazyTimelineBank",
+    "SharedTimelineBank",
 ]

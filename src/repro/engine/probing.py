@@ -27,7 +27,7 @@ from repro.netsim.config import ProbingParams
 from repro.netsim.network import Network
 from repro.netsim.rng import RngFactory
 
-from .sharding import _EXECUTORS, plan_shards, run_shards
+from .sharding import PROCESS_MIN_HOSTS, _EXECUTORS, auto_executor, plan_shards, run_shards
 
 __all__ = ["ShardedProbe"]
 
@@ -58,25 +58,33 @@ class ShardedProbe:
     the sequential call with the same arguments, for any shard count
     and executor.  ``n_shards=None`` means one shard per available
     core; executors mirror :class:`~repro.engine.EngineConfig`
-    (``"thread"`` default — the probe kernels are NumPy-heavy and
-    release the GIL; ``"process"`` forks; ``"serial"`` runs inline).
+    (``None`` resolves per run via
+    :func:`~repro.engine.sharding.auto_executor`: ``"thread"`` — the
+    probe kernels are NumPy-heavy and release the GIL — unless the
+    substrate is shared-memory and the mesh has at least
+    ``process_min_hosts`` hosts; ``"process"`` forks; ``"serial"`` runs
+    inline).
     """
 
     def __init__(
         self,
         n_shards: int | None = None,
-        executor: str = "thread",
+        executor: str | None = None,
         max_workers: int | None = None,
+        process_min_hosts: int = PROCESS_MIN_HOSTS,
     ) -> None:
         if n_shards is not None and n_shards < 1:
             raise ValueError("n_shards must be None (auto) or >= 1")
-        if executor not in _EXECUTORS:
-            raise ValueError(f"executor must be one of {_EXECUTORS}, got {executor!r}")
+        if executor is not None and executor not in _EXECUTORS:
+            raise ValueError(
+                f"executor must be None (auto) or one of {_EXECUTORS}, got {executor!r}"
+            )
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be None or >= 1")
         self.n_shards = n_shards
         self.executor = executor
         self.max_workers = max_workers
+        self.process_min_hosts = process_min_hosts
 
     def resolve_shards(self, n_hosts: int) -> int:
         wanted = self.n_shards or os.cpu_count() or 1
@@ -91,13 +99,16 @@ class ShardedProbe:
         """Probe every ordered pair over the horizon, sharded."""
         plan = prepare_probing(network, params, rngs)
         ranges = plan_shards(plan.n_hosts, self.resolve_shards(plan.n_hosts))
+        executor = self.executor or auto_executor(
+            network, plan.n_hosts, self.process_min_hosts
+        )
         blocks: list[ProbeBlock] = run_shards(
             plan,
             ranges,
             kernel=probe_rows,
             worker=_run_shard,
             initializer=_init_worker,
-            executor=self.executor,
+            executor=executor,
             max_workers=self.max_workers,
         )
         return merge_probe_blocks(plan, blocks)

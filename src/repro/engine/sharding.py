@@ -17,8 +17,10 @@ import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, replace
+from pathlib import Path
 
 from repro.netsim.network import Network
+from repro.netsim.substrate import SharedTimelineBank
 from repro.testbed.collection import (
     CollectionPlan,
     CollectionResult,
@@ -28,16 +30,42 @@ from repro.testbed.collection import (
 from repro.testbed.datasets import DatasetSpec
 from repro.trace.records import Trace
 
+from . import spill as spill_mod
+from .spill import SpillPlan, collect_rows_spilled, run_slug
+
 __all__ = [
     "EngineConfig",
     "ShardedCollector",
     "plan_shards",
     "always_shard",
     "run_shards",
+    "auto_executor",
+    "PROCESS_MIN_HOSTS",
 ]
 
 _EXECUTORS = ("serial", "thread", "process")
 _SUBSTRATES = ("eager", "lazy")
+
+#: host count at which a zero-copy (shared-memory) run defaults to the
+#: process executor: below it, pool start-up costs more than the GIL.
+PROCESS_MIN_HOSTS = 64
+
+
+def auto_executor(network: Network, n_hosts: int, min_hosts: int = PROCESS_MIN_HOSTS) -> str:
+    """The executor an unset (``None``) config resolves to.
+
+    ``"process"`` once the substrate is zero-copy across workers — its
+    timeline arrays live in shared memory — and the mesh is big enough
+    to amortise pool start-up; ``"thread"`` otherwise (the kernels are
+    NumPy-heavy and release the GIL).
+    """
+    if (
+        n_hosts >= min_hosts
+        and hasattr(os, "fork")
+        and isinstance(network.state.congestion, SharedTimelineBank)
+    ):
+        return "process"
+    return "thread"
 
 
 def run_shards(plan, ranges, kernel, worker, initializer, executor, max_workers):
@@ -99,14 +127,28 @@ class EngineConfig:
     """How the engine should execute one large collection.
 
     ``n_shards=None`` means one shard per available core.  The
-    ``executor`` is ``"thread"`` by default (the kernels are NumPy-heavy
-    and release the GIL); ``"process"`` forks workers for fully parallel
-    Python at the cost of shipping partial traces back through pickling;
-    ``"serial"`` runs shards inline (debugging, tests).  ``min_hosts``
-    is the scenario size at which :class:`repro.api.Runner` switches a
-    run from the sequential pipeline to the engine.  ``substrate="lazy"``
-    builds networks with on-demand timeline generation bounded by an LRU
-    budget of ``max_cached_segments`` per cause.
+    ``executor`` defaults to ``None`` — auto: ``"thread"`` normally
+    (the kernels are NumPy-heavy and release the GIL), ``"process"``
+    once ``shared_memory`` makes the substrate zero-copy across workers
+    and the mesh has at least ``process_min_hosts`` hosts; set it
+    explicitly to pin a choice (``"serial"`` runs shards inline —
+    debugging, tests).  ``min_hosts`` is the scenario size at which
+    :class:`repro.api.Runner` switches a run from the sequential
+    pipeline to the engine.  ``substrate="lazy"`` builds networks with
+    on-demand timeline generation bounded by an LRU budget of
+    ``max_cached_segments`` per cause; ``shared_memory=True`` parks the
+    (eager) timeline arrays in ``multiprocessing.shared_memory`` so
+    pool workers read one physical copy.
+
+    Out-of-core runs: ``spill_dir`` makes every shard write its partial
+    trace to disk as it completes and the merge stream through
+    memory-mapped arrays (see :mod:`repro.engine.spill`), and
+    ``max_resident_shards`` caps how many shards may be in flight — and
+    therefore resident — at once.  Each run spills into its own
+    subdirectory ``<spill_dir>/<dataset>-seed<seed>-<identity hash>/``
+    (see :func:`repro.engine.spill.run_slug`; sweeps over any spec axis
+    may share one ``spill_dir``); the merged trace's columns are
+    read-only memory maps under its ``merged/``.
 
     The probing subsystem — formerly the last sequential stage of a
     sharded run — is sharded too: ``probe_shards``/``probe_executor``
@@ -123,19 +165,26 @@ class EngineConfig:
     """
 
     n_shards: int | None = None
-    executor: str = "thread"
+    executor: str | None = None
     max_workers: int | None = None
     min_hosts: int = 32
     substrate: str = "eager"
     max_cached_segments: int | None = None
     probe_shards: int | None = None
     probe_executor: str | None = None
+    spill_dir: str | Path | None = None
+    max_resident_shards: int | None = None
+    shared_memory: bool = False
+    process_min_hosts: int = PROCESS_MIN_HOSTS
 
     def __post_init__(self) -> None:
         if self.n_shards is not None and self.n_shards < 1:
             raise ValueError("n_shards must be None (auto) or >= 1")
-        if self.executor not in _EXECUTORS:
-            raise ValueError(f"executor must be one of {_EXECUTORS}, got {self.executor!r}")
+        if self.executor is not None and self.executor not in _EXECUTORS:
+            raise ValueError(
+                f"executor must be None (auto) or one of {_EXECUTORS}, "
+                f"got {self.executor!r}"
+            )
         if self.max_workers is not None and self.max_workers < 1:
             raise ValueError("max_workers must be None or >= 1")
         if self.min_hosts < 1:
@@ -149,6 +198,26 @@ class EngineConfig:
                 f"probe_executor must be None or one of {_EXECUTORS}, "
                 f"got {self.probe_executor!r}"
             )
+        if self.max_resident_shards is not None:
+            if self.max_resident_shards < 1:
+                raise ValueError("max_resident_shards must be None or >= 1")
+            if self.spill_dir is None:
+                raise ValueError(
+                    "max_resident_shards bounds spilled shards in flight; "
+                    "it needs spill_dir"
+                )
+        if self.shared_memory and self.substrate != "eager":
+            raise ValueError(
+                "shared_memory shares the eager timeline arrays; combine it "
+                f"with substrate='eager', not {self.substrate!r}"
+            )
+        if self.process_min_hosts < 1:
+            raise ValueError("process_min_hosts must be >= 1")
+
+    @property
+    def resolved_substrate(self) -> str:
+        """The ``Network.build`` substrate flavour this config implies."""
+        return "shared" if self.shared_memory else self.substrate
 
 
 # -- process-pool plumbing ---------------------------------------------------
@@ -188,11 +257,20 @@ class ShardedCollector:
         wanted = self.config.n_shards or os.cpu_count() or 1
         return max(1, min(wanted, n_hosts))
 
+    def resolve_workers(self) -> int | None:
+        """Pool width: ``max_workers``, capped by ``max_resident_shards``
+        in spill mode (a shard in flight is a shard resident)."""
+        cfg = self.config
+        if cfg.max_resident_shards is None:
+            return cfg.max_workers
+        return min(cfg.max_workers or os.cpu_count() or 1, cfg.max_resident_shards)
+
     def probe_runner(self):
         """The :class:`~repro.engine.ShardedProbe` this config implies.
 
         ``probe_shards``/``probe_executor`` default to the collection
-        settings, so one config scales both stages together.
+        settings, so one config scales both stages together; a ``None``
+        executor resolves per run (see :func:`auto_executor`).
         """
         from .probing import ShardedProbe  # sharding <-> probing cycle
 
@@ -201,6 +279,7 @@ class ShardedCollector:
             n_shards=cfg.probe_shards if cfg.probe_shards is not None else cfg.n_shards,
             executor=cfg.probe_executor or cfg.executor,
             max_workers=cfg.max_workers,
+            process_min_hosts=cfg.process_min_hosts,
         )
 
     def collect(
@@ -215,30 +294,51 @@ class ShardedCollector:
 
         The probing stage runs first, itself sharded (see
         :meth:`probe_runner`); the resulting routing tables are part of
-        the shared plan every collection shard reads."""
+        the shared plan every collection shard reads.  With
+        ``spill_dir`` set, shards stream through disk instead of RAM
+        (see :mod:`repro.engine.spill`) — same bytes, bounded
+        residency."""
         plan = prepare_collection(
             spec,
             duration_s,
             seed=seed,
             include_events=include_events,
             network=network,
-            substrate=self.config.substrate,
+            substrate=self.config.resolved_substrate,
             max_cached_segments=self.config.max_cached_segments,
             probing=self.probe_runner(),
         )
         ranges = plan_shards(plan.n_hosts, self.resolve_shards(plan.n_hosts))
-        parts = self._run(plan, ranges)
+        executor = self.config.executor or auto_executor(
+            plan.network, plan.n_hosts, self.config.process_min_hosts
+        )
+        if self.config.spill_dir is not None:
+            directory = Path(self.config.spill_dir) / run_slug(plan)
+            directory.mkdir(parents=True, exist_ok=True)
+            parts = run_shards(
+                SpillPlan(plan=plan, directory=directory),
+                ranges,
+                kernel=collect_rows_spilled,
+                worker=spill_mod._run_shard,
+                initializer=spill_mod._init_worker,
+                executor=executor,
+                max_workers=self.resolve_workers(),
+            )
+        else:
+            parts = self._run(plan, ranges, executor)
         trace = Trace.concatenate(parts)
         return CollectionResult(trace=trace, network=plan.network, tables=plan.tables)
 
-    def _run(self, plan: CollectionPlan, ranges: list[tuple[int, int]]) -> list[Trace]:
+    def _run(
+        self, plan: CollectionPlan, ranges: list[tuple[int, int]], executor: str
+    ) -> list[Trace]:
         return run_shards(
             plan,
             ranges,
             kernel=collect_rows,
             worker=_run_shard,
             initializer=_init_worker,
-            executor=self.config.executor,
+            executor=executor,
             max_workers=self.config.max_workers,
         )
 

@@ -1,0 +1,98 @@
+"""Spill-to-disk collection: shard traces leave RAM as they complete.
+
+An in-RAM sharded run holds every partial :class:`~repro.trace.Trace`
+until the final merge, so peak residency grows with the whole run.  In
+spill mode each shard kernel writes its partial trace to
+``<spill_dir>/shard-<lo>-<hi>.npz`` (the ordinary
+:func:`repro.trace.save_trace` format) the moment it finishes and
+returns only the *path*; the merge then streams one shard at a time
+into memory-mapped output arrays
+(:func:`repro.trace.store.concatenate_stored`).  Residency is bounded
+by the shards in flight (``EngineConfig.max_resident_shards`` caps the
+worker count) plus one shard during the merge — while the output is
+bitwise identical to the in-RAM pipeline, because the shard bytes
+round-trip exactly through ``.npz`` and the merge applies the same
+stable probe-id sort.
+
+With the ``process`` executor this is also the cheapest transport:
+workers ship a file path over the pipe instead of pickling millions of
+probe rows.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.testbed.collection import CollectionPlan, collect_rows
+from repro.trace.store import save_trace
+
+__all__ = ["SpillPlan", "collect_rows_spilled", "run_slug", "shard_path"]
+
+
+def run_slug(plan: CollectionPlan) -> str:
+    """The per-run subdirectory a collection spills into.
+
+    Keyed by the *full* run identity — dataset, mode, exact horizon,
+    seed, event schedule on/off, host and method lists (``repr`` floats
+    are exact, so near-equal horizons cannot collide) — so a
+    :class:`repro.api.Runner` sweep over any spec axis sharing one
+    ``spill_dir`` never overwrites one run's shards or merged
+    memory-mapped columns with another's.  Two collections of the
+    *same* run share a slug and produce identical bytes, so re-running
+    is idempotent (though not safe concurrently with reading a live
+    result of that exact run).
+    """
+    meta = plan.meta
+    ident = repr(
+        (
+            meta.dataset,
+            meta.mode,
+            meta.horizon_s,
+            plan.seed,
+            plan.include_events,
+            meta.host_names,
+            meta.method_names,
+        )
+    )
+    digest = hashlib.sha256(ident.encode()).hexdigest()[:10]
+    name = re.sub(r"[^A-Za-z0-9._-]+", "_", meta.dataset)
+    return f"{name}-seed{plan.seed}-{digest}"
+
+
+@dataclass(frozen=True, eq=False)
+class SpillPlan:
+    """A :class:`CollectionPlan` plus the directory its shards spill to
+    (the run's own subdirectory of ``EngineConfig.spill_dir`` — see
+    :func:`run_slug`)."""
+
+    plan: CollectionPlan
+    directory: Path
+
+
+def shard_path(directory: Path, host_lo: int, host_hi: int) -> Path:
+    """Where the shard covering ``[host_lo, host_hi)`` spills to."""
+    return Path(directory) / f"shard-{host_lo:05d}-{host_hi:05d}"
+
+
+def collect_rows_spilled(splan: SpillPlan, host_lo: int, host_hi: int) -> Path:
+    """Evaluate one shard and write it out; returns the ``.npz`` path."""
+    trace = collect_rows(splan.plan, host_lo, host_hi)
+    return save_trace(trace, shard_path(splan.directory, host_lo, host_hi))
+
+
+# -- process-pool plumbing (see run_shards) ----------------------------------
+
+_WORKER_PLAN: SpillPlan | None = None
+
+
+def _init_worker(splan: SpillPlan) -> None:
+    global _WORKER_PLAN
+    _WORKER_PLAN = splan
+
+
+def _run_shard(bounds: tuple[int, int]) -> Path:
+    assert _WORKER_PLAN is not None, "worker used before initialisation"
+    return collect_rows_spilled(_WORKER_PLAN, *bounds)

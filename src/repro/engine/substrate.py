@@ -1,12 +1,13 @@
-"""Lazy substrate — the engine's public face for
-:class:`repro.netsim.substrate.LazyTimelineBank`.
+"""Lazy and shared-memory substrates — the engine's public face for
+:class:`repro.netsim.substrate.LazyTimelineBank` and
+:class:`repro.netsim.substrate.SharedTimelineBank`.
 
-The implementation lives in :mod:`repro.netsim.substrate` (it depends
-only on netsim types, and ``build_state(substrate="lazy")`` must not
-drag the engine/testbed stack into a pure netsim operation); this
-module re-exports it as part of the scale-out engine's API.
+The implementations live in :mod:`repro.netsim.substrate` (they depend
+only on netsim types, and ``build_state(substrate=...)`` must not drag
+the engine/testbed stack into a pure netsim operation); this module
+re-exports them as part of the scale-out engine's API.
 """
 
-from repro.netsim.substrate import LazyTimelineBank
+from repro.netsim.substrate import LazyTimelineBank, SharedTimelineBank
 
-__all__ = ["LazyTimelineBank"]
+__all__ = ["LazyTimelineBank", "SharedTimelineBank"]

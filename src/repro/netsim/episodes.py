@@ -30,7 +30,7 @@ what makes million-probe trace generation tractable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -121,9 +121,11 @@ class Network:
         """Convenience constructor: topology + state in one call.
 
         ``substrate="lazy"`` defers per-segment timeline generation to
-        first use behind an LRU budget of ``max_cached_segments`` (see
-        :mod:`repro.engine.substrate`); query results are bitwise
-        identical to the eager default.
+        first use behind an LRU budget of ``max_cached_segments``;
+        ``"shared"`` parks the timeline arrays in shared memory so a
+        process pool reads one physical copy (see
+        :mod:`repro.engine.substrate`).  Query results are bitwise
+        identical to the eager default either way.
         """
         rngs = RngFactory(seed)
         topology = build_topology(hosts, config, rngs)

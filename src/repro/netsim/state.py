@@ -20,7 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .config import MajorEvent, NetworkConfig, OutageParams, PathologyParams
+from .config import MajorEvent, OutageParams, PathologyParams
 from .episodes import (
     EpisodeSet,
     Timeline,
@@ -341,14 +341,18 @@ def build_state(
 
     ``substrate="eager"`` (the default) generates every segment's
     timelines up front; ``"lazy"`` defers generation to first use behind
-    an LRU budget of ``max_cached_segments`` per cause (see
-    :mod:`repro.engine.substrate`).  Both produce bitwise-identical
+    an LRU budget of ``max_cached_segments`` per cause; ``"shared"``
+    generates eagerly into :mod:`multiprocessing.shared_memory` so
+    process-pool workers read one physical copy (see
+    :mod:`repro.engine.substrate`).  All produce bitwise-identical
     query results.
     """
     if horizon <= 0:
         raise ValueError("horizon must be positive")
-    if substrate not in ("eager", "lazy"):
-        raise ValueError(f"substrate must be 'eager' or 'lazy', got {substrate!r}")
+    if substrate not in ("eager", "lazy", "shared"):
+        raise ValueError(
+            f"substrate must be 'eager', 'lazy' or 'shared', got {substrate!r}"
+        )
     cfg = topology.config
     reg = topology.registry
     n_seg = len(reg)
@@ -371,8 +375,12 @@ def build_state(
             for kind in ("congestion", "outage", "delay")
         }
     else:
+        if substrate == "shared":
+            from .substrate import SharedTimelineBank as bank_cls
+        else:
+            bank_cls = TimelineBank
         banks = {
-            kind: TimelineBank([recipe.timeline(kind, seg) for seg in reg], horizon)
+            kind: bank_cls([recipe.timeline(kind, seg) for seg in reg], horizon)
             for kind in ("congestion", "outage", "delay")
         }
 

@@ -1,4 +1,4 @@
-"""Lazy substrate: per-segment timelines generated on demand.
+"""Lazy and shared-memory substrates: same queries, different residency.
 
 Lives in ``repro.netsim`` (it depends on nothing above the netsim
 layer) and is re-exported as :mod:`repro.engine.substrate`, the
@@ -6,26 +6,38 @@ scale-out engine's public face for it.
 
 A 100-host mesh has ~10k segments, each with three stochastic
 timelines.  Eager :func:`repro.netsim.state.build_state` draws them all
-before the first packet flies; this module defers each segment's
-generation to its first query and keeps at most ``max_cached`` of them
-alive per cause (LRU).  Because every timeline comes from its own named
-RNG substream (:class:`~repro.netsim.state.SegmentTimelineRecipe`),
-generation order — and eviction followed by regeneration — cannot
-change a single drawn value, so lazy and eager substrates answer every
-query bitwise identically.
+before the first packet flies; :class:`LazyTimelineBank` defers each
+segment's generation to its first query and keeps at most
+``max_cached`` of them alive per cause (LRU).  Because every timeline
+comes from its own named RNG substream
+(:class:`~repro.netsim.state.SegmentTimelineRecipe`), generation order
+— and eviction followed by regeneration — cannot change a single drawn
+value, so lazy and eager substrates answer every query bitwise
+identically.
+
+:class:`SharedTimelineBank` keeps the eager layout but parks the flat
+timeline arrays in one :mod:`multiprocessing.shared_memory` block, so a
+process pool's workers all read the same physical pages — zero-copy
+across ``fork`` (no copy-on-write unsharing of substrate data) and
+attachable by name from ``spawn`` children via pickling.  The floats
+are byte-for-byte copies of the private bank's, so queries answer
+bitwise identically there too.
 """
 
 from __future__ import annotations
 
+import os
 import threading
+import weakref
 from collections import OrderedDict
+from multiprocessing import shared_memory
 
 import numpy as np
 
 from .episodes import Timeline
 from .state import SegmentTimelineRecipe, TimelineBank
 
-__all__ = ["LazyTimelineBank"]
+__all__ = ["LazyTimelineBank", "SharedTimelineBank"]
 
 
 class LazyTimelineBank:
@@ -181,4 +193,95 @@ class LazyTimelineBank:
             return self._flat
         return TimelineBank(
             self._timelines_for(np.arange(self.n_segments)), self.horizon
+        )
+
+
+def _release_shm(shm: shared_memory.SharedMemory, owner_pid: int) -> None:
+    """Finalizer: close this process's mapping; the creator unlinks.
+
+    Runs when the owning bank is garbage collected.  ``close`` can
+    raise ``BufferError`` if an outside reference to one of the views
+    survives the bank — the segment then lives until that mapping dies,
+    and ``unlink`` (name removal, creator only) still proceeds so
+    nothing leaks in ``/dev/shm``.  Forked pool workers inherit the
+    bank with the creator's pid recorded, so their exit never unlinks a
+    segment the parent is still using.
+    """
+    try:
+        shm.close()
+    except BufferError:  # pragma: no cover - depends on caller's refs
+        pass
+    if os.getpid() == owner_pid:
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+
+def _attach_shared_bank(name, layout, horizon, shift):
+    """Rebuild a :class:`SharedTimelineBank` around an existing segment
+    (the unpickling path for ``spawn`` workers)."""
+    bank = SharedTimelineBank.__new__(SharedTimelineBank)
+    shm = shared_memory.SharedMemory(name=name)
+    bank._init_views(shm, layout, horizon, shift, owner_pid=-1)
+    return bank
+
+
+class SharedTimelineBank(TimelineBank):
+    """A :class:`~repro.netsim.state.TimelineBank` whose flat arrays
+    live in POSIX shared memory.
+
+    Construction draws the timelines exactly like the eager bank, then
+    moves the four flat arrays (boundaries, severities, correlation
+    lengths, mean severities) into one ``SharedMemory`` block and
+    rebinds the attributes as views over it — every query method is
+    inherited unchanged, and the bytes are copies, so results are
+    bitwise identical to a private bank.
+
+    Pickling transmits only the segment *name* plus the array layout;
+    unpickling attaches to the existing block, which is what lets a
+    ``spawn`` process pool share one substrate copy instead of
+    serialising it per worker (``fork`` workers simply inherit the
+    mapping).  The creating process unlinks the segment when its bank
+    is garbage collected.
+    """
+
+    #: the flat arrays relocated into shared memory.
+    SHARED_FIELDS = ("_bounds", "_sev", "corr_length", "mean_severity")
+
+    def __init__(self, timelines: list[Timeline], horizon: float) -> None:
+        super().__init__(timelines, horizon)
+        arrays = [np.ascontiguousarray(getattr(self, f)) for f in self.SHARED_FIELDS]
+        shm = shared_memory.SharedMemory(
+            create=True, size=max(sum(a.nbytes for a in arrays), 1)
+        )
+        layout, offset = [], 0
+        for field, arr in zip(self.SHARED_FIELDS, arrays):
+            layout.append((field, arr.shape, str(arr.dtype), offset))
+            view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf, offset=offset)
+            view[...] = arr
+            offset += arr.nbytes
+        self._init_views(shm, layout, self.horizon, self.shift, owner_pid=os.getpid())
+
+    def _init_views(self, shm, layout, horizon, shift, owner_pid: int) -> None:
+        self.horizon = horizon
+        self.shift = shift
+        self._shm = shm
+        self._layout = layout
+        self._owner_pid = owner_pid
+        for field, shape, dtype, offset in layout:
+            view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf, offset=offset)
+            view.flags.writeable = False  # workers share these pages
+            setattr(self, field, view)
+        self._finalizer = weakref.finalize(self, _release_shm, shm, owner_pid)
+
+    @property
+    def shm_name(self) -> str:
+        """Name of the backing shared-memory segment (diagnostics)."""
+        return self._shm.name
+
+    def __reduce__(self):
+        return (
+            _attach_shared_bank,
+            (self._shm.name, self._layout, self.horizon, self.shift),
         )

@@ -39,7 +39,7 @@ from repro.core.router import resolve_routes
 from repro.netsim.network import Network, PairOutcome
 from repro.netsim.rng import RngFactory
 from repro.netsim.topology import PathTable
-from repro.trace.records import Trace, TraceMeta
+from repro.trace.records import Trace, TraceMeta, id_dtype
 
 from .datasets import DatasetSpec
 from .probes import ProbeSchedule, generate_schedule
@@ -50,15 +50,10 @@ __all__ = [
     "CollectionPlan",
     "prepare_collection",
     "collect_rows",
-    "MAX_HOSTS",
 ]
 
 #: turnaround delay at the responder for round-trip probes.
 RTT_TURNAROUND_S = 2e-4
-
-#: host ids, relays and trace host columns are int16; one more host and
-#: the trace arrays would silently wrap.
-MAX_HOSTS = int(np.iinfo(np.int16).max)
 
 
 @dataclass(frozen=True, eq=False)
@@ -96,10 +91,18 @@ class CollectionPlan:
     sched: ProbeSchedule
     #: host ``h`` owns schedule rows ``[bounds[h], bounds[h+1])``.
     bounds: np.ndarray
+    #: whether the run's substrate includes the scheduled major events
+    #: (part of run identity — e.g. the engine's spill-directory key).
+    include_events: bool = True
 
     @property
     def n_hosts(self) -> int:
         return len(self.meta.host_names)
+
+    @property
+    def host_dtype(self) -> np.dtype:
+        """Capacity-chosen dtype of the trace's host/relay id columns."""
+        return id_dtype(self.n_hosts)
 
 
 def _reverse_pids(
@@ -196,12 +199,6 @@ def prepare_collection(
     rngs = RngFactory(seed)
     cfg = spec.network_config(duration_s, include_events=include_events)
     hosts = spec.hosts()
-    if len(hosts) > MAX_HOSTS:
-        raise ValueError(
-            f"{len(hosts)} hosts exceed the int16 host/relay id range of the "
-            f"trace arrays (max {MAX_HOSTS}); widen Trace.src/dst/relay "
-            "dtypes before scaling further"
-        )
     if network is None:
         network = Network.build(
             hosts,
@@ -242,6 +239,7 @@ def prepare_collection(
         tables=tables,
         sched=sched,
         bounds=sched.source_bounds(len(hosts)),
+        include_events=include_events,
     )
 
 
@@ -258,10 +256,11 @@ def collect_rows(plan: CollectionPlan, host_lo: int, host_hi: int) -> Trace:
         raise ValueError(f"invalid host range [{host_lo}, {host_hi})")
     network, sched, mode = plan.network, plan.sched, plan.meta.mode
     rngs = RngFactory(plan.seed)
+    hid = plan.host_dtype
     lo, hi = int(plan.bounds[host_lo]), int(plan.bounds[host_hi])
     n = hi - lo
-    relay1 = np.full(n, -1, dtype=np.int16)
-    relay2 = np.full(n, -1, dtype=np.int16)
+    relay1 = np.full(n, -1, dtype=hid)
+    relay2 = np.full(n, -1, dtype=hid)
     lost1 = np.zeros(n, dtype=bool)
     lost2 = np.zeros(n, dtype=bool)
     lat1 = np.full(n, np.nan, dtype=np.float32)
@@ -328,8 +327,8 @@ def collect_rows(plan: CollectionPlan, host_lo: int, host_hi: int) -> Trace:
         meta=plan.meta,
         probe_id=sched.probe_id[lo:hi],
         method_id=sched.method_id[lo:hi],
-        src=src_rows.astype(np.int16),
-        dst=dst_rows.astype(np.int16),
+        src=src_rows.astype(hid),
+        dst=dst_rows.astype(hid),
         t_send=t_rows,
         relay1=relay1,
         relay2=relay2,

@@ -17,7 +17,7 @@ so benchmarks can run scaled-down collections (see DESIGN.md Section 6).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.core.methods import (

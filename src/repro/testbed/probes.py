@@ -13,6 +13,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.trace.records import id_dtype
+
 __all__ = ["ProbeSchedule", "generate_schedule", "PROBE_GAP_MIN_S", "PROBE_GAP_MAX_S"]
 
 PROBE_GAP_MIN_S = 0.6
@@ -26,7 +28,7 @@ class ProbeSchedule:
     t_send: np.ndarray  # float64, sorted within each source
     src: np.ndarray  # int64; rows are grouped by source (host 0 first)
     dst: np.ndarray  # int64
-    method_id: np.ndarray  # int16 into the run's method list
+    method_id: np.ndarray  # id_dtype(n_methods) into the run's method list
     probe_id: np.ndarray  # uint64 random identifiers
 
     def __len__(self) -> int:
@@ -80,9 +82,10 @@ def generate_schedule(
         [np.full(len(t), h, dtype=np.int64) for t, h in per_host]
     )
     # cycle methods per host, offset by host index
+    mid_dtype = id_dtype(n_methods)
     method_id = np.concatenate(
         [
-            ((np.arange(len(t)) + h) % n_methods).astype(np.int16)
+            ((np.arange(len(t)) + h) % n_methods).astype(mid_dtype)
             for t, h in per_host
         ]
     )

@@ -18,7 +18,7 @@ pipeline; the outage-drill example uses it to show rerouting live.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

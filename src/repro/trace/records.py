@@ -12,10 +12,32 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["TraceMeta", "ProbeRecord", "Trace"]
+__all__ = ["TraceMeta", "ProbeRecord", "Trace", "id_dtype", "ID_CANDIDATES"]
 
 #: relay value meaning "the direct path" (matches core.selector.DIRECT).
 DIRECT = -1
+
+#: candidate host/relay/method id dtypes, narrowest first.  Signed,
+#: because id columns carry the DIRECT (-1) sentinel.  Tests monkeypatch
+#: this tuple to force wide ids on small meshes, so every consumer must
+#: go through :func:`id_dtype` rather than hard-coding a dtype.
+ID_CANDIDATES = (np.int16, np.int32, np.int64)
+
+
+def id_dtype(capacity: int) -> np.dtype:
+    """Smallest signed dtype holding ids ``-1 .. capacity - 1``.
+
+    ``capacity`` is a count (hosts of a mesh, methods of a run).  Meshes
+    up to 32767 hosts keep the historical int16 columns — and therefore
+    their trace files and fingerprints — while larger runs widen to
+    int32/int64 instead of raising.
+    """
+    if capacity < 1:
+        raise ValueError(f"capacity must be >= 1, got {capacity}")
+    for dt in ID_CANDIDATES:
+        if capacity - 1 <= np.iinfo(dt).max:
+            return np.dtype(dt)
+    raise ValueError(f"no id dtype can hold {capacity} distinct ids")
 
 
 @dataclass(frozen=True)
@@ -34,6 +56,37 @@ class TraceMeta:
             raise ValueError(f"mode must be 'oneway' or 'rtt', got {self.mode!r}")
         if self.horizon_s <= 0:
             raise ValueError("horizon must be positive")
+
+
+def require_same_run(metas: list[TraceMeta]) -> TraceMeta:
+    """Check that partial traces belong to one run; returns the meta.
+
+    Merging shards of different runs would silently interleave
+    incompatible probes, so a mismatch raises naming the offending
+    fields.
+    """
+    meta = metas[0]
+    for i, m in enumerate(metas[1:], start=1):
+        if m != meta:
+            fields = [
+                f
+                for f in (
+                    "dataset",
+                    "mode",
+                    "horizon_s",
+                    "seed",
+                    "host_names",
+                    "method_names",
+                )
+                if getattr(m, f) != getattr(meta, f)
+            ]
+            raise ValueError(
+                f"cannot concatenate traces from different runs: part {i} "
+                f"disagrees with part 0 on {', '.join(fields)} "
+                f"({meta.dataset!r} seed {meta.seed} vs "
+                f"{m.dataset!r} seed {m.seed})"
+            )
+    return meta
 
 
 @dataclass(frozen=True)
@@ -67,12 +120,12 @@ class Trace:
 
     meta: TraceMeta
     probe_id: np.ndarray  # uint64
-    method_id: np.ndarray  # int16 -> meta.method_names
-    src: np.ndarray  # int16
-    dst: np.ndarray  # int16
+    method_id: np.ndarray  # id_dtype(n_methods) -> meta.method_names
+    src: np.ndarray  # id_dtype(n_hosts); int16 below 32768 hosts
+    dst: np.ndarray  # id_dtype(n_hosts)
     t_send: np.ndarray  # float64
-    relay1: np.ndarray  # int16, DIRECT for direct
-    relay2: np.ndarray  # int16
+    relay1: np.ndarray  # id_dtype(n_hosts), DIRECT for direct
+    relay2: np.ndarray  # id_dtype(n_hosts)
     lost1: np.ndarray  # bool
     lost2: np.ndarray  # bool
     latency1: np.ndarray  # float32, NaN when lost
@@ -170,7 +223,7 @@ class Trace:
             )
 
     @staticmethod
-    def concatenate(traces: list["Trace"]) -> "Trace":
+    def concatenate(traces: list) -> "Trace":
         """Merge partial traces of one run into canonical order.
 
         Every part must carry the *same* run meta (dataset, mode,
@@ -180,30 +233,20 @@ class Trace:
         are sorted by ``probe_id``: the identifiers are random 63-bit
         values, so this is a deterministic total order that does not
         depend on how the run was sharded.
+
+        Parts may also be *paths* of spilled shard files written by
+        :func:`repro.trace.save_trace`; the merge then streams one
+        shard at a time into memory-mapped output arrays
+        (:func:`repro.trace.store.concatenate_stored`), bitwise
+        identical to the in-RAM merge but with bounded residency.
         """
         if not traces:
             raise ValueError("cannot concatenate zero traces")
-        meta = traces[0].meta
-        for i, t in enumerate(traces[1:], start=1):
-            if t.meta != meta:
-                fields = [
-                    f
-                    for f in (
-                        "dataset",
-                        "mode",
-                        "horizon_s",
-                        "seed",
-                        "host_names",
-                        "method_names",
-                    )
-                    if getattr(t.meta, f) != getattr(meta, f)
-                ]
-                raise ValueError(
-                    f"cannot concatenate traces from different runs: part {i} "
-                    f"disagrees with part 0 on {', '.join(fields)} "
-                    f"({meta.dataset!r} seed {meta.seed} vs "
-                    f"{t.meta.dataset!r} seed {t.meta.seed})"
-                )
+        if not isinstance(traces[0], Trace):
+            from .store import concatenate_stored  # records <-> store cycle
+
+            return concatenate_stored(traces)
+        meta = require_same_run([t.meta for t in traces])
         kwargs = {
             name: np.concatenate([getattr(t, name) for t in traces])
             for name in Trace.ARRAY_FIELDS

@@ -4,6 +4,13 @@ Traces are the interface between collection and analysis, exactly as
 the central monitoring machine's aggregated logs were in the paper
 (Section 4.1); persisting them lets analyses re-run without re-running
 the (much more expensive) collection.
+
+Spilled runs go through the same files: the engine writes each shard's
+partial trace with :func:`save_trace` as it completes, and
+:func:`concatenate_stored` merges the shards into canonical probe-id
+order one shard at a time, scattering rows into memory-mapped output
+arrays — so a merged trace larger than RAM never has to be resident
+all at once (only the 8-byte probe ids are, to compute the sort).
 """
 
 from __future__ import annotations
@@ -13,17 +20,26 @@ from pathlib import Path
 
 import numpy as np
 
-from .records import Trace, TraceMeta
+from .records import Trace, TraceMeta, require_same_run
 
-__all__ = ["save_trace", "load_trace"]
+__all__ = ["save_trace", "load_trace", "concatenate_stored"]
 
 
-def save_trace(trace: Trace, path: str | Path) -> Path:
-    """Write a trace to ``path`` (``.npz`` appended if missing)."""
+def _npz_path(path: str | Path) -> Path:
+    """``path`` with ``.npz`` appended unless already present.
+
+    Appends to the *name* rather than replacing the pathlib suffix, so
+    dotted run names (``run.v2``, ``exp.2026.07``) survive untouched
+    instead of having their last dot segment treated as an extension.
+    """
     path = Path(path)
-    if path.suffix != ".npz":
-        path = path.with_suffix(path.suffix + ".npz")
-    meta = {
+    if path.name.endswith(".npz"):
+        return path
+    return path.with_name(path.name + ".npz")
+
+
+def _meta_to_dict(trace: Trace) -> dict:
+    return {
         "dataset": trace.meta.dataset,
         "mode": trace.meta.mode,
         "horizon_s": trace.meta.horizon_s,
@@ -32,6 +48,23 @@ def save_trace(trace: Trace, path: str | Path) -> Path:
         "method_names": list(trace.meta.method_names),
         "extra": trace.extra,
     }
+
+
+def _meta_from_dict(raw: dict) -> TraceMeta:
+    return TraceMeta(
+        dataset=raw["dataset"],
+        mode=raw["mode"],
+        horizon_s=float(raw["horizon_s"]),
+        seed=int(raw["seed"]),
+        host_names=tuple(raw["host_names"]),
+        method_names=tuple(raw["method_names"]),
+    )
+
+
+def save_trace(trace: Trace, path: str | Path) -> Path:
+    """Write a trace to ``path`` (``.npz`` appended if missing)."""
+    path = _npz_path(path)
+    meta = _meta_to_dict(trace)
     arrays = {name: getattr(trace, name) for name in Trace.ARRAY_FIELDS}
     path.parent.mkdir(parents=True, exist_ok=True)
     np.savez_compressed(
@@ -43,17 +76,79 @@ def save_trace(trace: Trace, path: str | Path) -> Path:
 def load_trace(path: str | Path) -> Trace:
     """Read a trace previously written by :func:`save_trace`."""
     path = Path(path)
-    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
-        path = path.with_suffix(path.suffix + ".npz")
+    if not path.exists() and _npz_path(path).exists():
+        path = _npz_path(path)
     with np.load(path) as data:
         meta_raw = json.loads(bytes(data["__meta__"]).decode())
         arrays = {name: data[name] for name in Trace.ARRAY_FIELDS}
-    meta = TraceMeta(
-        dataset=meta_raw["dataset"],
-        mode=meta_raw["mode"],
-        horizon_s=float(meta_raw["horizon_s"]),
-        seed=int(meta_raw["seed"]),
-        host_names=tuple(meta_raw["host_names"]),
-        method_names=tuple(meta_raw["method_names"]),
-    )
-    return Trace(meta=meta, extra=meta_raw.get("extra", {}), **arrays)
+    return Trace(meta=_meta_from_dict(meta_raw), extra=meta_raw.get("extra", {}), **arrays)
+
+
+def concatenate_stored(paths, out_dir: str | Path | None = None) -> Trace:
+    """Merge spilled shard files into one canonically-ordered trace.
+
+    The streaming counterpart of :meth:`Trace.concatenate`: ``paths``
+    name partial traces written by :func:`save_trace` (in the same part
+    order the in-RAM merge would receive), and the result is bitwise
+    identical — same global stable sort by ``probe_id``, same dtypes —
+    but built with bounded residency:
+
+    * pass 1 reads only each shard's ``probe_id`` column and computes
+      every row's destination in the merged order (O(rows) ints, not
+      O(rows) full records);
+    * pass 2 re-opens one shard at a time and scatters its columns into
+      memory-mapped ``.npy`` output arrays under ``out_dir`` (default:
+      ``<first shard's directory>/merged/``).
+
+    The returned trace's arrays are read-only memory maps over those
+    files, so downstream analysis pages data in on demand; callers that
+    want a private in-RAM copy can ``np.asarray`` the columns.
+    """
+    paths = [_npz_path(p) for p in paths]
+    if not paths:
+        raise ValueError("cannot concatenate zero traces")
+    out_dir = Path(out_dir) if out_dir is not None else paths[0].parent / "merged"
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    # pass 1: metas, dtypes and the global probe-id order
+    metas: list[TraceMeta] = []
+    dtypes: dict[str, np.dtype] = {}
+    pids: list[np.ndarray] = []
+    for i, p in enumerate(paths):
+        with np.load(p) as data:
+            metas.append(_meta_from_dict(json.loads(bytes(data["__meta__"]).decode())))
+            pids.append(data["probe_id"])
+            if i == 0:
+                dtypes = {name: data[name].dtype for name in Trace.ARRAY_FIELDS}
+    require_same_run(metas)
+    counts = [len(p) for p in pids]
+    offsets = np.concatenate([[0], np.cumsum(counts)])
+    total = int(offsets[-1])
+    order = np.argsort(np.concatenate(pids), kind="stable")
+    del pids
+    dest = np.empty(total, dtype=np.int64)
+    dest[order] = np.arange(total)
+    del order
+
+    # pass 2: one shard at a time into memory-mapped outputs
+    outs = {
+        name: np.lib.format.open_memmap(
+            out_dir / f"{name}.npy", mode="w+", dtype=dtypes[name], shape=(total,)
+        )
+        for name in Trace.ARRAY_FIELDS
+    }
+    for i, p in enumerate(paths):
+        lo, hi = int(offsets[i]), int(offsets[i + 1])
+        rows = dest[lo:hi]
+        with np.load(p) as data:
+            for name in Trace.ARRAY_FIELDS:
+                outs[name][rows] = data[name]
+    for arr in outs.values():
+        arr.flush()
+    del outs
+
+    arrays = {
+        name: np.load(out_dir / f"{name}.npy", mmap_mode="r")
+        for name in Trace.ARRAY_FIELDS
+    }
+    return Trace(meta=metas[0], **arrays)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.api import ExperimentSpec, Runner, spec_grid
+from repro.api import Runner, spec_grid
 from repro.scenarios import flash_crowd, lossy_edge, scenario_grid
 from repro.testbed import collect, dataset, unregister_dataset
 

@@ -5,7 +5,7 @@ import dataclasses
 import numpy as np
 import pytest
 
-from repro.api import Experiment, ExperimentSpec, FecSpec, Runner
+from repro.api import Experiment, FecSpec, Runner
 from repro.analysis import Cdf, MethodStats
 from repro.models import DesignSpace
 from repro.trace import apply_standard_filters

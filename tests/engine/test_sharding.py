@@ -4,7 +4,6 @@ and scenario family."""
 
 import os
 
-import numpy as np
 import pytest
 
 from repro.api import ExperimentSpec, Runner

@@ -1,0 +1,311 @@
+"""Out-of-core engine runs: spill-to-disk and shared-memory substrates
+must be bitwise identical to the in-RAM sequential pipeline, and a
+large spilled run must complete inside a bounded memory budget."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.api import ExperimentSpec, Runner
+from repro.core.reactive import run_probing
+from repro.engine import (
+    EngineConfig,
+    ShardedCollector,
+    ShardedProbe,
+    SharedTimelineBank,
+    always_shard,
+    auto_executor,
+)
+from repro.netsim import Network, RngFactory
+from repro.scenarios import flash_crowd, stress_mesh
+from repro.testbed import collect, dataset
+from repro.trace import trace_fingerprint
+
+from ..conftest import assert_traces_equal
+
+DURATION = 240.0
+
+#: the spill equivalence zoo: one canned dataset, one generated
+#: pathology scenario (keeps runtime bounded; the full zoo runs in
+#: test_sharding.py for the in-RAM engine).
+ZOO = {
+    "ronnarrow": lambda: dataset("ronnarrow"),
+    "flash-crowd": lambda: flash_crowd(n_hosts=8, seed=4),
+}
+
+_SEQUENTIAL: dict = {}
+
+
+def sequential_for(source_key):
+    if source_key not in _SEQUENTIAL:
+        src = ZOO[source_key]()
+        if hasattr(src, "register"):
+            src.register()
+            ds = dataset(src.name)
+        else:
+            ds = src
+        _SEQUENTIAL[source_key] = (ds, collect(ds, DURATION, seed=6))
+    return _SEQUENTIAL[source_key]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _clean_catalogue():
+    yield
+    _SEQUENTIAL.clear()
+    for make in ZOO.values():
+        src = make()
+        if hasattr(src, "unregister"):
+            src.unregister()
+
+
+class TestConfigValidation:
+    def test_max_resident_needs_spill_dir(self):
+        with pytest.raises(ValueError, match="spill_dir"):
+            EngineConfig(max_resident_shards=2)
+
+    def test_shared_memory_requires_eager(self):
+        with pytest.raises(ValueError, match="eager"):
+            EngineConfig(shared_memory=True, substrate="lazy")
+
+    def test_executor_none_is_auto(self):
+        cfg = EngineConfig()
+        assert cfg.executor is None
+        assert EngineConfig(executor="thread").executor == "thread"
+
+    def test_resolved_substrate(self):
+        assert EngineConfig().resolved_substrate == "eager"
+        assert EngineConfig(shared_memory=True).resolved_substrate == "shared"
+        assert EngineConfig(substrate="lazy").resolved_substrate == "lazy"
+
+    def test_max_resident_caps_workers(self, tmp_path):
+        col = ShardedCollector(
+            EngineConfig(spill_dir=tmp_path, max_resident_shards=2, max_workers=8)
+        )
+        assert col.resolve_workers() == 2
+        plain = ShardedCollector(EngineConfig(max_workers=8))
+        assert plain.resolve_workers() == 8
+
+
+@pytest.mark.parametrize("source_key", sorted(ZOO))
+class TestSpillEquivalence:
+    """The tentpole gate: a spilled run's merged trace fingerprints
+    identically to the in-RAM sequential pipeline for every shard
+    layout and executor."""
+
+    def test_shard_counts_match_sequential(self, source_key, tmp_path):
+        ds, seq = sequential_for(source_key)
+        expected = trace_fingerprint(seq.trace)
+        n_hosts = len(seq.trace.meta.host_names)
+        for n_shards in (1, 2, n_hosts):
+            col = ShardedCollector(
+                EngineConfig(
+                    n_shards=n_shards,
+                    executor="serial",
+                    spill_dir=tmp_path / f"s{n_shards}",
+                    max_resident_shards=1,
+                )
+            ).collect(ds, DURATION, seed=6, network=seq.network)
+            assert trace_fingerprint(col.trace) == expected, (
+                f"{source_key}: {n_shards} spilled shards drifted from sequential"
+            )
+            assert_traces_equal(col.trace, seq.trace)
+
+    def test_thread_executor_matches(self, source_key, tmp_path):
+        ds, seq = sequential_for(source_key)
+        col = ShardedCollector(
+            EngineConfig(n_shards=4, executor="thread", spill_dir=tmp_path)
+        ).collect(ds, DURATION, seed=6, network=seq.network)
+        assert_traces_equal(col.trace, seq.trace)
+
+
+@pytest.mark.skipif(not hasattr(os, "fork"), reason="process executor needs fork()")
+def test_process_executor_spills_paths_not_rows(tmp_path):
+    ds, seq = sequential_for("ronnarrow")
+    col = ShardedCollector(
+        EngineConfig(
+            n_shards=3, executor="process", max_workers=3, spill_dir=tmp_path
+        )
+    ).collect(ds, DURATION, seed=6, network=seq.network)
+    assert_traces_equal(col.trace, seq.trace)
+    shard_files = sorted(p.name for p in tmp_path.glob("*/shard-*.npz"))
+    assert len(shard_files) == 3
+
+
+def test_spilled_trace_is_memmapped(tmp_path):
+    ds, seq = sequential_for("ronnarrow")
+    col = ShardedCollector(
+        EngineConfig(n_shards=2, executor="serial", spill_dir=tmp_path)
+    ).collect(ds, DURATION, seed=6, network=seq.network)
+    assert isinstance(col.trace.src, np.memmap)
+    assert not col.trace.src.flags.writeable
+    assert list(tmp_path.glob("*/merged/probe_id.npy"))
+    # analyses copy-on-select, so downstream use is unaffected
+    sub = col.trace.select(col.trace.method_id == 0)
+    assert sub.src.flags.writeable
+
+
+class TestSharedMemorySubstrate:
+    def test_shm_collection_matches_private(self):
+        ds, seq = sequential_for("ronnarrow")
+        col = ShardedCollector(
+            EngineConfig(n_shards=3, executor="serial", shared_memory=True)
+        ).collect(ds, DURATION, seed=6)
+        assert_traces_equal(col.trace, seq.trace)
+        assert isinstance(col.network.state.congestion, SharedTimelineBank)
+
+    def test_shm_probing_matches_private(self):
+        ds, _ = sequential_for("ronnarrow")
+        hosts = ds.hosts()
+        cfg = ds.network_config(DURATION)
+        private = Network.build(hosts, cfg, DURATION, seed=6)
+        shared = Network.build(hosts, cfg, DURATION, seed=6, substrate="shared")
+        a = run_probing(private, cfg.probing, RngFactory(6))
+        b = ShardedProbe(n_shards=4, executor="thread").run(
+            shared, cfg.probing, RngFactory(6)
+        )
+        assert a.fingerprint() == b.fingerprint()
+
+    @pytest.mark.skipif(not hasattr(os, "fork"), reason="needs fork()")
+    def test_auto_executor_promotes_process_on_shm(self):
+        ds, seq = sequential_for("ronnarrow")
+        shared = Network.build(
+            ds.hosts(), ds.network_config(DURATION), DURATION, seed=6,
+            substrate="shared",
+        )
+        n = len(ds.hosts())
+        assert auto_executor(shared, n, min_hosts=n) == "process"
+        assert auto_executor(shared, n, min_hosts=n + 1) == "thread"
+        assert auto_executor(seq.network, n, min_hosts=n) == "thread"  # private
+        # and an auto (executor=None) run over the threshold really forks,
+        # producing the identical trace
+        col = ShardedCollector(
+            EngineConfig(n_shards=2, shared_memory=True, process_min_hosts=n)
+        ).collect(ds, DURATION, seed=6, network=shared)
+        assert_traces_equal(col.trace, seq.trace)
+
+    def test_shm_segments_released_on_gc(self):
+        import gc
+
+        ds, _ = sequential_for("ronnarrow")
+        net = Network.build(
+            ds.hosts(), ds.network_config(60.0), 60.0, seed=1, substrate="shared"
+        )
+        names = {
+            getattr(net.state, kind).shm_name
+            for kind in ("congestion", "outage", "delay")
+        }
+        assert len(names) == 3
+        del net
+        gc.collect()
+        live = set(os.listdir("/dev/shm")) if os.path.isdir("/dev/shm") else set()
+        assert not (names & live)
+
+
+class TestRunnerIntegration:
+    def test_spilled_runner_bitwise_equals_plain(self, tmp_path):
+        sc = stress_mesh(n_hosts=24, seed=4)
+        sc.register()
+        try:
+            spec = ExperimentSpec(sc.name.lower(), duration_s=DURATION, seeds=(2,))
+            plain = Runner().run(spec)[0]
+            spilled = Runner(
+                engine=always_shard(
+                    n_shards=4,
+                    executor="thread",
+                    spill_dir=tmp_path,
+                    max_resident_shards=2,
+                )
+            ).run(spec)[0]
+            assert_traces_equal(spilled.raw_trace, plain.raw_trace)
+        finally:
+            sc.unregister()
+
+    def test_multi_seed_sweep_shares_one_spill_dir(self, tmp_path):
+        # regression: each run spills into its own subdirectory, so a
+        # sweep cannot overwrite an earlier seed's merged memmaps
+        ds, _ = sequential_for("ronnarrow")
+        spec = ExperimentSpec("ronnarrow", duration_s=DURATION, seeds=(2, 3))
+        sweep = Runner(
+            engine=always_shard(n_shards=2, executor="serial", spill_dir=tmp_path)
+        ).run(spec)
+        run_dirs = sorted(p.name for p in tmp_path.iterdir())
+        assert len(run_dirs) == 2 and run_dirs[0] != run_dirs[1]
+        for i, seed in enumerate((2, 3)):
+            ref = collect(ds, DURATION, seed=seed)
+            assert_traces_equal(sweep[i].raw_trace, ref.trace)
+
+    def test_run_slug_keys_full_identity(self, tmp_path):
+        # regression: two runs differing only in include_events (or any
+        # non-seed axis) must not share a spill subdirectory — the
+        # second merge would rewrite the first result's live memmaps
+        ds, _ = sequential_for("ronnarrow")
+        cfg = EngineConfig(n_shards=2, executor="serial", spill_dir=tmp_path)
+        with_events = ShardedCollector(cfg).collect(ds, DURATION, seed=6)
+        lost_before = with_events.trace.lost1.copy()
+        without = ShardedCollector(cfg).collect(
+            ds, DURATION, seed=6, include_events=False
+        )
+        assert len(list(tmp_path.iterdir())) == 2
+        np.testing.assert_array_equal(with_events.trace.lost1, lost_before)
+        assert without.trace.meta == with_events.trace.meta  # meta alone can't key
+
+
+#: peak-RSS budget for a 100-host spilled engine run.  The dominant
+#: residents are the N^3-path table (~130 MB at N=100) and the probing
+#: grid — the spilled trace itself stays on disk.  Generous CI headroom
+#: over the ~0.6 GB measured locally.
+SPILL_RSS_BUDGET_MB = 1300
+
+_SPILL_RSS_SCRIPT = """
+import resource, sys
+from repro.engine import EngineConfig, ShardedCollector
+from repro.scenarios import stress_mesh
+from repro.testbed import dataset
+
+sc = stress_mesh(n_hosts=100, seed=1)
+sc.register()
+ds = dataset(sc.name)
+col = ShardedCollector(
+    EngineConfig(
+        n_shards=8,
+        executor="serial",
+        substrate="lazy",
+        spill_dir=sys.argv[1],
+        max_resident_shards=1,
+    )
+).collect(ds, 45.0, seed=1)
+peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+print(f"rows={len(col.trace)} peak_kb={peak_kb}")
+"""
+
+
+@pytest.mark.skipif(
+    not sys.platform.startswith("linux"), reason="ru_maxrss unit is KiB on Linux"
+)
+def test_100_host_spill_run_stays_inside_memory_budget(tmp_path):
+    """ISSUE 5 acceptance: a >=100-host spilled run completes with peak
+    RSS below a fixed budget.  Runs in a fresh interpreter so the
+    high-water mark reflects this run, not the surrounding suite."""
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = src + os.pathsep * bool(env.get("PYTHONPATH", "")) + env.get(
+        "PYTHONPATH", ""
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", _SPILL_RSS_SCRIPT, str(tmp_path)],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    ).stdout
+    fields = dict(kv.split("=") for kv in out.split())
+    assert int(fields["rows"]) > 3000
+    peak_mb = int(fields["peak_kb"]) / 1024  # ru_maxrss is KiB on Linux
+    assert peak_mb < SPILL_RSS_BUDGET_MB, (
+        f"100-host spill run peaked at {peak_mb:.0f} MB "
+        f"(budget {SPILL_RSS_BUDGET_MB} MB)"
+    )

@@ -1,0 +1,51 @@
+"""Widened id columns change capacity, never outcomes: a run forced
+onto int32 ids must reproduce the int16 run value for value."""
+
+import numpy as np
+import pytest
+
+import repro.trace.records as records
+from repro.testbed import collect, dataset
+from repro.trace.records import Trace
+
+DURATION = 180.0
+
+#: id columns whose dtype follows the capacity chooser.
+ID_FIELDS = ("method_id", "src", "dst", "relay1", "relay2")
+
+
+@pytest.fixture()
+def wide_ids(monkeypatch):
+    """Force the chooser past int16, as a >32k-host mesh would."""
+    monkeypatch.setattr(records, "ID_CANDIDATES", (np.int32, np.int64))
+
+
+def test_int32_ids_reproduce_int16_run_exactly(wide_ids):
+    ds = dataset("ronnarrow")
+    wide = collect(ds, DURATION, seed=6, include_events=False)
+    # restore the narrow chooser for the reference run
+    records_candidates = records.ID_CANDIDATES
+    try:
+        records.ID_CANDIDATES = (np.int16, np.int32, np.int64)
+        narrow = collect(ds, DURATION, seed=6, include_events=False)
+    finally:
+        records.ID_CANDIDATES = records_candidates
+
+    assert wide.trace.meta == narrow.trace.meta
+    for name in ID_FIELDS:
+        w, n = getattr(wide.trace, name), getattr(narrow.trace, name)
+        assert w.dtype == np.dtype(np.int32), name
+        assert n.dtype == np.dtype(np.int16), name
+        np.testing.assert_array_equal(w.astype(np.int64), n.astype(np.int64), err_msg=name)
+    for name in set(Trace.ARRAY_FIELDS) - set(ID_FIELDS):
+        np.testing.assert_array_equal(
+            getattr(wide.trace, name), getattr(narrow.trace, name), err_msg=name
+        )
+    # routing tables widen with the trace and still agree
+    assert wide.tables is not None
+    np.testing.assert_array_equal(
+        wide.tables.loss_best.astype(np.int64),
+        narrow.tables.loss_best.astype(np.int64),
+    )
+    assert wide.tables.loss_best.dtype == np.dtype(np.int32)
+    assert narrow.tables.loss_best.dtype == np.dtype(np.int16)

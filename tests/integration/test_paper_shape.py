@@ -7,7 +7,6 @@ if individual percentages wobble.  The benchmarks run the same checks at
 larger scale with measured-vs-paper tables.
 """
 
-import numpy as np
 import pytest
 
 from repro.analysis import method_stats, method_stats_table

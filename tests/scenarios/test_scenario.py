@@ -9,7 +9,6 @@ from repro.scenarios import (
     FlashCrowd,
     GeoCluster,
     LossyAccessCohort,
-    RegionalOutage,
     Scenario,
     diurnal_isp,
     flash_crowd,

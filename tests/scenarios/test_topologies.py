@@ -1,6 +1,5 @@
 """Topology families: determinism, validity, knob behaviour."""
 
-import numpy as np
 import pytest
 
 from repro.netsim import LINK_CLASSES, Network, config_2003

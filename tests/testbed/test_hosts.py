@@ -1,6 +1,5 @@
 """The Table 1/2 host catalogue."""
 
-import pytest
 
 from repro.testbed.hosts import ALL_HOSTS, category_counts, hosts_2002, hosts_2003
 

@@ -5,8 +5,7 @@ import pytest
 
 from repro.core.methods import METHODS
 from repro.core.selector import DIRECT
-from repro.netsim import Network, RngFactory, config_2003
-from repro.netsim.config import MajorEvent
+from repro.netsim import Network, config_2003
 from repro.testbed.ron import Overlay
 
 from ..conftest import tiny_hosts
@@ -89,18 +88,8 @@ class TestOutageReaction:
     def test_reroutes_around_injected_outage(self):
         """The paper's core reactive claim: probing detects a dying path
         and routes around it within ~minutes."""
-        cfg = config_2003().with_overrides(
-            major_events=(
-                MajorEvent(
-                    target="host:GBLX-CHI",
-                    start_frac=0.99,  # placed beyond our replay window
-                    duration_s=1.0,
-                    severity=0.0,
-                ),
-            )
-        )
-        # inject a middle outage directly instead: pick the pair (0, 1)
-        # and overwrite its middle segment's outage timeline
+        # inject a middle outage directly: pick the pair (0, 1) and
+        # overwrite its middle segment's outage timeline
         net = Network.build(tiny_hosts(), config_2003(), horizon=2400.0, seed=29)
         from repro.netsim.episodes import EpisodeSet, Timeline
         from repro.netsim.state import TimelineBank

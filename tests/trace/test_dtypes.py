@@ -1,0 +1,85 @@
+"""Property tests for the capacity-chosen id dtype (hypothesis).
+
+The chooser replaced the hard ≥32k-host ``collect()`` raise: host,
+relay and method id columns now take the smallest signed dtype that
+fits the run, which must (a) round-trip every legal id exactly,
+(b) really be the smallest fit, and (c) leave small meshes on int16 so
+historical trace files and fingerprints stay byte-identical.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace import trace_fingerprint
+from repro.trace.records import ID_CANDIDATES, id_dtype
+
+from .test_trace import make_trace
+
+capacities = st.integers(min_value=1, max_value=2**40)
+
+
+@given(capacities)
+def test_chosen_dtype_fits(capacity):
+    dt = id_dtype(capacity)
+    assert np.iinfo(dt).min <= -1  # the DIRECT sentinel
+    assert np.iinfo(dt).max >= capacity - 1
+
+
+@given(capacities)
+def test_chosen_dtype_is_smallest_fitting(capacity):
+    dt = id_dtype(capacity)
+    narrower = [c for c in ID_CANDIDATES if np.dtype(c).itemsize < dt.itemsize]
+    for c in narrower:
+        assert capacity - 1 > np.iinfo(c).max
+
+
+@given(capacities, st.data())
+@settings(max_examples=50)
+def test_ids_round_trip_exactly(capacity, data):
+    ids = data.draw(
+        st.lists(
+            st.integers(min_value=-1, max_value=capacity - 1), min_size=1, max_size=32
+        )
+    )
+    wide = np.array(ids, dtype=np.int64)
+    narrow = wide.astype(id_dtype(capacity))
+    np.testing.assert_array_equal(narrow.astype(np.int64), wide)
+
+
+@given(st.integers(min_value=1, max_value=2**15))
+def test_small_meshes_keep_int16(capacity):
+    # fingerprint stability: every pre-widening mesh size stays on the
+    # historical int16 columns, so committed golden fingerprints and
+    # stored .npz files remain byte-identical
+    assert id_dtype(capacity) == np.dtype(np.int16)
+
+
+def test_widening_boundaries():
+    assert id_dtype(2**15 + 1) == np.dtype(np.int32)
+    assert id_dtype(2**31) == np.dtype(np.int32)
+    assert id_dtype(2**31 + 1) == np.dtype(np.int64)
+
+
+def test_capacity_validation():
+    import pytest
+
+    with pytest.raises(ValueError):
+        id_dtype(0)
+    with pytest.raises(ValueError):
+        id_dtype(2**63 + 1)
+
+
+def test_fingerprint_unchanged_by_chooser_at_small_n():
+    # a trace whose id columns come from the chooser hashes identically
+    # to one built with the historical explicit int16 columns
+    explicit = make_trace(16, seed=4)
+    hid = id_dtype(len(explicit.meta.host_names))
+    mid = id_dtype(len(explicit.meta.method_names))
+    chosen = explicit.select(np.ones(16, dtype=bool))
+    chosen.src = chosen.src.astype(hid)
+    chosen.dst = chosen.dst.astype(hid)
+    chosen.relay1 = chosen.relay1.astype(hid)
+    chosen.relay2 = chosen.relay2.astype(hid)
+    chosen.method_id = chosen.method_id.astype(mid)
+    assert trace_fingerprint(chosen) == trace_fingerprint(explicit)

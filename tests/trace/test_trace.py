@@ -171,6 +171,68 @@ class TestStore:
             assert a.dtype == b.dtype, name
             np.testing.assert_array_equal(a, b, err_msg=name)
 
+    @pytest.mark.parametrize(
+        "name", ["run.v2", "exp.2026.07", "run.v2.npz", "run.", "v1.0-final"]
+    )
+    def test_dotted_run_names_round_trip(self, tmp_path, name):
+        # regression: suffix normalisation must append to the *name*, not
+        # replace the last dot segment, so dotted run names survive
+        t = make_trace(6, seed=2)
+        written = save_trace(t, tmp_path / name)
+        expected = name if name.endswith(".npz") else name + ".npz"
+        assert written.name == expected
+        assert sorted(p.name for p in tmp_path.iterdir()) == [expected]
+        back = load_trace(tmp_path / name)  # suffix-less lookup still works
+        np.testing.assert_array_equal(back.probe_id, t.probe_id)
+
+    def test_save_never_double_appends(self, tmp_path):
+        t = make_trace(3)
+        first = save_trace(t, tmp_path / "run.v2")
+        second = save_trace(t, first)  # re-saving the returned path
+        assert second == first
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["run.v2.npz"]
+
+
+class TestConcatenateStored:
+    def shards(self, tmp_path, n=30, parts=3):
+        t = Trace.concatenate([make_trace(n, seed=5)])
+        split = [t.select(np.arange(n) % parts == k) for k in range(parts)]
+        paths = [save_trace(s, tmp_path / f"shard-{k}") for k, s in enumerate(split)]
+        return t, split, paths
+
+    def test_streamed_merge_is_bitwise_identical(self, tmp_path):
+        t, split, paths = self.shards(tmp_path)
+        in_ram = Trace.concatenate(split)
+        streamed = Trace.concatenate(paths)  # path dispatch
+        assert streamed.meta == in_ram.meta
+        for name in Trace.ARRAY_FIELDS:
+            a, b = getattr(in_ram, name), getattr(streamed, name)
+            assert a.dtype == b.dtype, name
+            np.testing.assert_array_equal(a, b, err_msg=name)
+        np.testing.assert_array_equal(streamed.probe_id, t.probe_id)
+
+    def test_merged_columns_are_readonly_memmaps(self, tmp_path):
+        _, _, paths = self.shards(tmp_path)
+        streamed = Trace.concatenate(paths)
+        assert isinstance(streamed.src, np.memmap)
+        assert not streamed.src.flags.writeable
+        merged_dir = tmp_path / "merged"
+        assert sorted(p.name for p in merged_dir.iterdir()) == sorted(
+            f"{name}.npy" for name in Trace.ARRAY_FIELDS
+        )
+
+    def test_stored_merge_rejects_mixed_runs(self, tmp_path):
+        a = save_trace(make_trace(4, seed=0), tmp_path / "a")
+        b = save_trace(make_trace(4, seed=1), tmp_path / "b")
+        with pytest.raises(ValueError, match="seed"):
+            Trace.concatenate([a, b])
+
+    def test_zero_paths_rejected(self):
+        from repro.trace.store import concatenate_stored
+
+        with pytest.raises(ValueError, match="zero"):
+            concatenate_stored([])
+
 
 class TestFilters:
     def test_drop_excluded(self):

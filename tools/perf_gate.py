@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Gate CI on benchmark wall-time regressions.
+
+Compares the freshly-written scaling bench results under
+``benchmarks/out/`` against the committed reference numbers in
+``benchmarks/baselines.json`` and fails when any gated metric regressed
+by more than the file's ``tolerance_factor`` (2.0: the bench must not
+take more than twice its reference wall-time).
+
+Gated metrics are the numeric leaves of each baseline section whose key
+ends in ``seconds``; entries faster than ``min_gated_seconds`` on both
+sides are skipped (micro-timings are all noise).  Throughput counters
+(``*_per_second``, ``probes``, ``speedup``) are informational and never
+gated — machines differ, so only *relative* wall-time regressions
+against the same file's reference are meaningful.
+
+Machines differ in absolute speed too: the gate times a small fixed
+NumPy calibration kernel (the primitives the benches spend their time
+in) and scales the baselines by ``this machine / reference machine``,
+clamped to [1, ``max_machine_factor``].  A CI runner 2x slower than the
+laptop the baselines were recorded on therefore compares against 2x
+baselines — hardware delta is factored out, real regressions are not
+(the clamp floor of 1 means a faster machine never loosens the gate).
+
+Usage::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_engine_scaling.py \
+        benchmarks/test_probing_scaling.py -q -s
+    python tools/perf_gate.py
+
+    # prove the gate trips (used once per change to the gate itself):
+    python tools/perf_gate.py --inject-slowdown 3.0
+
+After an intentional perf change, regenerate the references by running
+the benches on an idle machine and copying the new timings into
+``benchmarks/baselines.json`` — and justify the change in the PR body.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+ROOT = Path(__file__).resolve().parent.parent
+BASELINES = ROOT / "benchmarks" / "baselines.json"
+OUT_DIR = ROOT / "benchmarks" / "out"
+
+
+def calibration_kernel() -> float:
+    """Median wall-time of a fixed workload over the primitives the
+    scaling benches are built from (searchsorted lookups, stable sorts,
+    RNG draws, cumulative sums).  Used to express "how fast is this
+    machine" as one number comparable across hosts."""
+    rng = np.random.default_rng(0)
+    times = []
+    for _ in range(3):
+        t0 = time.perf_counter()
+        a = rng.standard_normal(1 << 21)
+        b = np.sort(a)
+        idx = np.searchsorted(b, a)
+        order = np.argsort(idx, kind="stable")
+        np.cumsum(a[order]).sum()
+        times.append(time.perf_counter() - t0)
+    return sorted(times)[1]
+
+
+def walk_seconds(tree: dict, path: tuple = ()):
+    """Yield (path, value) for every gated wall-time leaf."""
+    for key, value in tree.items():
+        if isinstance(value, dict):
+            yield from walk_seconds(value, path + (key,))
+        elif isinstance(value, (int, float)) and key.endswith("seconds"):
+            yield path + (key,), float(value)
+
+
+def lookup(tree: dict, path: tuple):
+    node = tree
+    for key in path:
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return node
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--baselines", type=Path, default=BASELINES, help="reference timings"
+    )
+    parser.add_argument(
+        "--out", type=Path, default=OUT_DIR, help="directory of fresh bench JSON"
+    )
+    parser.add_argument(
+        "--inject-slowdown",
+        type=float,
+        default=1.0,
+        metavar="FACTOR",
+        help="multiply fresh timings by FACTOR (self-test of the gate)",
+    )
+    args = parser.parse_args()
+
+    if not args.baselines.exists():
+        print(f"error: {args.baselines} missing; commit reference timings first")
+        return 2
+    config = json.loads(args.baselines.read_text())
+    tolerance = float(config["tolerance_factor"])
+    floor = float(config.get("min_gated_seconds", 0.5))
+    reference = config.get("calibration_seconds")
+    if reference:
+        machine = min(
+            max(calibration_kernel() / float(reference), 1.0),
+            float(config.get("max_machine_factor", 4.0)),
+        )
+        print(f"machine factor vs reference hardware: {machine:.2f}x")
+    else:
+        machine = 1.0
+
+    failures: list[str] = []
+    checked = 0
+    for section, base_tree in config["baselines"].items():
+        fresh_file = args.out / f"{section}.json"
+        if not fresh_file.exists():
+            failures.append(f"{section}: fresh results missing ({fresh_file})")
+            continue
+        fresh_tree = json.loads(fresh_file.read_text())
+        for path, base in walk_seconds(base_tree):
+            fresh = lookup(fresh_tree, path)
+            label = f"{section}:{'.'.join(path)}"
+            if fresh is None:
+                failures.append(f"{label}: metric missing from fresh results")
+                continue
+            fresh = float(fresh) * args.inject_slowdown
+            base = base * machine
+            checked += 1
+            if max(base, fresh) < floor:
+                verdict = "skip (sub-floor)"
+            elif fresh > base * tolerance:
+                verdict = "REGRESSED"
+                failures.append(
+                    f"{label}: {fresh:.3f}s vs baseline {base:.3f}s "
+                    f"(>{tolerance:g}x)"
+                )
+            else:
+                verdict = "ok"
+            print(f"{label:60s} base={base:8.3f}s fresh={fresh:8.3f}s  {verdict}")
+
+    if failures:
+        print(f"\nperf gate FAILED ({len(failures)} problem(s)):")
+        for f in failures:
+            print(f"  - {f}")
+        print(
+            "\nIf the slowdown is intentional, rerun the benches on an idle "
+            "machine, update benchmarks/baselines.json, and justify the "
+            "change in the PR body."
+        )
+        return 1
+    print(f"\nperf gate passed: {checked} wall-time metrics within {tolerance:g}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
