@@ -18,6 +18,7 @@ from .config import NetworkConfig
 from .links import AccessLinkClass, link_class
 from .rng import RngFactory
 from .segments import Segment, SegmentKind, SegmentRegistry
+from repro.trace.records import id_dtype
 from .units import MILLISECOND, haversine_km, propagation_delay_s
 
 __all__ = ["HostSpec", "Topology", "build_topology", "PathTable"]
@@ -67,7 +68,7 @@ class PathTable:
         self.prop_total = np.zeros(n_paths, dtype=np.float64)
         self.forward_loss = np.zeros(n_paths, dtype=np.float64)
         self.forward_delay = np.zeros(n_paths, dtype=np.float64)
-        self.relay_host = np.full(n_paths, -1, dtype=np.int32)
+        self.relay_host = np.full(n_paths, -1, dtype=id_dtype(n_hosts))
         self.valid = np.zeros(n_paths, dtype=bool)
 
     def direct_pid(self, src: int, dst: int) -> int:
@@ -145,7 +146,7 @@ class PathTable:
         if forward_after is not None and not 0 <= forward_after < k:
             raise ValueError(f"forward_after {forward_after} outside path of {k} segments")
         forward_loss = np.broadcast_to(np.asarray(forward_loss, dtype=np.float64), pids.shape)
-        relay_host = np.broadcast_to(np.asarray(relay_host, dtype=np.int32), pids.shape)
+        relay_host = np.broadcast_to(np.asarray(relay_host, dtype=self.relay_host.dtype), pids.shape)
         for lo in range(0, len(pids), self.BATCH_CHUNK):
             hi = min(lo + self.BATCH_CHUNK, len(pids))
             p, s = pids[lo:hi], segs[lo:hi]

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.netsim.config import MajorEvent, NetworkConfig
 from repro.netsim.links import link_class
+from repro.netsim.rng import seeded_rng
 from repro.netsim.topology import HostSpec
 
 __all__ = [
@@ -207,7 +208,7 @@ class LossyAccessCohort(Pathology):
         n_pick = int(round(self.fraction * len(hosts)))
         if n_pick == 0:
             return hosts
-        rng = np.random.default_rng(self.seed)
+        rng = seeded_rng(self.seed)
         picked = set(rng.choice(len(hosts), size=n_pick, replace=False).tolist())
         return [
             dataclasses.replace(h, link=self.link, forward_loss=None)

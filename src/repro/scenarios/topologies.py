@@ -19,6 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.netsim.links import link_class
+from repro.netsim.rng import seeded_rng
 from repro.netsim.topology import HostSpec
 from repro.testbed.hosts import ALL_HOSTS, REGIONS, synth_host
 
@@ -106,7 +107,7 @@ class GeoCluster(TopologyFamily):
             raise ValueError("spread_deg must be non-negative")
 
     def hosts(self) -> list[HostSpec]:
-        rng = np.random.default_rng(self.seed)
+        rng = seeded_rng(self.seed)
         names, probs = _mix_arrays(self.link_mix)
         out: list[HostSpec] = []
         for i in range(self.n_hosts):
@@ -158,7 +159,7 @@ class HubAndSpoke(TopologyFamily):
             raise ValueError("an overlay needs at least 3 hosts")
 
     def hosts(self) -> list[HostSpec]:
-        rng = np.random.default_rng(self.seed)
+        rng = seeded_rng(self.seed)
         out: list[HostSpec] = []
         for region in self.regions:
             anchor = REGIONS[region]
@@ -210,7 +211,7 @@ class ScaledMesh(TopologyFamily):
             raise ValueError("jitter_deg must be non-negative")
 
     def hosts(self) -> list[HostSpec]:
-        rng = np.random.default_rng(self.seed)
+        rng = seeded_rng(self.seed)
         out: list[HostSpec] = []
         for i in range(self.n_hosts):
             template = ALL_HOSTS[i % len(ALL_HOSTS)]

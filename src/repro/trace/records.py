@@ -8,11 +8,29 @@ for one collection run; :class:`ProbeRecord` is the per-probe view.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["TraceMeta", "ProbeRecord", "Trace", "id_dtype", "ID_CANDIDATES"]
+__all__ = [
+    "TraceMeta",
+    "ProbeRecord",
+    "Trace",
+    "id_dtype",
+    "ID_CANDIDATES",
+    "debug_checks_enabled",
+]
+
+
+def debug_checks_enabled() -> bool:
+    """True when ``REPRO_DEBUG_CHECKS`` asks for extra invariant checks.
+
+    Unset, empty, or ``"0"`` means off; anything else turns on the
+    O(rows) sanity assertions at shard-merge boundaries.  Read at call
+    time so tests (and long-lived processes) can toggle it.
+    """
+    return os.environ.get("REPRO_DEBUG_CHECKS", "0") not in ("", "0")
 
 #: relay value meaning "the direct path" (matches core.selector.DIRECT).
 DIRECT = -1
@@ -165,6 +183,26 @@ class Trace:
             f"methods={len(self.meta.method_names)})"
         )
 
+    def assert_canonical_order(self, context: str = "") -> "Trace":
+        """Assert rows are in canonical (ascending ``probe_id``) order.
+
+        Debug helper for shard-merge boundaries: every merge path sorts
+        by ``probe_id``, so a violation here means a merge kernel
+        regressed.  Called automatically after :meth:`concatenate` and
+        :func:`repro.trace.store.concatenate_stored` when the
+        ``REPRO_DEBUG_CHECKS`` environment variable is set (non-empty,
+        not ``"0"``).  Returns ``self`` so it can be chained.
+        """
+        pid = self.probe_id
+        if len(pid) > 1 and not bool(np.all(pid[1:] >= pid[:-1])):
+            bad = int(np.argmax(~(pid[1:] >= pid[:-1])))
+            where = f" ({context})" if context else ""
+            raise AssertionError(
+                f"trace rows not in canonical probe_id order{where}: "
+                f"row {bad} has probe_id {pid[bad]} followed by {pid[bad + 1]}"
+            )
+        return self
+
     @property
     def has_second(self) -> np.ndarray:
         """Boolean mask: probes whose method sends two packets."""
@@ -253,4 +291,7 @@ class Trace:
         }
         merged = Trace(meta=meta, **kwargs)
         order = np.argsort(merged.probe_id, kind="stable")
-        return merged.select(order)
+        merged = merged.select(order)
+        if debug_checks_enabled():
+            merged.assert_canonical_order("Trace.concatenate")
+        return merged

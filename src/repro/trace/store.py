@@ -20,7 +20,7 @@ from pathlib import Path
 
 import numpy as np
 
-from .records import Trace, TraceMeta, require_same_run
+from .records import Trace, TraceMeta, debug_checks_enabled, require_same_run
 
 __all__ = ["save_trace", "load_trace", "concatenate_stored"]
 
@@ -151,4 +151,7 @@ def concatenate_stored(paths, out_dir: str | Path | None = None) -> Trace:
         name: np.load(out_dir / f"{name}.npy", mmap_mode="r")
         for name in Trace.ARRAY_FIELDS
     }
-    return Trace(meta=metas[0], **arrays)
+    merged = Trace(meta=metas[0], **arrays)
+    if debug_checks_enabled():
+        merged.assert_canonical_order("concatenate_stored")
+    return merged

@@ -1,0 +1,47 @@
+"""Fixtures for the repro-lint analyzer suite.
+
+The analyzer lives in ``tools/`` (it is repository tooling, not part of
+the ``repro`` package), so the suite puts ``tools/`` on ``sys.path``
+itself — the tier-1 run only exports ``src``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+TOOLS_DIR = REPO_ROOT / "tools"
+if str(TOOLS_DIR) not in sys.path:
+    sys.path.insert(0, str(TOOLS_DIR))
+
+
+@pytest.fixture
+def lint():
+    """Run the analyzer over in-memory sources.
+
+    ``lint("...")`` lints one file at ``src/mod.py``; a dict maps
+    root-relative paths to sources.  ``select`` narrows to specific
+    codes so each rule is tested in isolation.
+    """
+    from repro_lint import LintConfig, lint_sources
+
+    def run(sources, select=(), **cfg_kwargs):
+        if isinstance(sources, str):
+            sources = {"src/mod.py": sources}
+        config = LintConfig(select=tuple(select), **cfg_kwargs)
+        return lint_sources(sources, config)
+
+    return run
+
+
+@pytest.fixture
+def codes(lint):
+    """Like ``lint`` but returns just the sorted finding codes."""
+
+    def run(sources, **kwargs):
+        return sorted(f.code for f in lint(sources, **kwargs))
+
+    return run

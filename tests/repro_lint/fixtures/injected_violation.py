@@ -1,0 +1,20 @@
+"""Deliberately non-deterministic module: the analyzer must flag it.
+
+Excluded from the repository-wide lint (see ``[tool.repro-lint]`` in
+``pyproject.toml``); the CLI test suite lints it explicitly and asserts
+the gate would fail on it.
+"""
+
+import random
+import time
+
+import numpy as np
+
+np.random.seed()  # DET001: legacy global-state RNG
+
+
+def jitter_ms() -> float:
+    return random.random() * time.time() % 10.0  # DET002 twice
+
+
+host_ids = np.arange(8, dtype=np.int16)  # DET003: hard-coded id dtype

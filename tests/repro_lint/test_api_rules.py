@@ -1,0 +1,111 @@
+"""API001: frozen-spec hygiene."""
+
+from __future__ import annotations
+
+import textwrap
+
+
+def src(code: str) -> str:
+    return textwrap.dedent(code).lstrip()
+
+
+class TestFrozenSpecHygiene:
+    def test_setattr_outside_constructor_fires(self, lint):
+        findings = lint(
+            src(
+                """
+                def hack(spec, seed):
+                    object.__setattr__(spec, "seed", seed)
+                """
+            ),
+            select=["API001"],
+        )
+        assert [f.code for f in findings] == ["API001"]
+        assert "replace" in findings[0].message
+
+    def test_setattr_in_post_init_clean(self, codes):
+        assert (
+            codes(
+                src(
+                    """
+                    from dataclasses import dataclass
+                    @dataclass(frozen=True)
+                    class ExperimentSpec:
+                        seed: int
+                        def __post_init__(self):
+                            object.__setattr__(self, "seed", int(self.seed))
+                    """
+                ),
+                select=["API001"],
+            )
+            == []
+        )
+
+    def test_attribute_assignment_on_annotated_param_fires(self, codes):
+        assert codes(
+            src(
+                """
+                from repro.api import ExperimentSpec
+                def tune(spec: ExperimentSpec):
+                    spec.duration_s = 60.0
+                    return spec
+                """
+            ),
+            select=["API001"],
+        ) == ["API001"]
+
+    def test_attribute_assignment_on_constructed_local_fires(self, codes):
+        assert codes(
+            src(
+                """
+                from repro.api import ExperimentSpec
+                def build():
+                    spec = ExperimentSpec(seed=1)
+                    spec.seed = 2
+                    return spec
+                """
+            ),
+            select=["API001"],
+        ) == ["API001"]
+
+    def test_replace_and_reads_clean(self, codes):
+        assert (
+            codes(
+                src(
+                    """
+                    import dataclasses
+                    from repro.api import ExperimentSpec
+                    def tune(spec: ExperimentSpec):
+                        longer = dataclasses.replace(spec, duration_s=60.0)
+                        return longer, spec.seed
+                    """
+                ),
+                select=["API001"],
+            )
+            == []
+        )
+
+    def test_non_spec_mutation_clean(self, codes):
+        assert (
+            codes(
+                src(
+                    """
+                    def tune(table):
+                        table.rows = []
+                        return table
+                    """
+                ),
+                select=["API001"],
+            )
+            == []
+        )
+
+    def test_custom_frozen_specs_config(self, codes):
+        source = src(
+            """
+            def tune(cfg: RunConfig):
+                cfg.steps = 5
+            """
+        )
+        assert codes(source, select=["API001"]) == []
+        assert codes(source, select=["API001"], frozen_specs=("RunConfig",)) == ["API001"]

@@ -1,0 +1,118 @@
+"""Configuration: selection, per-path overrides, pyproject loading."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+VIOLATION = "import numpy as np\nnp.random.seed(0)\n"
+
+
+def test_per_path_disable(lint):
+    from repro_lint import LintConfig
+    from repro_lint.config import PathOverride
+
+    config = LintConfig(per_path=(PathOverride("tests", disable=("DET001",)),))
+    from repro_lint import lint_sources
+
+    sources = {"src/a.py": VIOLATION, "tests/test_a.py": VIOLATION}
+    findings = lint_sources(sources, config)
+    assert [(f.path, f.code) for f in findings] == [("src/a.py", "DET001")]
+
+
+def test_per_path_enable_overrides_earlier_disable():
+    from repro_lint import LintConfig, lint_sources
+    from repro_lint.config import PathOverride
+
+    config = LintConfig(
+        per_path=(
+            PathOverride("tests", disable=("DET001",)),
+            PathOverride("tests/strict", enable=("DET001",)),
+        )
+    )
+    sources = {
+        "tests/test_a.py": VIOLATION,
+        "tests/strict/test_b.py": VIOLATION,
+    }
+    findings = lint_sources(sources, config)
+    assert [(f.path, f.code) for f in findings] == [("tests/strict/test_b.py", "DET001")]
+
+
+def test_exclude_skips_files_entirely():
+    from repro_lint import LintConfig, lint_sources
+
+    config = LintConfig(exclude=("tests/fixtures",))
+    findings = lint_sources({"tests/fixtures/bad.py": "def broken(:\n"}, config)
+    assert findings == []
+
+
+def test_select_prefix_expansion():
+    from repro_lint import LintConfig
+
+    det = LintConfig(select=("DET",)).base_codes()
+    assert {"DET001", "DET002", "DET003", "DET004"} <= det
+    assert not any(c.startswith("SHARD") for c in det)
+
+
+def test_unknown_selector_raises():
+    from repro_lint import LintConfig
+
+    with pytest.raises(ValueError, match="NOPE"):
+        LintConfig(select=("NOPE",)).base_codes()
+
+
+def test_load_config_round_trip(tmp_path):
+    from repro_lint import load_config
+
+    pyproject = tmp_path / "pyproject.toml"
+    pyproject.write_text(
+        textwrap.dedent(
+            """
+            [tool.repro-lint]
+            select = ["DET", "LNT"]
+            exclude = ["vendored"]
+            src-roots = ["lib"]
+            time-columns = ["t_send", "t_recv"]
+
+            [tool.repro-lint.per-path]
+            "tests" = { disable = ["DET002"] }
+            """
+        )
+    )
+    config = load_config(pyproject)
+    assert config.src_roots == ("lib",)
+    assert config.time_columns == ("t_send", "t_recv")
+    assert config.is_excluded("vendored/x.py")
+    assert "DET002" in config.codes_for("lib/a.py")
+    assert "DET002" not in config.codes_for("tests/test_a.py")
+
+
+def test_load_config_rejects_unknown_keys(tmp_path):
+    from repro_lint import load_config
+
+    pyproject = tmp_path / "pyproject.toml"
+    pyproject.write_text("[tool.repro-lint]\ntypo-key = true\n")
+    with pytest.raises(ValueError, match="typo-key"):
+        load_config(pyproject)
+
+
+def test_load_config_missing_file_is_defaults(tmp_path):
+    from repro_lint import load_config
+
+    config = load_config(tmp_path / "nope" / "pyproject.toml")
+    assert config.select == ()
+    assert "DET001" in config.base_codes()
+
+
+def test_repo_pyproject_is_valid():
+    """The committed [tool.repro-lint] table must always load."""
+    from pathlib import Path
+
+    from repro_lint import load_config
+
+    repo_root = Path(__file__).resolve().parents[2]
+    config = load_config(repo_root / "pyproject.toml")
+    assert config.is_excluded("tests/repro_lint/fixtures/injected_violation.py")
+    assert "DET002" not in config.codes_for("tests/test_x.py")
+    assert "DET002" in config.codes_for("src/repro/netsim/rng.py")

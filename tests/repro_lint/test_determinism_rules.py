@@ -1,0 +1,327 @@
+"""DET001-DET004: firing and non-firing cases for each rule."""
+
+from __future__ import annotations
+
+import textwrap
+
+
+def src(code: str) -> str:
+    return textwrap.dedent(code).lstrip()
+
+
+# -- DET001: legacy global-state numpy RNG ---------------------------------
+
+
+class TestLegacyNumpyRandom:
+    def test_np_random_seed_fires(self, lint):
+        findings = lint(
+            src(
+                """
+                import numpy as np
+                np.random.seed(42)
+                """
+            ),
+            select=["DET001"],
+        )
+        assert [f.code for f in findings] == ["DET001"]
+        assert "np.random.seed" in findings[0].message
+        assert findings[0].line == 2
+
+    def test_full_module_name_and_from_import_fire(self, codes):
+        assert codes(
+            src(
+                """
+                import numpy
+                from numpy.random import shuffle
+                numpy.random.rand(3)
+                shuffle([1, 2])
+                """
+            ),
+            select=["DET001"],
+        ) == ["DET001", "DET001"]
+
+    def test_aliased_import_fires(self, codes):
+        assert codes(
+            src(
+                """
+                import numpy.random as npr
+                npr.permutation(10)
+                """
+            ),
+            select=["DET001"],
+        ) == ["DET001"]
+
+    def test_modern_generator_api_clean(self, codes):
+        assert (
+            codes(
+                src(
+                    """
+                    import numpy as np
+                    rng = np.random.default_rng(7)
+                    rng.random(3)
+                    ss = np.random.SeedSequence([1, 2])
+                    gen = np.random.Generator(np.random.PCG64(ss))
+                    """
+                ),
+                select=["DET001"],
+            )
+            == []
+        )
+
+    def test_unrelated_random_attribute_clean(self, codes):
+        # someone else's .random is not numpy's
+        assert (
+            codes(
+                src(
+                    """
+                    def f(sampler):
+                        return sampler.random.seed(1)
+                    """
+                ),
+                select=["DET001"],
+            )
+            == []
+        )
+
+
+# -- DET002: ambient entropy ------------------------------------------------
+
+
+class TestAmbientEntropy:
+    def test_stdlib_random_fires(self, lint):
+        findings = lint(
+            src(
+                """
+                import random
+                x = random.random()
+                """
+            ),
+            select=["DET002"],
+        )
+        assert [f.code for f in findings] == ["DET002"]
+        assert "random.random" in findings[0].message
+
+    def test_wall_clock_and_urandom_fire(self, codes):
+        assert codes(
+            src(
+                """
+                import os
+                import time
+                t = time.time()
+                salt = os.urandom(8)
+                """
+            ),
+            select=["DET002"],
+        ) == ["DET002", "DET002"]
+
+    def test_argless_default_rng_fires(self, lint):
+        findings = lint(
+            src(
+                """
+                import numpy as np
+                rng = np.random.default_rng()
+                """
+            ),
+            select=["DET002"],
+        )
+        assert [f.code for f in findings] == ["DET002"]
+        assert "OS entropy" in findings[0].message
+
+    def test_seeded_default_rng_fires_with_helper_hint(self, lint):
+        findings = lint(
+            src(
+                """
+                import numpy as np
+                rng = np.random.default_rng(1234)
+                """
+            ),
+            select=["DET002"],
+        )
+        assert [f.code for f in findings] == ["DET002"]
+        assert "seeded_rng" in findings[0].message
+
+    def test_audited_helpers_and_perf_counter_clean(self, codes):
+        assert (
+            codes(
+                src(
+                    """
+                    import time
+                    from repro.netsim.rng import RngFactory, seeded_rng
+                    rng = seeded_rng(7)
+                    sub = RngFactory(3).stream("routes", "h1")
+                    elapsed = time.perf_counter()
+                    """
+                ),
+                select=["DET002"],
+            )
+            == []
+        )
+
+
+# -- DET003: hard-coded id dtypes -------------------------------------------
+
+
+class TestHardcodedIdDtype:
+    def test_int16_fires_anywhere(self, lint):
+        findings = lint(
+            src(
+                """
+                import numpy as np
+                counts = np.zeros(4, dtype=np.int16)
+                """
+            ),
+            select=["DET003"],
+        )
+        assert [f.code for f in findings] == ["DET003"]
+        assert "id_dtype" in findings[0].message
+
+    def test_bare_name_int16_fires(self, codes):
+        assert codes(
+            src(
+                """
+                from numpy import int16
+                x = int16(3)
+                """
+            ),
+            select=["DET003"],
+        ) == ["DET003"]
+
+    def test_int32_in_id_assignment_fires(self, codes):
+        assert codes(
+            src(
+                """
+                import numpy as np
+                relay_host = np.full(10, -1, dtype=np.int32)
+                """
+            ),
+            select=["DET003"],
+        ) == ["DET003"]
+
+    def test_int32_in_id_keyword_fires(self, codes):
+        assert codes(
+            src(
+                """
+                import numpy as np
+                def f(table):
+                    table.set(host_ids=np.arange(4, dtype=np.int32))
+                """
+            ),
+            select=["DET003"],
+        ) == ["DET003"]
+
+    def test_int32_for_non_id_value_clean(self, codes):
+        assert (
+            codes(
+                src(
+                    """
+                    import numpy as np
+                    seg = np.full((4, 4), -1, dtype=np.int32)
+                    counts = np.zeros(8, dtype=np.int32)
+                    """
+                ),
+                select=["DET003"],
+            )
+            == []
+        )
+
+    def test_int64_ids_clean(self, codes):
+        # int64 can never truncate an id, so it is exempt
+        assert (
+            codes(
+                src(
+                    """
+                    import numpy as np
+                    host_ids = np.zeros(4, dtype=np.int64)
+                    """
+                ),
+                select=["DET003"],
+            )
+            == []
+        )
+
+    def test_id_dtype_usage_clean(self, codes):
+        assert (
+            codes(
+                src(
+                    """
+                    import numpy as np
+                    from repro.trace.records import id_dtype
+                    relay_host = np.full(10, -1, dtype=id_dtype(10))
+                    """
+                ),
+                select=["DET003"],
+            )
+            == []
+        )
+
+
+# -- DET004: time-sorted-rows assumption ------------------------------------
+
+
+class TestTimeSortedAssumption:
+    def test_searchsorted_on_t_send_fires(self, lint):
+        findings = lint(
+            src(
+                """
+                import numpy as np
+                def f(trace, t0):
+                    return np.searchsorted(trace.t_send, t0)
+                """
+            ),
+            select=["DET004"],
+        )
+        assert [f.code for f in findings] == ["DET004"]
+        assert "probe_id" in findings[0].message
+
+    def test_method_form_fires(self, codes):
+        assert codes(
+            src(
+                """
+                def f(trace, t0):
+                    return trace.t_send.searchsorted(t0)
+                """
+            ),
+            select=["DET004"],
+        ) == ["DET004"]
+
+    def test_explicit_sort_clean(self, codes):
+        assert (
+            codes(
+                src(
+                    """
+                    import numpy as np
+                    def f(trace, t0):
+                        return np.searchsorted(np.sort(trace.t_send), t0)
+                    """
+                ),
+                select=["DET004"],
+            )
+            == []
+        )
+
+    def test_searchsorted_on_probe_id_clean(self, codes):
+        # probe_id IS the canonical order; searching it is the point
+        assert (
+            codes(
+                src(
+                    """
+                    import numpy as np
+                    def f(trace, pid):
+                        return np.searchsorted(trace.probe_id, pid)
+                    """
+                ),
+                select=["DET004"],
+            )
+            == []
+        )
+
+    def test_custom_time_columns_config(self, codes):
+        source = src(
+            """
+            import numpy as np
+            def f(trace, t0):
+                return np.searchsorted(trace.t_recv, t0)
+            """
+        )
+        assert codes(source, select=["DET004"]) == []
+        assert codes(source, select=["DET004"], time_columns=("t_recv",)) == ["DET004"]

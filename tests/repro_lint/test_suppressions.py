@@ -1,0 +1,108 @@
+"""Inline suppression directives: the reason clause is load-bearing."""
+
+from __future__ import annotations
+
+import textwrap
+
+
+def src(code: str) -> str:
+    return textwrap.dedent(code).lstrip()
+
+
+def test_reasoned_suppression_silences_finding(codes):
+    assert (
+        codes(
+            src(
+                """
+                import numpy as np
+                np.random.seed(0)  # repro-lint: disable=DET001 -- exercising the legacy path on purpose
+                """
+            ),
+            select=["DET001", "LNT"],
+        )
+        == []
+    )
+
+
+def test_suppression_without_reason_is_an_error_and_finding_stands(lint):
+    findings = lint(
+        src(
+            """
+            import numpy as np
+            np.random.seed(0)  # repro-lint: disable=DET001
+            """
+        ),
+        select=["DET001", "LNT"],
+    )
+    assert sorted(f.code for f in findings) == ["DET001", "LNT002"]
+    lnt = next(f for f in findings if f.code == "LNT002")
+    assert "reason" in lnt.message
+
+
+def test_multiple_codes_one_directive(codes):
+    assert (
+        codes(
+            src(
+                """
+                import numpy as np
+                host_ids = np.asarray(np.random.rand(3), dtype=np.int32)  # repro-lint: disable=DET001,DET003 -- fixture builds a deliberately broken trace
+                """
+            ),
+            select=["DET001", "DET003", "LNT"],
+        )
+        == []
+    )
+
+
+def test_unknown_code_in_directive(codes):
+    assert codes(
+        src(
+            """
+            x = 1  # repro-lint: disable=NOPE999 -- misremembered the code
+            """
+        ),
+        select=["DET", "LNT"],
+    ) == ["LNT003"]
+
+
+def test_malformed_directive(codes):
+    assert codes(
+        src(
+            """
+            x = 1  # repro-lint: disallow=DET001 -- wrong verb
+            """
+        ),
+        select=["DET", "LNT"],
+    ) == ["LNT001"]
+
+
+def test_unused_suppression_flagged_stale(lint):
+    findings = lint(
+        src(
+            """
+            x = 1  # repro-lint: disable=DET001 -- just in case
+            """
+        ),
+        select=["DET", "LNT"],
+    )
+    assert [f.code for f in findings] == ["LNT004"]
+    assert "stale" in findings[0].message
+
+
+def test_suppression_only_covers_its_own_line(codes):
+    assert codes(
+        src(
+            """
+            import numpy as np
+            # repro-lint: disable=DET001 -- wrong line, directives are same-line
+            np.random.seed(0)
+            """
+        ),
+        select=["DET001", "LNT"],
+    ) == ["DET001", "LNT004"]
+
+
+def test_syntax_error_reports_lnt000(lint):
+    findings = lint("def broken(:\n    pass\n", select=["DET"])
+    assert [f.code for f in findings] == ["LNT000"]
+    assert "cannot parse" in findings[0].message

@@ -1,0 +1,77 @@
+"""tools/golden.py: the golden-fingerprint maintenance CLI.
+
+The real ``compute_fingerprints`` collects full traces; these tests
+monkeypatch it with canned dictionaries and exercise the CLI's three
+paths (``--update``, clean ``--check``, drifted ``--check``) against a
+throwaway ``--path`` fixture.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+FINGERPRINTS = {"RON1-oneway": "abc123", "RON1-rtt": "def456"}
+
+
+@pytest.fixture(scope="module")
+def golden():
+    spec = importlib.util.spec_from_file_location(
+        "golden_cli_under_test", REPO_ROOT / "tools" / "golden.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture
+def canned(golden, monkeypatch):
+    monkeypatch.setattr(golden, "compute_fingerprints", lambda: dict(FINGERPRINTS))
+    return golden
+
+
+def test_update_writes_payload(canned, tmp_path, capsys):
+    path = tmp_path / "golden.json"
+    assert canned.main(["--update", "--path", str(path)]) == 0
+    assert f"wrote {path}" in capsys.readouterr().out
+    payload = json.loads(path.read_text())
+    assert payload["runs"] == FINGERPRINTS
+    assert set(payload["environment"]) == {"python", "numpy"}
+
+
+def test_check_clean(canned, tmp_path, capsys):
+    path = tmp_path / "golden.json"
+    canned.main(["--update", "--path", str(path)])
+    assert canned.main(["--check", "--path", str(path)]) == 0
+    assert "match" in capsys.readouterr().out
+
+
+def test_check_drift(canned, golden, tmp_path, capsys, monkeypatch):
+    path = tmp_path / "golden.json"
+    canned.main(["--update", "--path", str(path)])
+    drifted = dict(FINGERPRINTS, **{"RON1-rtt": "CHANGED"})
+    monkeypatch.setattr(golden, "compute_fingerprints", lambda: drifted)
+    assert golden.main(["--check", "--path", str(path)]) == 1
+    out = capsys.readouterr().out
+    assert "RON1-rtt: DRIFTED" in out
+    assert "RON1-oneway: ok" in out
+
+
+def test_check_missing_file(canned, tmp_path, capsys):
+    path = tmp_path / "absent.json"
+    assert canned.main(["--check", "--path", str(path)]) == 1
+    assert "--update" in capsys.readouterr().out
+
+
+def test_default_path_is_committed_golden(golden):
+    from tests.integration.test_golden_trace import GOLDEN_PATH
+
+    assert golden.GOLDEN_PATH == GOLDEN_PATH
+    assert GOLDEN_PATH.exists()

@@ -31,7 +31,7 @@ from tests.integration.test_golden_trace import (  # noqa: E402
 )
 
 
-def main() -> int:
+def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--update", action="store_true", help="rewrite the golden file"
@@ -39,7 +39,13 @@ def main() -> int:
     parser.add_argument(
         "--check", action="store_true", help="diff against the golden file (default)"
     )
-    args = parser.parse_args()
+    parser.add_argument(
+        "--path",
+        type=Path,
+        default=GOLDEN_PATH,
+        help=f"golden fingerprint file (default: {GOLDEN_PATH})",
+    )
+    args = parser.parse_args(argv)
 
     fingerprints = compute_fingerprints()
     payload = {
@@ -52,14 +58,14 @@ def main() -> int:
     }
 
     if args.update:
-        GOLDEN_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-        print(f"wrote {GOLDEN_PATH}")
+        args.path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.path}")
         return 0
 
-    if not GOLDEN_PATH.exists():
-        print(f"{GOLDEN_PATH} missing; run with --update to create it")
+    if not args.path.exists():
+        print(f"{args.path} missing; run with --update to create it")
         return 1
-    golden = json.loads(GOLDEN_PATH.read_text())
+    golden = json.loads(args.path.read_text())
     if golden["runs"] == fingerprints:
         print("golden fingerprints match")
         return 0

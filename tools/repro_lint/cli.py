@@ -1,0 +1,95 @@
+"""Command-line front end: ``python -m repro_lint [paths...]``.
+
+Output is flake8-style ``path:line:col: CODE message``, one finding per
+line, sorted; exit status 0 when clean, 1 on findings, 2 on usage or
+configuration errors.  Configuration is read from ``pyproject.toml``
+next to (or above) the current directory unless ``--config`` points
+elsewhere; paths are analyzed relative to the configuration file's
+directory so per-path rules match the committed layout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from . import __version__
+from .config import load_config
+from .engine import lint_paths
+from .registry import RULES
+from .suppressions import DIRECTIVE_CODES
+
+
+def _find_pyproject(start: Path) -> Path | None:
+    for candidate in (start, *start.parents):
+        p = candidate / "pyproject.toml"
+        if p.exists():
+            return p
+    return None
+
+
+def list_rules() -> str:
+    lines = ["code      name                              invariant"]
+    for code, rule in RULES.items():
+        lines.append(f"{code:<9} {rule.name:<33} {rule.invariant}")
+    for code, summary in DIRECTIVE_CODES.items():
+        lines.append(f"{code:<9} {'(directive diagnostic)':<33} {summary}")
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST-based determinism & shard-purity analyzer",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to analyze")
+    parser.add_argument(
+        "--config",
+        metavar="PYPROJECT",
+        help="pyproject.toml to read [tool.repro-lint] from "
+        "(default: nearest pyproject.toml upward from the cwd)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated codes/prefixes to run (overrides config select)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro-lint {__version__}"
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true", help="suppress the summary line"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(list_rules())
+        return 0
+    if not args.paths:
+        print("repro-lint: no paths given (try: python -m repro_lint src)", file=sys.stderr)
+        return 2
+    try:
+        config_path = Path(args.config) if args.config else _find_pyproject(Path.cwd())
+        config = load_config(config_path)
+        if args.select:
+            config.select = tuple(s for s in args.select.split(",") if s.strip())
+            config.base_codes()  # validate
+        root = config_path.parent if config_path is not None else Path.cwd()
+        findings = lint_paths(args.paths, root=root, config=config)
+    except (ValueError, FileNotFoundError, OSError) as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return 2
+    for finding in findings:
+        print(finding.render())
+    if not args.quiet:
+        n = len(findings)
+        status = "clean" if n == 0 else f"{n} finding{'s' if n != 1 else ''}"
+        print(f"repro-lint: {status}", file=sys.stderr)
+    return 1 if findings else 0

@@ -1,0 +1,148 @@
+"""Configuration: ``[tool.repro-lint]`` in ``pyproject.toml``.
+
+Top-level keys::
+
+    [tool.repro-lint]
+    select = ["DET", "SHARD", "API", "LNT"]   # codes or prefixes; default all
+    exclude = ["tests/repro_lint/fixtures"]    # paths never analyzed
+    src-roots = ["src", "tools"]               # roots for module-name mapping
+    time-columns = ["t_send"]                  # DET004: trace time columns
+    frozen-specs = ["ExperimentSpec", "FecSpec"]  # API001: frozen classes
+
+    [tool.repro-lint.per-path]
+    "tests/**" = { disable = ["DET002"] }
+    "src/repro/trace/records.py" = { disable = ["DET003"] }
+
+Per-path entries apply in declaration order to every file whose
+root-relative path matches the pattern; ``disable`` removes rules,
+``enable`` re-adds them, so narrower later entries can override broader
+earlier ones.  Patterns are ``fnmatch``-style (``*`` crosses path
+separators); a bare directory name matches everything beneath it.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import tomllib
+from dataclasses import dataclass
+from pathlib import Path
+
+from .registry import expand_codes
+
+__all__ = ["DEFAULT_SRC_ROOTS", "LintConfig", "PathOverride", "load_config"]
+
+DEFAULT_SRC_ROOTS = ("src", "tools", ".")
+DEFAULT_TIME_COLUMNS = ("t_send",)
+DEFAULT_FROZEN_SPECS = ("ExperimentSpec", "FecSpec")
+
+
+def _match(path: str, pattern: str) -> bool:
+    """fnmatch with directory-prefix semantics for wildcard-free patterns."""
+    pattern = pattern.rstrip("/")
+    if fnmatch.fnmatch(path, pattern):
+        return True
+    # "tests" should cover "tests/engine/test_x.py"; "a/**" likewise "a"
+    if pattern.endswith("/**") and (
+        path == pattern[:-3] or path.startswith(pattern[:-3] + "/")
+    ):
+        return True
+    return not any(ch in pattern for ch in "*?[") and path.startswith(pattern + "/")
+
+
+@dataclass(frozen=True)
+class PathOverride:
+    pattern: str
+    disable: tuple[str, ...] = ()
+    enable: tuple[str, ...] = ()
+
+
+@dataclass
+class LintConfig:
+    """Resolved analyzer configuration."""
+
+    select: tuple[str, ...] = ()  # empty means "all registered rules"
+    exclude: tuple[str, ...] = ()
+    src_roots: tuple[str, ...] = DEFAULT_SRC_ROOTS
+    time_columns: tuple[str, ...] = DEFAULT_TIME_COLUMNS
+    frozen_specs: tuple[str, ...] = DEFAULT_FROZEN_SPECS
+    per_path: tuple[PathOverride, ...] = ()
+    config_path: Path | None = None
+
+    def base_codes(self) -> set[str]:
+        if not self.select:
+            from .registry import all_codes
+
+            return set(all_codes())
+        out: set[str] = set()
+        for sel in self.select:
+            out |= expand_codes(sel)
+        return out
+
+    def codes_for(self, path: str) -> set[str]:
+        """The rule codes enabled for one root-relative posix path."""
+        codes = self.base_codes()
+        for ov in self.per_path:
+            if _match(path, ov.pattern):
+                for sel in ov.disable:
+                    codes -= expand_codes(sel)
+                for sel in ov.enable:
+                    codes |= expand_codes(sel)
+        return codes
+
+    def is_excluded(self, path: str) -> bool:
+        return any(_match(path, pat) for pat in self.exclude)
+
+
+def _str_tuple(raw, key: str) -> tuple[str, ...]:
+    if not isinstance(raw, list) or not all(isinstance(x, str) for x in raw):
+        raise ValueError(f"[tool.repro-lint] {key} must be a list of strings")
+    return tuple(raw)
+
+
+def load_config(pyproject: str | Path | None) -> LintConfig:
+    """Read ``[tool.repro-lint]`` from a pyproject file (missing -> defaults)."""
+    if pyproject is None:
+        return LintConfig()
+    pyproject = Path(pyproject)
+    if not pyproject.exists():
+        return LintConfig(config_path=pyproject)
+    data = tomllib.loads(pyproject.read_text())
+    table = data.get("tool", {}).get("repro-lint", {})
+    known = {"select", "exclude", "src-roots", "time-columns", "frozen-specs", "per-path"}
+    unknown = set(table) - known
+    if unknown:
+        raise ValueError(
+            f"unknown [tool.repro-lint] keys: {', '.join(sorted(unknown))}"
+        )
+    per_path = []
+    for pattern, entry in table.get("per-path", {}).items():
+        extra = set(entry) - {"disable", "enable"}
+        if extra:
+            raise ValueError(
+                f"per-path {pattern!r}: unknown keys {', '.join(sorted(extra))}"
+            )
+        per_path.append(
+            PathOverride(
+                pattern=pattern,
+                disable=_str_tuple(entry.get("disable", []), "disable"),
+                enable=_str_tuple(entry.get("enable", []), "enable"),
+            )
+        )
+    cfg = LintConfig(
+        select=_str_tuple(table.get("select", []), "select"),
+        exclude=_str_tuple(table.get("exclude", []), "exclude"),
+        src_roots=_str_tuple(table.get("src-roots", list(DEFAULT_SRC_ROOTS)), "src-roots"),
+        time_columns=_str_tuple(
+            table.get("time-columns", list(DEFAULT_TIME_COLUMNS)), "time-columns"
+        ),
+        frozen_specs=_str_tuple(
+            table.get("frozen-specs", list(DEFAULT_FROZEN_SPECS)), "frozen-specs"
+        ),
+        per_path=tuple(per_path),
+        config_path=pyproject,
+    )
+    cfg.base_codes()  # validate select entries eagerly
+    for ov in cfg.per_path:  # and per-path code selectors
+        for sel in (*ov.disable, *ov.enable):
+            expand_codes(sel)
+    return cfg

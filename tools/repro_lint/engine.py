@@ -1,0 +1,98 @@
+"""Analysis engine: project pass, per-file rules, suppressions.
+
+:func:`lint_sources` is the pure core (a mapping of root-relative paths
+to source text in, findings out) used by the test suite; the CLI wraps
+it with file discovery in :func:`lint_paths`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .config import LintConfig
+from .project import ParsedFile, Project
+from .registry import RULES, Finding
+from .suppressions import apply_suppressions, scan_directives
+
+# importing the rule modules populates the registry
+from . import rules  # noqa: F401  (import-for-side-effect)
+
+__all__ = ["Finding", "lint_sources", "lint_paths", "discover_files"]
+
+
+class FileContext:
+    """What one rule instance sees: its file plus project-wide facts."""
+
+    def __init__(self, parsed: ParsedFile, project: Project, config: LintConfig):
+        self.path = parsed.path
+        self.source = parsed.source
+        self.modinfo = parsed.modinfo
+        self.project = project
+        self.config = config
+
+
+def lint_sources(sources: dict[str, str], config: LintConfig | None = None) -> list[Finding]:
+    """Analyze an in-memory file set; returns findings in stable order.
+
+    Paths are root-relative posix paths — they drive both module-name
+    derivation (``src-roots``) and per-path rule selection.
+    """
+    config = config or LintConfig()
+    sources = {p: s for p, s in sources.items() if not config.is_excluded(p)}
+    project = Project.build(sources, config)
+    findings = list(project.parse_errors)
+    for path, parsed in project.files.items():
+        enabled = config.codes_for(path)
+        ctx = FileContext(parsed, project, config)
+        file_findings: list[Finding] = []
+        for code, rule_cls in RULES.items():
+            if code in enabled:
+                file_findings.extend(rule_cls(ctx).check(parsed.tree))
+        suppressions, directive_findings = scan_directives(path, parsed.source)
+        file_findings = apply_suppressions(file_findings, suppressions)
+        file_findings.extend(directive_findings)
+        findings.extend(f for f in file_findings if _directive_ok(f, enabled))
+    findings.sort(key=lambda f: f.sort_key)
+    return findings
+
+
+def _directive_ok(finding: Finding, enabled: set[str]) -> bool:
+    """Directive diagnostics honour the LNT selection; LNT000 always fires."""
+    if not finding.code.startswith("LNT"):
+        return True
+    return finding.code == "LNT000" or finding.code in enabled
+
+
+def discover_files(paths: list[str], root: Path) -> list[Path]:
+    """Python files under the given files/directories, sorted, deduped."""
+    out: set[Path] = set()
+    for raw in paths:
+        p = Path(raw)
+        if not p.is_absolute():
+            p = root / p
+        if p.is_dir():
+            for f in sorted(p.rglob("*.py")):
+                if any(part.startswith(".") or part == "__pycache__" for part in f.parts):
+                    continue
+                out.add(f)
+        elif p.suffix == ".py" and p.exists():
+            out.add(p)
+        elif not p.exists():
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+    return sorted(out)
+
+
+def lint_paths(
+    paths: list[str], root: Path | None = None, config: LintConfig | None = None
+) -> list[Finding]:
+    """Discover files under ``paths`` and analyze them relative to ``root``."""
+    root = (root or Path.cwd()).resolve()
+    files = discover_files(paths, root)
+    sources: dict[str, str] = {}
+    for f in files:
+        try:
+            rel = f.resolve().relative_to(root).as_posix()
+        except ValueError:
+            rel = f.as_posix()
+        sources[rel] = f.read_text(encoding="utf-8")
+    return lint_sources(sources, config)

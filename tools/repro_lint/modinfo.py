@@ -1,0 +1,161 @@
+"""Per-module import and definition tracking.
+
+Rules never match on surface spelling: ``np.random.seed``,
+``numpy.random.seed`` and ``from numpy.random import seed`` must all
+resolve to the same qualified name before a verdict.  :class:`ModuleInfo`
+records what every top-level name in a module is bound to (imports,
+module-level ``def``/``class``) and resolves attribute chains against
+that map; nested function definitions are recorded too, because the
+shard rules must distinguish module-level callables (picklable by
+qualified name) from closures.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+__all__ = ["DefRecord", "ModuleInfo", "dotted_name", "root_name"]
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def root_name(node: ast.AST) -> str | None:
+    """The root Name of an attribute/subscript chain (``a`` of ``a.b[0].c``)."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+@dataclass(frozen=True)
+class DefRecord:
+    """One function definition seen anywhere in the analyzed file set."""
+
+    qualname: str  # module.scope.name
+    path: str
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    module_level: bool  # directly at module (or module-class) scope
+    params: tuple[str, ...]
+
+
+def _params(node) -> tuple[str, ...]:
+    a = node.args
+    names = [p.arg for p in (*a.posonlyargs, *a.args, *a.kwonlyargs)]
+    if a.vararg:
+        names.append(a.vararg.arg)
+    if a.kwarg:
+        names.append(a.kwarg.arg)
+    return tuple(names)
+
+
+@dataclass
+class ModuleInfo:
+    """Name bindings of one module, for qualified-name resolution."""
+
+    module: str  # dotted module name, '' when unknown
+    path: str
+    is_package: bool = False  # path is an __init__.py
+    imports: dict[str, str] = field(default_factory=dict)  # alias -> qualified
+    module_defs: set[str] = field(default_factory=set)  # top-level def/class names
+    defs: list[DefRecord] = field(default_factory=list)
+
+    @classmethod
+    def collect(cls, tree: ast.Module, module: str, path: str, is_package: bool = False):
+        info = cls(module=module, path=path, is_package=is_package)
+        info._walk_imports(tree)
+        info._walk_defs(tree)
+        return info
+
+    # -- collection --------------------------------------------------------
+
+    def _relative_base(self, level: int) -> str:
+        """The package a ``from .`` import of ``level`` dots refers to."""
+        parts = self.module.split(".") if self.module else []
+        # inside a package __init__, one dot means the package itself
+        drop = level - 1 if self.is_package else level
+        if drop > 0:
+            parts = parts[:-drop] if drop <= len(parts) else []
+        return ".".join(parts)
+
+    def _walk_imports(self, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        self.imports[alias.asname] = alias.name
+                    else:
+                        # `import a.b.c` binds `a`; the chain resolves on use
+                        top = alias.name.split(".")[0]
+                        self.imports[top] = top
+            elif isinstance(node, ast.ImportFrom):
+                base = node.module or ""
+                if node.level:
+                    rel = self._relative_base(node.level)
+                    base = f"{rel}.{base}".strip(".") if base else rel
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    self.imports[bound] = f"{base}.{alias.name}" if base else alias.name
+
+    def _walk_defs(self, tree: ast.Module) -> None:
+        def visit(node: ast.AST, scope: tuple[str, ...], fn_depth: int) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if not scope:
+                        self.module_defs.add(child.name)
+                    qual = ".".join((self.module, *scope, child.name)).strip(".")
+                    self.defs.append(
+                        DefRecord(
+                            qualname=qual,
+                            path=self.path,
+                            node=child,
+                            module_level=fn_depth == 0,
+                            params=_params(child),
+                        )
+                    )
+                    visit(child, (*scope, child.name), fn_depth + 1)
+                elif isinstance(child, ast.ClassDef):
+                    if not scope:
+                        self.module_defs.add(child.name)
+                    # methods of a module-level class are picklable by
+                    # qualified name, so the class does not raise fn_depth
+                    visit(child, (*scope, child.name), fn_depth)
+                elif isinstance(child, ast.Assign) and not scope:
+                    for t in child.targets:
+                        if isinstance(t, ast.Name):
+                            self.module_defs.add(t.id)
+                else:
+                    visit(child, scope, fn_depth)
+
+        visit(tree, (), 0)
+
+    # -- resolution --------------------------------------------------------
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Qualified dotted name of a Name/Attribute expression.
+
+        The root name is looked up in the import map first, then in the
+        module's own top-level definitions (qualified by module name).
+        Unresolvable roots (locals, parameters) yield None.
+        """
+        raw = dotted_name(node)
+        if raw is None:
+            return None
+        root, _, rest = raw.partition(".")
+        if root in self.imports:
+            base = self.imports[root]
+            return f"{base}.{rest}" if rest else base
+        if root in self.module_defs and self.module:
+            return f"{self.module}.{raw}"
+        return None

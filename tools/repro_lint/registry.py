@@ -1,0 +1,109 @@
+"""Rule registry: stable codes mapped to independent AST visitors.
+
+A rule is a :class:`Rule` subclass with a unique ``code``; registration
+happens at import time via :func:`register_rule`, and the CLI /
+``--list-rules`` output, the per-path configuration and the suppression
+validator all draw from the same :data:`RULES` mapping, so a rule
+cannot exist without being selectable, listable and suppressible.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+
+__all__ = ["Finding", "Rule", "RULES", "register_rule", "all_codes", "expand_codes"]
+
+_CODE_RE = re.compile(r"^[A-Z]+[0-9]{3}$")
+
+#: code -> Rule subclass, in registration order.
+RULES: dict[str, type["Rule"]] = {}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One reported violation, flake8-style addressable."""
+
+    path: str
+    line: int
+    col: int  # 1-based, like the printed output
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    @property
+    def sort_key(self):
+        return (self.path, self.line, self.col, self.code)
+
+
+class Rule(ast.NodeVisitor):
+    """Base class for one lint rule.
+
+    Subclasses set ``code``/``name``/``invariant``/``rationale`` and
+    implement visitors, reporting via :meth:`report`.  One instance is
+    created per (rule, file); cross-file facts arrive through the
+    :class:`~repro_lint.project.Project` on the context.
+    """
+
+    code: str = ""
+    name: str = ""
+    #: the contract the rule enforces, one line (README catalogue).
+    invariant: str = ""
+    #: why breaking the invariant hurts, one line (README catalogue).
+    rationale: str = ""
+
+    def __init__(self, ctx) -> None:
+        self.ctx = ctx  # repro_lint.engine.FileContext
+        self.findings: list[Finding] = []
+
+    # -- subclass API ------------------------------------------------------
+
+    def report(self, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(
+                path=self.ctx.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                code=self.code,
+                message=message,
+            )
+        )
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Qualified dotted name of an expression, via the file's imports."""
+        return self.ctx.modinfo.resolve(node)
+
+    def check(self, tree: ast.Module) -> list[Finding]:
+        self.visit(tree)
+        return self.findings
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to :data:`RULES` (unique code)."""
+    if not _CODE_RE.match(cls.code or ""):
+        raise ValueError(f"rule {cls.__name__} has invalid code {cls.code!r}")
+    if cls.code in RULES:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    RULES[cls.code] = cls
+    return cls
+
+
+def all_codes() -> list[str]:
+    """Every registered rule code, plus the analyzer's own LNT codes."""
+    from .suppressions import DIRECTIVE_CODES
+
+    return list(RULES) + list(DIRECTIVE_CODES)
+
+
+def expand_codes(selector: str) -> set[str]:
+    """Expand a code or prefix (``DET`` -> every DET rule) to full codes."""
+    selector = selector.strip()
+    if not selector:
+        return set()
+    codes = {c for c in all_codes() if c == selector or c.startswith(selector)}
+    if not codes:
+        raise ValueError(f"unknown rule code or prefix {selector!r}")
+    return codes

@@ -1,0 +1,9 @@
+"""Rule modules: importing this package registers every rule.
+
+Each module holds one family of independent :class:`ast.NodeVisitor`
+rules; registration order fixes the ``--list-rules`` catalogue order.
+"""
+
+from . import api, determinism, sharding
+
+__all__ = ["api", "determinism", "sharding"]

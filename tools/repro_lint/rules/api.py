@@ -1,0 +1,134 @@
+"""API rules: frozen-spec hygiene of the public entry points.
+
+:class:`repro.api.ExperimentSpec` and friends are frozen, serializable
+value objects — equality, hashing, run-identity slugs and the spill
+directory layout all assume a spec never changes after construction.
+The dataclass machinery already raises on plain attribute assignment,
+but ``object.__setattr__`` bypasses it silently; this rule confines
+that escape hatch to the constructors where normalisation is legitimate.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..modinfo import dotted_name, root_name
+from ..registry import Rule, register_rule
+
+__all__ = ["FrozenSpecHygiene"]
+
+#: methods in which a frozen dataclass may normalise its own fields.
+_CONSTRUCTION_METHODS = {"__post_init__", "__init__", "__new__", "__setstate__"}
+
+
+@register_rule
+class FrozenSpecHygiene(Rule):
+    code = "API001"
+    name = "frozen-spec-hygiene"
+    invariant = (
+        "no mutation of frozen spec instances: object.__setattr__ only "
+        "inside the owning class's constructors, no attribute assignment "
+        "on ExperimentSpec/FecSpec values"
+    )
+    rationale = (
+        "specs are value objects whose identity keys runner fan-out, "
+        "registry lookups and spill directories; in-place mutation "
+        "desynchronises all three — use spec.replace(...) instead"
+    )
+
+    def __init__(self, ctx) -> None:
+        super().__init__(ctx)
+        self._class_depth = 0
+        self._fn_stack: list[str] = []
+        #: per-function-scope names statically known to be frozen specs
+        self._frozen_names: list[set[str]] = []
+
+    # -- scope tracking ----------------------------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_depth += 1
+        self.generic_visit(node)
+        self._class_depth -= 1
+
+    def _spec_class(self, annotation: ast.AST | None) -> bool:
+        if annotation is None:
+            return False
+        for sub in ast.walk(annotation):
+            raw = dotted_name(sub)
+            if raw and raw.split(".")[-1] in self.ctx.config.frozen_specs:
+                return True
+        return False
+
+    def _visit_function(self, node) -> None:
+        frozen = {
+            p.arg
+            for p in (*node.args.posonlyargs, *node.args.args, *node.args.kwonlyargs)
+            if self._spec_class(p.annotation)
+        }
+        self._fn_stack.append(node.name)
+        self._frozen_names.append(frozen)
+        self.generic_visit(node)
+        self._frozen_names.pop()
+        self._fn_stack.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    # -- checks ------------------------------------------------------------
+
+    def _in_constructor(self) -> bool:
+        return (
+            self._class_depth > 0
+            and bool(self._fn_stack)
+            and self._fn_stack[-1] in _CONSTRUCTION_METHODS
+        )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        raw = dotted_name(node.func)
+        if raw == "object.__setattr__" and not self._in_constructor():
+            self.report(
+                node,
+                "object.__setattr__ outside a constructor mutates a frozen "
+                "instance behind the dataclass machinery; build a new value "
+                "with dataclasses.replace / spec.replace instead",
+            )
+        self.generic_visit(node)
+        # constructor calls bind frozen specs to local names
+        if self._frozen_names and raw and raw.split(".")[-1] in self.ctx.config.frozen_specs:
+            parent = getattr(node, "_rl_parent_assign", None)
+            if parent is not None:
+                for target in parent.targets:
+                    if isinstance(target, ast.Name):
+                        self._frozen_names[-1].add(target.id)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        # tag so visit_Call can see its binding context
+        if isinstance(node.value, ast.Call):
+            node.value._rl_parent_assign = node
+        self._check_targets(node, node.targets)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_targets(node, [node.target])
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._check_targets(node, [node.target])
+        self.generic_visit(node)
+
+    def _check_targets(self, stmt, targets) -> None:
+        if not self._frozen_names:
+            return
+        known = set().union(*self._frozen_names)
+        if not known:
+            return
+        for target in targets:
+            if isinstance(target, ast.Attribute):
+                root = root_name(target)
+                if root in known and not (root == "self" and self._in_constructor()):
+                    self.report(
+                        stmt,
+                        f"assignment to attribute of frozen spec {root!r}; "
+                        "frozen specs are immutable value objects — use "
+                        f"{root}.replace(...) to derive a new one",
+                    )

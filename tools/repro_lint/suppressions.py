@@ -1,0 +1,146 @@
+"""Inline suppression directives.
+
+A finding is silenced by a comment on its own line of the form
+``repro-lint: disable=CODE1,CODE2 -- reason`` (written after a ``#``).
+The ``-- reason`` clause is mandatory: determinism escapes must carry a
+written justification, so a bare disable is itself reported (LNT002).
+Directives are validated even where no rule fired — an unknown code is
+LNT003 and a directive that suppresses nothing is LNT004, which keeps
+stale escapes from outliving the code they excused.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from .registry import RULES, Finding
+
+__all__ = ["DIRECTIVE_CODES", "Suppression", "apply_suppressions", "scan_directives"]
+
+#: analyzer-infrastructure codes (not NodeVisitor rules, never suppressible)
+DIRECTIVE_CODES = {
+    "LNT001": "malformed repro-lint directive",
+    "LNT002": "suppression without a reason",
+    "LNT003": "suppression names an unknown rule code",
+    "LNT004": "suppression suppresses nothing",
+}
+
+_DIRECTIVE_RE = re.compile(r"#\s*repro-lint\s*:\s*(?P<body>.*)$")
+_DISABLE_RE = re.compile(
+    r"^disable\s*=\s*(?P<codes>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+    r"(?:\s*--\s*(?P<reason>.*))?$"
+)
+
+
+@dataclass
+class Suppression:
+    """One parsed ``disable=`` directive (valid codes, reason present)."""
+
+    path: str
+    line: int
+    col: int
+    codes: tuple[str, ...]
+    reason: str
+    used: set[str] = field(default_factory=set)
+
+
+def scan_directives(path: str, source: str) -> tuple[list[Suppression], list[Finding]]:
+    """Parse every repro-lint comment in ``source``.
+
+    Returns the valid suppressions plus any LNT001/LNT002/LNT003
+    findings for malformed, reasonless or unknown-code directives.
+    """
+    suppressions: list[Suppression] = []
+    findings: list[Finding] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return [], []  # the parser reports unreadable files
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        m = _DIRECTIVE_RE.search(tok.string)
+        if not m:
+            continue
+        line, col = tok.start[0], tok.start[1] + 1
+        body = m.group("body").strip()
+        dm = _DISABLE_RE.match(body)
+        if not dm:
+            findings.append(
+                Finding(
+                    path,
+                    line,
+                    col,
+                    "LNT001",
+                    f"malformed directive {tok.string.strip()!r}; expected "
+                    "'repro-lint: disable=CODE[,CODE...] -- reason'",
+                )
+            )
+            continue
+        codes = tuple(c.strip() for c in dm.group("codes").split(","))
+        unknown = [c for c in codes if c not in RULES]
+        for c in unknown:
+            findings.append(
+                Finding(
+                    path,
+                    line,
+                    col,
+                    "LNT003",
+                    f"unknown rule code {c!r} in suppression (known: "
+                    f"{', '.join(RULES)})",
+                )
+            )
+        reason = (dm.group("reason") or "").strip()
+        if not reason:
+            findings.append(
+                Finding(
+                    path,
+                    line,
+                    col,
+                    "LNT002",
+                    f"suppression of {', '.join(codes)} has no reason; write "
+                    "'-- <why this violation is acceptable>' (the finding "
+                    "stands until justified)",
+                )
+            )
+            continue  # a reasonless directive suppresses nothing
+        known = tuple(c for c in codes if c not in unknown)
+        if known:
+            suppressions.append(Suppression(path, line, col, known, reason))
+    return suppressions, findings
+
+
+def apply_suppressions(
+    findings: list[Finding], suppressions: list[Suppression]
+) -> list[Finding]:
+    """Drop findings covered by a same-line suppression; flag unused ones."""
+    by_line: dict[tuple[int, str], list[Suppression]] = {}
+    for sup in suppressions:
+        for code in sup.codes:
+            by_line.setdefault((sup.line, code), []).append(sup)
+
+    kept: list[Finding] = []
+    for f in findings:
+        matches = by_line.get((f.line, f.code), [])
+        if matches and f.code not in DIRECTIVE_CODES:
+            for sup in matches:
+                sup.used.add(f.code)
+        else:
+            kept.append(f)
+    for sup in suppressions:
+        unused = [c for c in sup.codes if c not in sup.used]
+        for code in unused:
+            kept.append(
+                Finding(
+                    sup.path,
+                    sup.line,
+                    sup.col,
+                    "LNT004",
+                    f"suppression of {code} matches no finding on this line; "
+                    "remove the stale directive",
+                )
+            )
+    return kept
