@@ -1,0 +1,127 @@
+"""Streaming-analysis benches: shard ingest throughput and query-service
+round-trip rate.
+
+Like the engine/probing scaling benches these measure the *machine*:
+how fast a :class:`StreamingAnalyzer` folds spilled shards and how many
+query round-trips per second one :class:`AnalysisService` sustains over
+localhost.  Results land in ``benchmarks/out/analysis_streaming.json``
+for the perf-regression gate (wall-time leaves) and the run-over-run
+artifact trajectory; assertions gate only sanity, never exact timings.
+An informational subprocess measurement records the analysis peak RSS
+alongside (gated properly in tests/analysis/test_streaming_rss.py).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import resource
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.analysis.service import AnalysisClient, AnalysisService
+from repro.analysis.streaming import StreamingAnalyzer
+from repro.engine import EngineConfig, ShardedCollector
+from repro.testbed import dataset
+
+OUT_DIR = Path(__file__).parent / "out"
+
+DURATION = 900.0
+N_SHARDS = 8
+N_QUERIES = 8000  # ~1.4 s locally: above the perf gate's 1 s noise floor
+
+# VmHWM (per-mm, reset at exec) rather than ru_maxrss: a forked child
+# inherits the parent's ru_maxrss peak on some kernels, which would
+# report the pytest process's high-water mark instead of the analysis.
+_RSS_SCRIPT = """
+import sys
+from repro.analysis.streaming import StreamingAnalyzer
+
+analyzer = StreamingAnalyzer.from_run_dir(sys.argv[1])
+analyzer.snapshot().stats
+try:
+    with open("/proc/self/status") as f:
+        peak_kb = next(int(l.split()[1]) for l in f if l.startswith("VmHWM:"))
+except OSError:
+    import resource
+    peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+print(peak_kb)
+"""
+
+
+def _write(payload: dict) -> None:
+    OUT_DIR.mkdir(exist_ok=True)
+    out = OUT_DIR / "analysis_streaming.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+async def _drive_queries(analyzer: StreamingAnalyzer, n: int) -> float:
+    """Seconds for ``n`` mixed query round-trips on one connection."""
+    ops = [
+        ("table", {}),
+        ("meta", {}),
+        ("high_loss", {}),
+        ("path_loss_cdf", {"min_samples": 5}),
+        ("window_cdf", {"name": "loss"}),
+        ("stats", {"method": "direct_rand"}),
+    ]
+    async with AnalysisService(analyzer) as (host, port):
+        client = await AnalysisClient.connect(host, port)
+        try:
+            t0 = time.perf_counter()
+            for i in range(n):
+                op, params = ops[i % len(ops)]
+                await client.request(op, **params)
+            return time.perf_counter() - t0
+        finally:
+            await client.aclose()
+
+
+def test_streaming_ingest_and_query_throughput(tmp_path):
+    ds = dataset("ronnarrow")
+    col = ShardedCollector(
+        EngineConfig(n_shards=N_SHARDS, executor="serial", spill_dir=tmp_path)
+    ).collect(ds, DURATION, seed=1)
+
+    t0 = time.perf_counter()
+    analyzer = StreamingAnalyzer.from_run_dir(col.spill_dir)
+    ingest_seconds = time.perf_counter() - t0
+    assert analyzer.n_parts == N_SHARDS and analyzer.n_rows > 0
+
+    query_seconds = asyncio.run(_drive_queries(analyzer, N_QUERIES))
+
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    subprocess_peak_kb = int(
+        subprocess.run(
+            [sys.executable, "-c", _RSS_SCRIPT, str(col.spill_dir)],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        ).stdout
+    )
+
+    results = {
+        "duration_s": DURATION,
+        "shards": N_SHARDS,
+        "rows": analyzer.n_rows,
+        "ingest_seconds": round(ingest_seconds, 4),
+        "rows_per_second": round(analyzer.n_rows / ingest_seconds),
+        "queries": N_QUERIES,
+        "query_seconds": round(query_seconds, 4),
+        "queries_per_second": round(N_QUERIES / query_seconds),
+        "analysis_peak_rss_mb": round(subprocess_peak_kb / 1024, 1),
+        "bench_peak_rss_mb": round(
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024, 1
+        ),
+    }
+    _write(results)
+    print(json.dumps(results, indent=2))
+    assert results["queries_per_second"] > 50  # sanity, not a timing gate

@@ -1,4 +1,12 @@
-"""Evaluation pipeline: the paper's Section 4 analyses over traces."""
+"""Evaluation pipeline: the paper's Section 4 analyses over traces.
+
+Every reduction is implemented once, as a mergeable accumulator in
+:mod:`repro.analysis.streaming`; the eager functions here wrap them
+with a single ``update`` over the whole trace.  For out-of-core runs,
+:class:`~repro.analysis.streaming.StreamingAnalyzer` folds spill shards
+as they complete and :mod:`repro.analysis.service` serves the results
+over asyncio — both agree with the eager path exactly, by construction.
+"""
 
 from .cdf import Cdf, empirical_cdf
 from .latency_analysis import (
@@ -15,21 +23,26 @@ from .report import (
     render_high_loss_table,
     render_loss_table,
 )
+from .streaming import AnalysisSnapshot, StreamingAnalyzer
 from .windows import (
     TABLE6_THRESHOLDS,
     WindowLossRates,
+    high_loss_counts,
     high_loss_table,
     testbed_hourly_loss,
     window_loss_rates,
 )
 
 __all__ = [
+    "AnalysisSnapshot",
     "Cdf",
     "MethodStats",
     "PathLatencies",
+    "StreamingAnalyzer",
     "TABLE6_THRESHOLDS",
     "WindowLossRates",
     "empirical_cdf",
+    "high_loss_counts",
     "high_loss_table",
     "improvement_summary",
     "latency_cdf_over_paths",

@@ -14,6 +14,11 @@ For every method the paper reports:
 Starred rows (``direct*``, ``lat*``) are not probed alone in RON2003;
 the paper infers them "from the first packet of a two-packet pair", and
 :func:`method_stats_table` reproduces exactly that inference.
+
+These functions are thin wrappers over the mergeable accumulators in
+:mod:`repro.analysis.streaming.accumulators` (one ``update`` over the
+whole trace), so batch analysis and one-pass streaming over spill
+shards agree exactly.
 """
 
 from __future__ import annotations
@@ -24,11 +29,17 @@ import numpy as np
 
 from repro.trace.records import Trace
 
+from .streaming.accumulators import (
+    DIRECT_FIRST,
+    MethodStatsAccumulator,
+    PathClpAccumulator,
+)
+
 __all__ = ["MethodStats", "method_stats", "method_stats_table", "per_path_clp"]
 
 #: methods whose first packet rides the direct path (used to infer the
 #: paper's direct* row).
-_DIRECT_FIRST = ("direct_rand", "direct_direct", "dd_10ms", "dd_20ms")
+_DIRECT_FIRST = DIRECT_FIRST
 
 
 @dataclass(frozen=True)
@@ -55,65 +66,13 @@ class MethodStats:
         )
 
 
-def _stats_from_arrays(
-    name: str,
-    lost1: np.ndarray,
-    lost2: np.ndarray | None,
-    lat1: np.ndarray,
-    lat2: np.ndarray | None,
-    inferred: bool = False,
-) -> MethodStats:
-    n = len(lost1)
-    if n == 0:
-        return MethodStats(name, 0, float("nan"), None, float("nan"), None, float("nan"), inferred)
-    lp1 = 100.0 * lost1.mean()
-    if lost2 is None:
-        delivered = ~lost1
-        lat = float(np.nanmean(lat1[delivered])) * 1e3 if delivered.any() else float("nan")
-        return MethodStats(name, n, lp1, None, lp1, None, lat, inferred)
-    lp2 = 100.0 * lost2.mean()
-    both = lost1 & lost2
-    totlp = 100.0 * both.mean()
-    n_first_lost = int(lost1.sum())
-    clp = 100.0 * both.sum() / n_first_lost if n_first_lost else None
-    # delivered latency: first arrival among surviving copies
-    assert lat2 is not None
-    l1 = np.where(lost1, np.inf, np.nan_to_num(lat1, nan=np.inf))
-    l2 = np.where(lost2, np.inf, np.nan_to_num(lat2, nan=np.inf))
-    best = np.minimum(l1, l2)
-    got = np.isfinite(best)
-    lat = float(best[got].mean()) * 1e3 if got.any() else float("nan")
-    return MethodStats(name, n, lp1, lp2, totlp, clp, lat, inferred)
-
-
 def method_stats(trace: Trace, name: str) -> MethodStats:
-    """Statistics for one probed method."""
-    from repro.core.methods import METHODS
+    """Statistics for one probed method.
 
-    mask = trace.method_mask(name)
-    m = METHODS[name]
-    if m.is_pair:
-        return _stats_from_arrays(
-            name,
-            trace.lost1[mask],
-            trace.lost2[mask],
-            trace.latency1[mask],
-            trace.latency2[mask],
-        )
-    return _stats_from_arrays(
-        name, trace.lost1[mask], None, trace.latency1[mask], None
-    )
-
-
-def _inferred_first_packet(trace: Trace, sources: tuple[str, ...], name: str) -> MethodStats:
-    """A starred row: the first packets of the given pair methods."""
-    masks = [trace.method_mask(s) for s in sources if s in trace.meta.method_names]
-    if not masks:
-        raise KeyError(f"no source methods for inferred row {name!r}")
-    mask = np.logical_or.reduce(masks)
-    return _stats_from_arrays(
-        name + "", trace.lost1[mask], None, trace.latency1[mask], None, inferred=True
-    )
+    A method with zero probes (or zero delivered packets) yields a
+    defined row — ``n_probes=0`` / NaN latency — never a 0/0.
+    """
+    return MethodStatsAccumulator(trace.meta, name).update(trace).finalize()
 
 
 def method_stats_table(trace: Trace, rows: list[str] | None = None) -> list[MethodStats]:
@@ -130,21 +89,33 @@ def method_stats_table(trace: Trace, rows: list[str] | None = None) -> list[Meth
         if "lat" not in probed and "lat_loss" in probed:
             rows.append("lat")
         rows.extend(trace.meta.method_names)
-    out: list[MethodStats] = []
+    accs: list[MethodStatsAccumulator] = []
     for name in rows:
         if name in probed:
-            out.append(method_stats(trace, name))
+            accs.append(MethodStatsAccumulator(trace.meta, name))
         elif name == "direct":
-            out.append(
-                _inferred_first_packet(
-                    trace, tuple(s for s in _DIRECT_FIRST if s in probed), "direct"
+            accs.append(
+                MethodStatsAccumulator(
+                    trace.meta,
+                    "direct",
+                    sources=tuple(s for s in _DIRECT_FIRST if s in probed),
+                    first_packet=True,
+                    inferred=True,
                 )
             )
         elif name == "lat" and "lat_loss" in probed:
-            out.append(_inferred_first_packet(trace, ("lat_loss",), "lat"))
+            accs.append(
+                MethodStatsAccumulator(
+                    trace.meta,
+                    "lat",
+                    sources=("lat_loss",),
+                    first_packet=True,
+                    inferred=True,
+                )
+            )
         else:
             raise KeyError(f"method {name!r} neither probed nor inferrable")
-    return out
+    return [acc.update(trace).finalize() for acc in accs]
 
 
 def per_path_clp(trace: Trace, name: str, min_first_losses: int = 1) -> np.ndarray:
@@ -154,16 +125,5 @@ def per_path_clp(trace: Trace, name: str, min_first_losses: int = 1) -> np.ndarr
     are included — the paper's Figure 4 uses "the 115 paths on which we
     observed first-packet losses".  Returns CLP values in percent.
     """
-    from repro.core.methods import METHODS
-
-    if not METHODS[name].is_pair:
-        raise ValueError(f"{name} is not a two-packet method")
-    mask = trace.method_mask(name)
-    n = len(trace.meta.host_names)
-    pair_key = trace.src[mask].astype(np.int64) * n + trace.dst[mask]
-    lost1 = trace.lost1[mask]
-    lost2 = trace.lost2[mask]
-    first = np.bincount(pair_key[lost1], minlength=n * n)
-    both = np.bincount(pair_key[lost1 & lost2], minlength=n * n)
-    ok = first >= min_first_losses
-    return 100.0 * both[ok] / first[ok]
+    acc = PathClpAccumulator(trace.meta, name).update(trace)
+    return acc.finalize(min_first_losses=min_first_losses)

@@ -4,6 +4,11 @@
 80% of the paths we measured have an average loss rate less than 1%."
 The sample here is each ordered pair's mean loss over the whole run,
 measured from direct-path packets (probed or first-of-pair).
+
+Wraps the mergeable
+:class:`~repro.analysis.streaming.accumulators.PathLossAccumulator`
+(one ``update`` over the whole trace), so batch analysis and one-pass
+streaming over spill shards agree exactly.
 """
 
 from __future__ import annotations
@@ -13,6 +18,7 @@ import numpy as np
 from repro.trace.records import Trace
 
 from .cdf import Cdf, empirical_cdf
+from .streaming.accumulators import PathLossAccumulator
 
 __all__ = ["per_path_loss", "path_loss_cdf"]
 
@@ -22,26 +28,14 @@ def per_path_loss(trace: Trace, min_samples: int = 50) -> np.ndarray:
 
     Uses single ``direct`` probes when present, otherwise the first
     packets of direct-first pair methods, mirroring Table 5's inference.
+    No path reaching ``min_samples`` yields an empty array, never a 0/0
+    (``min_samples`` must be >= 1).
     """
-    from repro.analysis.lossstats import _DIRECT_FIRST
-
-    names = trace.meta.method_names
-    if "direct" in names:
-        masks = [trace.method_mask("direct")]
-    else:
-        masks = [trace.method_mask(s) for s in _DIRECT_FIRST if s in names]
-        if not masks:
-            raise KeyError("trace has no direct-path observations")
-    mask = np.logical_or.reduce(masks)
-    n = len(trace.meta.host_names)
-    pair = trace.src[mask].astype(np.int64) * n + trace.dst[mask]
-    lost = trace.lost1[mask]
-    total = np.bincount(pair, minlength=n * n)
-    bad = np.bincount(pair[lost], minlength=n * n)
-    ok = total >= min_samples
-    return 100.0 * bad[ok] / total[ok]
+    acc = PathLossAccumulator(trace.meta).update(trace)
+    return acc.finalize(min_samples=min_samples)
 
 
 def path_loss_cdf(trace: Trace, min_samples: int = 50) -> Cdf:
-    """Figure 2's CDF of per-path long-term loss rates."""
+    """Figure 2's CDF of per-path long-term loss rates (empty when no
+    path has enough samples)."""
     return empirical_cdf(per_path_loss(trace, min_samples=min_samples))

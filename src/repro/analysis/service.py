@@ -1,0 +1,268 @@
+"""Asyncio query service over streaming analysis results.
+
+``AnalysisService`` puts a newline-delimited-JSON TCP front on a
+:class:`~repro.analysis.streaming.StreamingAnalyzer`, so many readers
+can pull Table 5/6/7 rows and Figure 2-5 CDF series concurrently while
+a sweep is still appending spill shards: a ``refresh`` op folds any
+new ``shard-*.npz`` files under the watched run directory, and every
+query answers from a cached snapshot of the current accumulator state
+(rebuilt only when new shards arrived, never blocking readers on a
+shard ingest).
+
+Protocol: one JSON object per line in, one per line out.  Requests are
+``{"op": <name>, ...params}``; responses are ``{"ok": true, ...}`` or
+``{"ok": false, "error": "..."}``.  Ops mirror the
+:class:`~repro.analysis.streaming.AnalysisSnapshot` accessors:
+
+==================  ====================================================
+``meta``            run identity + ingest progress (rows, parts, generation)
+``table``           Table 5/7 rows (list of MethodStats dicts)
+``stats``           one row: ``{"method": name}``
+``high_loss``       Table 6 counts: ``methods``/``window_s``/``min_samples``
+``hourly_loss``     Section 4.2 testbed hourly loss series
+``path_loss_cdf``   Figure 2: ``min_samples``, optional ``points``
+``window_cdf``      Figure 3: ``name``, ``window_s``, optional ``points``
+``clp_cdf``         Figure 4: ``name``, ``min_first_losses``, ``points``
+``latency_cdf``     Figure 5: ``name``, ``baseline``, ``min_latency_s``
+``latency_improvement``  Section 4.5: ``baseline``, ``improved``
+``refresh``         ingest new shards; returns how many arrived
+==================  ====================================================
+
+CDF responses carry the full ``{"x": [...], "f": [...]}`` support, or
+just ``{"points": ..., "f": [...]}`` when the request supplies
+evaluation ``points`` (cheaper for wide CDFs).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from .streaming import DEFAULT_WINDOW_SIZES, AnalysisSnapshot, StreamingAnalyzer
+
+__all__ = ["AnalysisService", "AnalysisClient"]
+
+
+def _jsonable(obj):
+    """JSON-encodable view of numpy scalars/arrays, Cdfs and dataclasses."""
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    raise TypeError(f"cannot serialise {type(obj).__name__}")
+
+
+def _cdf_payload(cdf, points=None) -> dict:
+    if points is not None:
+        pts = np.asarray(points, dtype=np.float64)
+        return {"points": pts.tolist(), "f": cdf.series(pts).tolist()}
+    return {"x": cdf.x.tolist(), "f": cdf.f.tolist()}
+
+
+class AnalysisService:
+    """Serve one run's streaming analysis over localhost TCP.
+
+    Construct with a pre-fed analyzer, or with ``run_dir`` pointing at
+    a spill run directory (``<spill_dir>/<run_slug>/``) to load — and,
+    via the ``refresh`` op, keep following — its shards::
+
+        async with AnalysisService(run_dir=spill_run) as (host, port):
+            ...  # clients connect
+
+    The service holds no thread: shard ingest runs on the event loop's
+    default executor under a lock, and queries read an immutable
+    snapshot, so a slow ingest never stalls connected readers on old
+    data.
+    """
+
+    def __init__(
+        self,
+        analyzer: StreamingAnalyzer | None = None,
+        *,
+        run_dir: str | Path | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        filters: bool = True,
+        window_sizes=DEFAULT_WINDOW_SIZES,
+    ) -> None:
+        if analyzer is None:
+            analyzer = StreamingAnalyzer(filters=filters, window_sizes=window_sizes)
+        self.analyzer = analyzer
+        self.run_dir = Path(run_dir) if run_dir is not None else None
+        self._host = host
+        self._port = port
+        self._server: asyncio.base_events.Server | None = None
+        self._lock = asyncio.Lock()
+        self._snapshot: AnalysisSnapshot | None = None
+        self.generation = 0
+        self.address: tuple[str, int] | None = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and serve; returns the (host, port) actually bound."""
+        if self.run_dir is not None:
+            await self.refresh()
+        self._server = await asyncio.start_server(self._handle, self._host, self._port)
+        sock = self._server.sockets[0]
+        self.address = sock.getsockname()[:2]
+        return self.address
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def __aenter__(self) -> tuple[str, int]:
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    # -- state ---------------------------------------------------------
+
+    async def refresh(self) -> int:
+        """Fold any new shard files under ``run_dir``; returns how many."""
+        if self.run_dir is None:
+            return 0
+        loop = asyncio.get_running_loop()
+        async with self._lock:
+            fresh = await loop.run_in_executor(
+                None, self.analyzer.ingest_dir, self.run_dir
+            )
+            if fresh:
+                self._snapshot = None
+                self.generation += 1
+        return fresh
+
+    async def _get_snapshot(self) -> AnalysisSnapshot:
+        async with self._lock:
+            if self._snapshot is None:
+                self._snapshot = self.analyzer.snapshot()
+            return self._snapshot
+
+    # -- protocol ------------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    request = json.loads(line)
+                    response = await self._dispatch(request)
+                    response.setdefault("ok", True)
+                except Exception as exc:  # surface, don't kill the connection
+                    response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+                writer.write(json.dumps(response, default=_jsonable).encode() + b"\n")
+                await writer.drain()
+        finally:
+            # close without awaiting: the task may already be cancelled
+            # by a server shutdown, and the transport closes regardless
+            writer.close()
+
+    async def _dispatch(self, request: dict) -> dict:
+        op = request.get("op")
+        if op == "refresh":
+            fresh = await self.refresh()
+            return {"ingested": fresh, "generation": self.generation}
+        snap = await self._get_snapshot()
+        if op == "meta":
+            return {
+                "dataset": snap.meta.dataset,
+                "mode": snap.meta.mode,
+                "seed": snap.meta.seed,
+                "horizon_s": snap.meta.horizon_s,
+                "hosts": len(snap.meta.host_names),
+                "methods": list(snap.meta.method_names),
+                "rows": snap.n_rows,
+                "parts": snap.n_parts,
+                "generation": self.generation,
+            }
+        if op == "table":
+            return {"rows": [asdict(s) for s in snap.stats]}
+        if op == "stats":
+            s = snap.stats_by_method[request["method"]]
+            return {"stats": asdict(s)}
+        if op == "high_loss":
+            counts = snap.high_loss(
+                request.get("methods"),
+                window_s=request.get("window_s", 3600.0),
+                min_samples=request.get("min_samples", 5),
+            )
+            # JSON object keys are strings; clients int() them back
+            return {"counts": {m: {str(t): c for t, c in col.items()} for m, col in counts.items()}}
+        if op == "hourly_loss":
+            series = snap.testbed_hourly_loss(request.get("name", "direct"))
+            return {"hourly": series.tolist()}
+        if op == "path_loss_cdf":
+            cdf = snap.path_loss_cdf(min_samples=request.get("min_samples", 50))
+            return _cdf_payload(cdf, request.get("points"))
+        if op == "window_cdf":
+            cdf = snap.window_cdf(
+                request["name"],
+                window_s=request.get("window_s", 1200.0),
+                min_samples=request.get("min_samples", 5),
+            )
+            return _cdf_payload(cdf, request.get("points"))
+        if op == "clp_cdf":
+            cdf = snap.clp_cdf(
+                request.get("name", "direct_rand"),
+                min_first_losses=request.get("min_first_losses", 2),
+            )
+            return _cdf_payload(cdf, request.get("points"))
+        if op == "latency_cdf":
+            cdf = snap.latency_cdf(
+                request["name"],
+                baseline=request.get("baseline"),
+                min_latency_s=request.get("min_latency_s", 0.050),
+            )
+            return _cdf_payload(cdf, request.get("points"))
+        if op == "latency_improvement":
+            return {
+                "summary": snap.latency_improvement(
+                    request["baseline"], request["improved"]
+                )
+            }
+        raise ValueError(f"unknown op {op!r}")
+
+
+class AnalysisClient:
+    """A minimal line-JSON client for :class:`AnalysisService`."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "AnalysisClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def request(self, op: str, **params) -> dict:
+        """One round trip; raises RuntimeError on an error response."""
+        payload = {"op": op, **params}
+        self._writer.write(json.dumps(payload).encode() + b"\n")
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("service closed the connection")
+        response = json.loads(line)
+        if not response.get("ok"):
+            raise RuntimeError(response.get("error", "unknown service error"))
+        return response
+
+    async def aclose(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover
+            pass

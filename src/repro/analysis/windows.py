@@ -8,6 +8,11 @@ The paper aggregates probe outcomes into fixed windows per path:
   exceeds 0%, 10%, ..., 90%) — one hour "to ensure we had sufficient
   samples to detect the loss rate with fine granularity";
 * testbed-wide hourly averages give the "worst one-hour period" (>13%).
+
+These functions wrap the mergeable accumulators in
+:mod:`repro.analysis.streaming.accumulators` (one ``update`` over the
+whole trace), so batch analysis and one-pass streaming over spill
+shards agree exactly.
 """
 
 from __future__ import annotations
@@ -18,10 +23,13 @@ import numpy as np
 
 from repro.trace.records import Trace
 
+from .streaming.accumulators import HourlyLossAccumulator, WindowLossAccumulator
+
 __all__ = [
     "WindowLossRates",
     "window_loss_rates",
     "high_loss_table",
+    "high_loss_counts",
     "testbed_hourly_loss",
     "TABLE6_THRESHOLDS",
 ]
@@ -46,47 +54,27 @@ class WindowLossRates:
     samples: np.ndarray
 
 
-def _method_lost(trace: Trace, name: str) -> tuple[np.ndarray, np.ndarray]:
-    """(mask, lost) where lost means the probe's data was lost entirely."""
-    from repro.core.methods import METHODS
-
-    mask = trace.method_mask(name)
-    if METHODS[name].is_pair:
-        lost = trace.lost1[mask] & trace.lost2[mask]
-    else:
-        lost = trace.lost1[mask]
-    return mask, lost
-
-
 def window_loss_rates(
     trace: Trace,
     name: str,
     window_s: float = 1200.0,
     min_samples: int = 5,
 ) -> WindowLossRates:
-    """Per-(path, window) loss rates for one method."""
-    if window_s <= 0:
-        raise ValueError("window must be positive")
-    mask, lost = _method_lost(trace, name)
-    n = len(trace.meta.host_names)
-    n_windows = max(int(np.ceil(trace.meta.horizon_s / window_s)), 1)
-    win = np.minimum(
-        (trace.t_send[mask] // window_s).astype(np.int64), n_windows - 1
-    )
-    pair = trace.src[mask].astype(np.int64) * n + trace.dst[mask]
-    cell = pair * n_windows + win
-    size = n * n * n_windows
-    total = np.bincount(cell, minlength=size)
-    bad = np.bincount(cell[lost], minlength=size)
-    ok = total >= min_samples
-    rates = bad[ok] / total[ok]
-    return WindowLossRates(
-        method=name,
-        window_s=window_s,
-        n_windows=n_windows,
-        rates=rates,
-        samples=total[ok],
-    )
+    """Per-(path, window) loss rates for one method.
+
+    No cell reaching ``min_samples`` yields empty ``rates``/``samples``
+    arrays, never a 0/0 (``min_samples`` must be >= 1).
+    """
+    acc = WindowLossAccumulator(trace.meta, name, window_s).update(trace)
+    return acc.finalize(min_samples=min_samples)
+
+
+def high_loss_counts(
+    w: WindowLossRates, thresholds: tuple[int, ...] = TABLE6_THRESHOLDS
+) -> dict[int, int]:
+    """One method's Table 6 column: cells above each loss threshold."""
+    pct = w.rates * 100.0
+    return {thr: int((pct > thr).sum()) for thr in thresholds}
 
 
 def high_loss_table(
@@ -105,8 +93,7 @@ def high_loss_table(
     out: dict[str, dict[int, int]] = {}
     for name in methods:
         w = window_loss_rates(trace, name, window_s=window_s, min_samples=min_samples)
-        pct = w.rates * 100.0
-        out[name] = {thr: int((pct > thr).sum()) for thr in thresholds}
+        out[name] = high_loss_counts(w, thresholds)
     return out
 
 
@@ -115,26 +102,6 @@ def testbed_hourly_loss(trace: Trace, name: str = "direct") -> np.ndarray:
 
     If the trace lacks a plain ``direct`` method, first packets of
     direct-first pairs are used instead (same inference as Table 5).
+    Hours with no probes are NaN.
     """
-    from repro.analysis.lossstats import _DIRECT_FIRST
-
-    if name in trace.meta.method_names:
-        mask, lost = _method_lost(trace, name)
-    elif name == "direct":
-        masks = [
-            trace.method_mask(s)
-            for s in _DIRECT_FIRST
-            if s in trace.meta.method_names
-        ]
-        if not masks:
-            raise KeyError("trace has no direct or direct-first method")
-        mask = np.logical_or.reduce(masks)
-        lost = trace.lost1[mask]
-    else:
-        raise KeyError(f"method {name!r} not in trace")
-    n_hours = max(int(np.ceil(trace.meta.horizon_s / 3600.0)), 1)
-    hour = np.minimum((trace.t_send[mask] // 3600.0).astype(np.int64), n_hours - 1)
-    total = np.bincount(hour, minlength=n_hours)
-    bad = np.bincount(hour[lost], minlength=n_hours)
-    with np.errstate(invalid="ignore"):
-        return np.where(total > 0, bad / np.maximum(total, 1), np.nan)
+    return HourlyLossAccumulator(trace.meta, name).update(trace).finalize()

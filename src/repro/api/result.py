@@ -21,8 +21,10 @@ from typing import Iterator, Sequence
 import numpy as np
 
 from repro.analysis import (
+    AnalysisSnapshot,
     Cdf,
     MethodStats,
+    StreamingAnalyzer,
     empirical_cdf,
     high_loss_table,
     improvement_summary,
@@ -84,6 +86,27 @@ class ExperimentResult:
     def tables(self) -> RoutingTables | None:
         return self.collection.tables
 
+    @cached_property
+    def streaming(self) -> AnalysisSnapshot | None:
+        """Streaming-analysis snapshot for spilled engine runs.
+
+        Built one shard at a time from the run's spill directory (the
+        merged memory-mapped store when the shard files are gone), so
+        the Table/Figure accessors below never materialise the merged
+        trace — they return *exactly* what the eager functions would
+        (both are the same accumulators).  ``None`` when the run did
+        not spill, or the spill directory has been removed; accessors
+        then analyse :attr:`trace` eagerly.
+        """
+        spill = self.collection.spill_dir
+        if spill is None:
+            return None
+        try:
+            analyzer = StreamingAnalyzer.from_run_dir(spill, filters=self.spec.filters)
+        except FileNotFoundError:
+            return None
+        return analyzer.snapshot()
+
     def __repr__(self) -> str:
         return (
             f"ExperimentResult(dataset={self.spec.dataset!r}, seed={self.seed}, "
@@ -97,6 +120,8 @@ class ExperimentResult:
     @cached_property
     def stats(self) -> tuple[MethodStats, ...]:
         """Table 5/7 rows (probed + standard inferred rows)."""
+        if self.streaming is not None:
+            return tuple(self.streaming.stats)
         return tuple(method_stats_table(self.trace))
 
     @cached_property
@@ -117,6 +142,11 @@ class ExperimentResult:
         self, methods: Sequence[str] | None = None, window_s: float = 3600.0
     ) -> dict[str, dict[int, int]]:
         """Table 6: counts of (path, window) cells above loss thresholds."""
+        if self.streaming is not None:
+            try:
+                return self.streaming.high_loss(methods, window_s=window_s)
+            except KeyError:
+                pass  # window size not tallied (or method unknown): go eager
         names = list(methods) if methods is not None else list(self.trace.meta.method_names)
         return high_loss_table(self.trace, names, window_s=window_s)
 
@@ -126,14 +156,23 @@ class ExperimentResult:
 
     def path_loss_cdf(self, min_samples: int = 50) -> Cdf:
         """Figure 2: CDF of per-path average loss rates."""
+        if self.streaming is not None:
+            return self.streaming.path_loss_cdf(min_samples=min_samples)
         return path_loss_cdf(self.trace, min_samples=min_samples)
 
     def window_cdf(self, name: str, window_s: float = 1200.0) -> Cdf:
         """Figure 3: CDF of per-(path, window) loss-rate samples."""
+        if self.streaming is not None:
+            try:
+                return self.streaming.window_cdf(name, window_s=window_s)
+            except KeyError:
+                pass  # window size not tallied: go eager
         return empirical_cdf(window_loss_rates(self.trace, name, window_s=window_s).rates)
 
     def clp_cdf(self, name: str = "direct_rand", min_first_losses: int = 2) -> Cdf:
         """Figure 4: CDF of per-path conditional loss probabilities."""
+        if self.streaming is not None:
+            return self.streaming.clp_cdf(name, min_first_losses=min_first_losses)
         return empirical_cdf(
             per_path_clp(self.trace, name, min_first_losses=min_first_losses)
         )
@@ -147,12 +186,18 @@ class ExperimentResult:
         paths (defaults to the method itself, matching the figure when
         ``name`` is the direct baseline).
         """
+        if self.streaming is not None:
+            return self.streaming.latency_cdf(
+                name, baseline=baseline, min_latency_s=min_latency_s
+            )
         lat = per_path_latency(self.trace, name)
         base = per_path_latency(self.trace, baseline) if baseline else None
         return latency_cdf_over_paths(lat, min_latency_s=min_latency_s, baseline=base)
 
     def latency_improvement(self, baseline: str, improved: str) -> dict[str, float]:
         """Section 4.5 latency-improvement summary between two methods."""
+        if self.streaming is not None:
+            return self.streaming.latency_improvement(baseline, improved)
         return improvement_summary(
             per_path_latency(self.trace, baseline), per_path_latency(self.trace, improved)
         )

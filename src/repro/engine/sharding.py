@@ -68,7 +68,7 @@ def auto_executor(network: Network, n_hosts: int, min_hosts: int = PROCESS_MIN_H
     return "thread"
 
 
-def run_shards(plan, ranges, kernel, worker, initializer, executor, max_workers):
+def run_shards(plan, ranges, kernel, worker, initializer, executor, max_workers, on_result=None):
     """Evaluate ``kernel(plan, lo, hi)`` over shard ``ranges`` on one of
     the three executors — the dispatch shared by every sharded stage
     (collection, probing).
@@ -79,13 +79,23 @@ def run_shards(plan, ranges, kernel, worker, initializer, executor, max_workers)
     through ``initializer`` and run the module-level ``worker`` (it
     must be picklable by name), so nothing but the (small) shard ranges
     and partial results crosses the pipe.
+
+    ``on_result`` is called in the parent, in shard order, with each
+    result as it becomes available — how streaming analysis folds spill
+    shards while later shards are still collecting.
     """
     if executor == "serial" or len(ranges) == 1:
-        return [kernel(plan, lo, hi) for lo, hi in ranges]
+        out = []
+        for lo, hi in ranges:
+            part = kernel(plan, lo, hi)
+            if on_result is not None:
+                on_result(part)
+            out.append(part)
+        return out
     workers = min(max_workers or os.cpu_count() or 1, len(ranges))
     if executor == "thread":
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(lambda b: kernel(plan, *b), ranges))
+            return _drain(pool.map(lambda b: kernel(plan, *b), ranges), on_result)
     try:
         ctx = multiprocessing.get_context("fork")
     except ValueError as exc:  # pragma: no cover - non-POSIX platforms
@@ -98,7 +108,16 @@ def run_shards(plan, ranges, kernel, worker, initializer, executor, max_workers)
         initializer=initializer,
         initargs=(plan,),
     ) as pool:
-        return list(pool.map(worker, ranges))
+        return _drain(pool.map(worker, ranges), on_result)
+
+
+def _drain(results, on_result):
+    out = []
+    for part in results:
+        if on_result is not None:
+            on_result(part)
+        out.append(part)
+    return out
 
 
 def plan_shards(n_hosts: int, n_shards: int) -> list[tuple[int, int]]:
@@ -289,6 +308,7 @@ class ShardedCollector:
         seed: int = 0,
         include_events: bool = True,
         network: Network | None = None,
+        analyzer=None,
     ) -> CollectionResult:
         """Collect ``spec`` sharded across the configured executor.
 
@@ -297,7 +317,13 @@ class ShardedCollector:
         the shared plan every collection shard reads.  With
         ``spill_dir`` set, shards stream through disk instead of RAM
         (see :mod:`repro.engine.spill`) — same bytes, bounded
-        residency."""
+        residency, and the result records its run's spill directory.
+
+        ``analyzer`` (a
+        :class:`repro.analysis.StreamingAnalyzer`) has each completed
+        shard folded into it — ``analyzer.ingest(part)`` in the parent,
+        in shard order — so Table/Figure statistics are ready the moment
+        the run (or even just its first shards) are."""
         plan = prepare_collection(
             spec,
             duration_s,
@@ -312,6 +338,8 @@ class ShardedCollector:
         executor = self.config.executor or auto_executor(
             plan.network, plan.n_hosts, self.config.process_min_hosts
         )
+        on_result = analyzer.ingest if analyzer is not None else None
+        directory: Path | None = None
         if self.config.spill_dir is not None:
             directory = Path(self.config.spill_dir) / run_slug(plan)
             directory.mkdir(parents=True, exist_ok=True)
@@ -323,14 +351,21 @@ class ShardedCollector:
                 initializer=spill_mod._init_worker,
                 executor=executor,
                 max_workers=self.resolve_workers(),
+                on_result=on_result,
             )
         else:
-            parts = self._run(plan, ranges, executor)
+            parts = self._run(plan, ranges, executor, on_result)
         trace = Trace.concatenate(parts)
-        return CollectionResult(trace=trace, network=plan.network, tables=plan.tables)
+        return CollectionResult(
+            trace=trace, network=plan.network, tables=plan.tables, spill_dir=directory
+        )
 
     def _run(
-        self, plan: CollectionPlan, ranges: list[tuple[int, int]], executor: str
+        self,
+        plan: CollectionPlan,
+        ranges: list[tuple[int, int]],
+        executor: str,
+        on_result=None,
     ) -> list[Trace]:
         return run_shards(
             plan,
@@ -340,6 +375,7 @@ class ShardedCollector:
             initializer=_init_worker,
             executor=executor,
             max_workers=self.config.max_workers,
+            on_result=on_result,
         )
 
 

@@ -29,7 +29,7 @@ from pathlib import Path
 from repro.testbed.collection import CollectionPlan, collect_rows
 from repro.trace.store import save_trace
 
-__all__ = ["SpillPlan", "collect_rows_spilled", "run_slug", "shard_path"]
+__all__ = ["SpillPlan", "collect_rows_spilled", "run_slug", "shard_path", "shard_files"]
 
 
 def run_slug(plan: CollectionPlan) -> str:
@@ -75,6 +75,18 @@ class SpillPlan:
 def shard_path(directory: Path, host_lo: int, host_hi: int) -> Path:
     """Where the shard covering ``[host_lo, host_hi)`` spills to."""
     return Path(directory) / f"shard-{host_lo:05d}-{host_hi:05d}"
+
+
+def shard_files(directory: str | Path) -> list[Path]:
+    """The spilled shard files under a run directory, in host order.
+
+    The inverse of :func:`shard_path`: everything matching
+    ``shard-*.npz``, sorted by name (= ascending host range, since the
+    bounds are zero-padded).  This is the listing contract
+    :meth:`repro.analysis.streaming.StreamingAnalyzer.ingest_dir` uses
+    for post-hoc analysis of a spilled run.
+    """
+    return sorted(Path(directory).glob("shard-*.npz"))
 
 
 def collect_rows_spilled(splan: SpillPlan, host_lo: int, host_hi: int) -> Path:

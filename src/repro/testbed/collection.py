@@ -30,6 +30,7 @@ sequential and sharded runs serialise identically.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -59,11 +60,18 @@ RTT_TURNAROUND_S = 2e-4
 @dataclass(frozen=True, eq=False)
 class CollectionResult:
     """A collected trace plus the run's supporting state (for analysis
-    that needs ground truth, e.g. ablation benchmarks)."""
+    that needs ground truth, e.g. ablation benchmarks).
+
+    ``spill_dir`` is set by spilled engine runs: the run's own spill
+    subdirectory, holding the ``shard-*.npz`` files and the merged
+    memory-mapped store — what streaming analysis
+    (:class:`repro.analysis.StreamingAnalyzer`) consumes post-hoc.
+    """
 
     trace: Trace
     network: Network
     tables: RoutingTables | None
+    spill_dir: Path | None = None
 
     def __repr__(self) -> str:
         meta = self.trace.meta

@@ -10,7 +10,7 @@ from .filters import (
 )
 from .fingerprint import trace_fingerprint
 from .records import ProbeRecord, Trace, TraceMeta
-from .store import load_trace, save_trace
+from .store import load_trace, open_stored, save_trace
 
 __all__ = [
     "HOST_FAILURE_GAP_S",
@@ -22,6 +22,7 @@ __all__ = [
     "detect_host_failures",
     "drop_excluded",
     "load_trace",
+    "open_stored",
     "receive_window_filter",
     "save_trace",
     "trace_fingerprint",

@@ -22,7 +22,7 @@ import numpy as np
 
 from .records import Trace, TraceMeta, debug_checks_enabled, require_same_run
 
-__all__ = ["save_trace", "load_trace", "concatenate_stored"]
+__all__ = ["save_trace", "load_trace", "concatenate_stored", "open_stored"]
 
 
 def _npz_path(path: str | Path) -> Path:
@@ -130,6 +130,19 @@ def concatenate_stored(paths, out_dir: str | Path | None = None) -> Trace:
     dest[order] = np.arange(total)
     del order
 
+    # the run meta rides along, so the merged store is self-describing
+    # (shard files may be deleted once merged; open_stored re-opens it)
+    meta_dict = {
+        "dataset": metas[0].dataset,
+        "mode": metas[0].mode,
+        "horizon_s": metas[0].horizon_s,
+        "seed": metas[0].seed,
+        "host_names": list(metas[0].host_names),
+        "method_names": list(metas[0].method_names),
+        "extra": {},
+    }
+    (out_dir / "__meta__.json").write_text(json.dumps(meta_dict))
+
     # pass 2: one shard at a time into memory-mapped outputs
     outs = {
         name: np.lib.format.open_memmap(
@@ -155,3 +168,27 @@ def concatenate_stored(paths, out_dir: str | Path | None = None) -> Trace:
     if debug_checks_enabled():
         merged.assert_canonical_order("concatenate_stored")
     return merged
+
+
+def open_stored(out_dir: str | Path) -> Trace:
+    """Re-open a merged store written by :func:`concatenate_stored`.
+
+    The columns come back as read-only memory maps, so a trace larger
+    than RAM can be analysed (or streamed through accumulators) without
+    ever being fully resident.  Stores written before the run meta rode
+    along (no ``__meta__.json``) cannot be re-opened — re-merge the
+    shard files, or pass them to the analyzer directly.
+    """
+    out_dir = Path(out_dir)
+    meta_path = out_dir / "__meta__.json"
+    if not meta_path.exists():
+        raise FileNotFoundError(
+            f"{out_dir} has no __meta__.json; it is not a merged trace store "
+            f"(or was written by an older version — re-merge the shards)"
+        )
+    meta_raw = json.loads(meta_path.read_text())
+    arrays = {
+        name: np.load(out_dir / f"{name}.npy", mmap_mode="r")
+        for name in Trace.ARRAY_FIELDS
+    }
+    return Trace(meta=_meta_from_dict(meta_raw), extra=meta_raw.get("extra", {}), **arrays)

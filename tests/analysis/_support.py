@@ -1,0 +1,76 @@
+"""Shared comparison helpers for the streaming-analysis test suites."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.analysis import Cdf, MethodStats
+from repro.analysis.streaming import StreamingAnalyzer
+from repro.analysis.streaming.accumulators import Accumulator
+
+
+def assert_accumulators_equal(
+    a: Accumulator, b: Accumulator, exact_floats: bool = True
+) -> None:
+    """State equality of two accumulators of the same type.
+
+    Integer counters must always match exactly; ``exact_floats=False``
+    relaxes the float sums to a tight relative tolerance (arbitrary row
+    partitions reorder per-pair folds, so the last ulp may differ).
+    """
+    assert type(a) is type(b)
+    for key, x in vars(a).items():
+        y = vars(b)[key]
+        if isinstance(x, np.ndarray):
+            if np.issubdtype(x.dtype, np.floating) and not exact_floats:
+                np.testing.assert_allclose(x, y, rtol=1e-9, err_msg=key)
+            else:
+                assert x.dtype == y.dtype, key
+                np.testing.assert_array_equal(x, y, err_msg=key)
+        else:
+            assert x == y, f"{type(a).__name__}.{key}: {x!r} != {y!r}"
+
+
+def assert_analyzers_equal(
+    a: StreamingAnalyzer, b: StreamingAnalyzer, exact_floats: bool = True
+) -> None:
+    """Full state equality of two analyzers (every accumulator)."""
+    assert a.meta == b.meta
+    assert a.n_rows == b.n_rows
+    assert sorted(a._table) == sorted(b._table)
+    assert sorted(a._windows) == sorted(b._windows)
+    assert sorted(a._clp) == sorted(b._clp)
+    for key in a._table:
+        assert_accumulators_equal(a._table[key], b._table[key], exact_floats)
+    for key in a._windows:
+        assert_accumulators_equal(a._windows[key], b._windows[key], exact_floats)
+    for key in a._clp:
+        assert_accumulators_equal(a._clp[key], b._clp[key], exact_floats)
+    assert (a._path_loss is None) == (b._path_loss is None)
+    if a._path_loss is not None:
+        assert_accumulators_equal(a._path_loss, b._path_loss, exact_floats)
+    assert (a._hourly is None) == (b._hourly is None)
+    if a._hourly is not None:
+        assert_accumulators_equal(a._hourly, b._hourly, exact_floats)
+
+
+def _values_equal(x, y) -> bool:
+    if x is None or y is None:
+        return x is None and y is None
+    if isinstance(x, float) and math.isnan(x):
+        return isinstance(y, float) and math.isnan(y)
+    return x == y
+
+
+def assert_method_stats_equal(a: MethodStats, b: MethodStats) -> None:
+    """Value equality of two table rows, NaN-aware, field by field."""
+    for field in ("method", "n_probes", "lp1", "lp2", "totlp", "clp", "latency_ms", "inferred"):
+        x, y = getattr(a, field), getattr(b, field)
+        assert _values_equal(x, y), f"{a.method}.{field}: {x!r} != {y!r}"
+
+
+def assert_cdf_equal(a: Cdf, b: Cdf) -> None:
+    np.testing.assert_array_equal(a.x, b.x)
+    np.testing.assert_array_equal(a.f, b.f)

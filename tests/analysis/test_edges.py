@@ -1,0 +1,152 @@
+"""Empty-selection edges of the eager analysis functions.
+
+Regressions for the defined-NaN/empty contract: a method with zero
+delivered packets, or selections where no path/window reaches
+``min_samples``, must produce defined results (NaN rows, empty arrays,
+empty CDFs) without a single 0/0 runtime warning — and degenerate
+thresholds that *would* divide 0/0 are rejected up front with clear
+messages.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    empirical_cdf,
+    method_stats,
+    method_stats_table,
+    path_loss_cdf,
+    per_path_clp,
+    per_path_latency,
+    per_path_loss,
+    window_loss_rates,
+)
+from repro.analysis import testbed_hourly_loss as hourly_loss
+from repro.trace.records import Trace, TraceMeta
+
+
+def edge_trace(all_lost: bool = False, n: int = 12) -> Trace:
+    """A tiny two-method trace; ``all_lost=True`` loses every packet.
+
+    ``rand`` is declared in the meta but never probed, pinning the
+    zero-row table path.
+    """
+    meta = TraceMeta(
+        dataset="EDGE",
+        mode="oneway",
+        horizon_s=7200.0,
+        seed=0,
+        host_names=("A", "B", "C"),
+        method_names=("loss", "direct_rand", "rand"),
+    )
+    method_id = (np.arange(n) % 2).astype(np.int16)
+    lost1 = np.full(n, all_lost)
+    lost2 = np.full(n, all_lost)
+    lat1 = np.where(lost1, np.nan, 0.050).astype(np.float32)
+    lat2 = np.where(lost2, np.nan, 0.080).astype(np.float32)
+    return Trace(
+        meta=meta,
+        probe_id=np.arange(n, dtype=np.uint64),
+        method_id=method_id,
+        src=np.zeros(n, dtype=np.int16),
+        dst=np.ones(n, dtype=np.int16),
+        t_send=np.linspace(0.0, 7000.0, n),
+        relay1=np.full(n, -1, dtype=np.int16),
+        relay2=np.where(method_id == 1, 2, -1).astype(np.int16),
+        lost1=lost1,
+        lost2=lost2,
+        latency1=lat1,
+        latency2=lat2,
+        excluded=np.zeros(n, dtype=bool),
+    )
+
+
+@pytest.fixture(autouse=True)
+def _warnings_are_errors():
+    """Every edge below must complete without a 0/0 RuntimeWarning."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        yield
+
+
+class TestZeroDelivered:
+    def test_all_lost_single_method_row_is_defined(self):
+        s = method_stats(edge_trace(all_lost=True), "loss")
+        assert s.n_probes == 6
+        assert s.lp1 == pytest.approx(100.0)
+        assert np.isnan(s.latency_ms)  # nothing delivered, no 0/0
+
+    def test_all_lost_pair_method_row_is_defined(self):
+        s = method_stats(edge_trace(all_lost=True), "direct_rand")
+        assert s.lp1 == s.lp2 == s.totlp == pytest.approx(100.0)
+        assert s.clp == pytest.approx(100.0)
+        assert np.isnan(s.latency_ms)
+
+    def test_zero_probe_method_gives_all_nan_row(self):
+        s = method_stats(edge_trace(), "rand")
+        assert s.n_probes == 0
+        assert np.isnan(s.lp1) and np.isnan(s.totlp) and np.isnan(s.latency_ms)
+        assert s.lp2 is None and s.clp is None
+
+    def test_table_includes_zero_probe_row(self):
+        table = method_stats_table(edge_trace())
+        rand = next(s for s in table if s.method == "rand")
+        assert rand.n_probes == 0 and np.isnan(rand.lp1)
+
+    def test_all_lost_per_path_latency_is_all_nan(self):
+        lat = per_path_latency(edge_trace(all_lost=True), "loss")
+        assert np.isnan(lat.mean_latency).all()
+
+    def test_hourly_loss_nan_for_unprobed_hours(self):
+        t = edge_trace()
+        series = hourly_loss(t, "direct")  # inferred from direct_rand
+        assert len(series) == 2  # 7200 s horizon
+        assert np.isfinite(series).all()
+        # an unprobed tail hour stays NaN, probed hours stay defined
+        early = t.select(t.t_send < 3600.0)
+        series = hourly_loss(early, "direct")
+        assert np.isfinite(series[0]) and np.isnan(series[1])
+
+
+class TestEmptySelections:
+    def test_no_path_meets_min_samples_gives_empty_array(self):
+        loss = per_path_loss(edge_trace(), min_samples=1000)
+        assert loss.shape == (0,)
+
+    def test_empty_path_loss_cdf(self):
+        cdf = path_loss_cdf(edge_trace(), min_samples=1000)
+        assert len(cdf.x) == 0 and len(cdf.f) == 0
+        assert np.isnan(cdf.quantile(0.5))
+
+    def test_no_window_meets_min_samples_gives_empty_rates(self):
+        w = window_loss_rates(edge_trace(), "loss", min_samples=1000)
+        assert w.rates.shape == (0,) and w.samples.shape == (0,)
+        assert len(empirical_cdf(w.rates).x) == 0
+
+    def test_no_first_losses_gives_empty_clp(self):
+        clp = per_path_clp(edge_trace(all_lost=False), "direct_rand")
+        assert clp.shape == (0,)  # nothing lost, no conditioning events
+        assert len(empirical_cdf(clp).x) == 0
+
+
+class TestDegenerateThresholds:
+    """Thresholds that would admit zero-probe cells are rejected, not
+    quietly folded into a 0/0."""
+
+    def test_per_path_loss_rejects_min_samples_zero(self):
+        with pytest.raises(ValueError, match="min_samples must be >= 1"):
+            per_path_loss(edge_trace(), min_samples=0)
+
+    def test_window_loss_rates_rejects_min_samples_zero(self):
+        with pytest.raises(ValueError, match="min_samples must be >= 1"):
+            window_loss_rates(edge_trace(), "loss", min_samples=0)
+
+    def test_per_path_clp_rejects_min_first_losses_zero(self):
+        with pytest.raises(ValueError, match="min_first_losses must be >= 1"):
+            per_path_clp(edge_trace(), "direct_rand", min_first_losses=0)
+
+    def test_window_size_must_be_positive(self):
+        with pytest.raises(ValueError, match="window must be positive"):
+            window_loss_rates(edge_trace(), "loss", window_s=0.0)

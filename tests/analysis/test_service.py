@@ -1,0 +1,225 @@
+"""The asyncio query service over streaming analysis state.
+
+Round-trips every op against the snapshot it serves, follows a run
+directory across a refresh while new shards arrive, and surfaces
+analysis errors as error responses instead of dropped connections.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.service import AnalysisClient, AnalysisService
+from repro.analysis.streaming import StreamingAnalyzer
+from repro.engine import EngineConfig, ShardedCollector
+from repro.engine.spill import shard_files
+from repro.testbed import collect, dataset
+
+DURATION = 240.0
+SEED = 6
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return collect(dataset("ronnarrow"), DURATION, seed=SEED).trace
+
+
+@pytest.fixture(scope="module")
+def analyzer(trace):
+    return StreamingAnalyzer().update(trace)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def _roundtrip(analyzer, requests):
+    """Start a service on the analyzer, run requests, return responses."""
+    service = AnalysisService(analyzer)
+    async with service as (host, port):
+        client = await AnalysisClient.connect(host, port)
+        try:
+            return [await client.request(op, **params) for op, params in requests]
+        finally:
+            await client.aclose()
+
+
+class TestOps:
+    def test_meta_reports_run_identity(self, analyzer):
+        (resp,) = run(_roundtrip(analyzer, [("meta", {})]))
+        assert resp["dataset"] == "RONnarrow"
+        assert resp["seed"] == SEED
+        assert resp["hosts"] == 17
+        assert resp["rows"] == analyzer.n_rows
+        assert "direct_rand" in resp["methods"]
+
+    def test_table_matches_snapshot(self, analyzer):
+        snap = analyzer.snapshot()
+        (resp,) = run(_roundtrip(analyzer, [("table", {})]))
+        assert [r["method"] for r in resp["rows"]] == [s.method for s in snap.stats]
+        by = {r["method"]: r for r in resp["rows"]}
+        for s in snap.stats:
+            row = by[s.method]
+            assert row["n_probes"] == s.n_probes
+            assert row["lp1"] == s.lp1 or (
+                math.isnan(row["lp1"]) and math.isnan(s.lp1)
+            )
+
+    def test_single_stats_row(self, analyzer):
+        (resp,) = run(_roundtrip(analyzer, [("stats", {"method": "loss"})]))
+        s = analyzer.snapshot().stats_by_method["loss"]
+        assert resp["stats"]["lp1"] == s.lp1
+
+    def test_high_loss_counts_round_trip(self, analyzer):
+        (resp,) = run(_roundtrip(analyzer, [("high_loss", {})]))
+        snap = analyzer.snapshot()
+        expected = snap.high_loss()
+        got = {
+            m: {int(t): c for t, c in col.items()} for m, col in resp["counts"].items()
+        }
+        assert got == expected
+
+    def test_cdf_ops_full_support_and_points(self, analyzer):
+        snap = analyzer.snapshot()
+        full, sampled = run(
+            _roundtrip(
+                analyzer,
+                [
+                    ("path_loss_cdf", {"min_samples": 5}),
+                    ("path_loss_cdf", {"min_samples": 5, "points": [0.0, 1.0, 5.0, 100.0]}),
+                ],
+            )
+        )
+        cdf = snap.path_loss_cdf(min_samples=5)
+        assert full["x"] == cdf.x.tolist() and full["f"] == cdf.f.tolist()
+        np.testing.assert_allclose(
+            sampled["f"], cdf.series(np.array([0.0, 1.0, 5.0, 100.0]))
+        )
+        assert sampled["f"][-1] == pytest.approx(1.0)
+
+    def test_window_clp_latency_ops(self, analyzer):
+        snap = analyzer.snapshot()
+        window, clp, lat, improvement = run(
+            _roundtrip(
+                analyzer,
+                [
+                    ("window_cdf", {"name": "loss"}),
+                    ("clp_cdf", {"name": "direct_rand"}),
+                    ("latency_cdf", {"name": "loss", "baseline": "loss"}),
+                    (
+                        "latency_improvement",
+                        {"baseline": "loss", "improved": "lat_loss"},
+                    ),
+                ],
+            )
+        )
+        assert window["x"] == snap.window_cdf("loss").x.tolist()
+        assert clp["x"] == snap.clp_cdf("direct_rand").x.tolist()
+        assert lat["x"] == snap.latency_cdf("loss", baseline="loss").x.tolist()
+        assert improvement["summary"] == snap.latency_improvement("loss", "lat_loss")
+
+    def test_hourly_loss_op(self, analyzer):
+        (resp,) = run(_roundtrip(analyzer, [("hourly_loss", {})]))
+        np.testing.assert_array_equal(
+            resp["hourly"], analyzer.snapshot().testbed_hourly_loss()
+        )
+
+
+class TestErrors:
+    def test_unknown_op_is_an_error_response(self, analyzer):
+        async def go():
+            async with AnalysisService(analyzer) as (host, port):
+                client = await AnalysisClient.connect(host, port)
+                try:
+                    with pytest.raises(RuntimeError, match="unknown op"):
+                        await client.request("warp")
+                    # the connection survives the error
+                    return await client.request("meta")
+                finally:
+                    await client.aclose()
+
+        assert run(go())["ok"] is True
+
+    def test_analysis_errors_surface_with_type(self, analyzer):
+        async def go():
+            async with AnalysisService(analyzer) as (host, port):
+                client = await AnalysisClient.connect(host, port)
+                try:
+                    with pytest.raises(RuntimeError, match="KeyError.*warp"):
+                        await client.request("stats", method="warp")
+                    with pytest.raises(RuntimeError, match="not tallied"):
+                        await client.request("window_cdf", name="loss", window_s=7.0)
+                finally:
+                    await client.aclose()
+
+        run(go())
+
+    def test_malformed_json_is_an_error_response(self, analyzer):
+        async def go():
+            async with AnalysisService(analyzer) as (host, port):
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(b"not json\n")
+                await writer.drain()
+                line = await reader.readline()
+                writer.close()
+                return json.loads(line)
+
+        resp = run(go())
+        assert resp["ok"] is False and "JSONDecodeError" in resp["error"]
+
+
+class TestRunDirFollowing:
+    def test_refresh_folds_new_shards(self, tmp_path):
+        ds = dataset("ronnarrow")
+        col = ShardedCollector(
+            EngineConfig(n_shards=4, executor="serial", spill_dir=tmp_path)
+        ).collect(ds, DURATION, seed=SEED)
+        paths = shard_files(col.spill_dir)
+        held_back = paths[-1].read_bytes()
+        paths[-1].unlink()
+
+        async def go():
+            service = AnalysisService(run_dir=col.spill_dir)
+            async with service as (host, port):
+                client = await AnalysisClient.connect(host, port)
+                try:
+                    before = await client.request("meta")
+                    assert before["parts"] == 3
+                    paths[-1].write_bytes(held_back)  # the shard "arrives"
+                    refreshed = await client.request("refresh")
+                    assert refreshed["ingested"] == 1
+                    after = await client.request("meta")
+                    assert after["parts"] == 4
+                    assert after["generation"] == before["generation"] + 1
+                    # idempotent: nothing new on a second refresh
+                    again = await client.request("refresh")
+                    assert again["ingested"] == 0
+                    return await client.request("table")
+                finally:
+                    await client.aclose()
+
+        resp = run(go())
+        # after all four shards the service equals the eager analysis
+        snap = StreamingAnalyzer.from_run_dir(col.spill_dir).snapshot()
+        assert [r["method"] for r in resp["rows"]] == [s.method for s in snap.stats]
+
+    def test_concurrent_clients(self, analyzer):
+        async def go():
+            async with AnalysisService(analyzer) as (host, port):
+                clients = [await AnalysisClient.connect(host, port) for _ in range(5)]
+                try:
+                    responses = await asyncio.gather(
+                        *(c.request("table") for c in clients)
+                    )
+                finally:
+                    for c in clients:
+                        await c.aclose()
+                return responses
+
+        responses = run(go())
+        assert len({json.dumps(r, sort_keys=True) for r in responses}) == 1

@@ -1,0 +1,220 @@
+"""Property tests for the accumulator algebra (hypothesis).
+
+The streaming contract is an algebra over partial traces: ``update``
+folds rows, ``merge`` combines partial states, an un-updated state is
+the identity, and for the partitions the engine actually produces
+(contiguous source-host ranges, every ordered pair inside one shard)
+everything — including the float64 latency sums — is *bitwise*
+identical to a single ``update`` over the merged trace.  Under
+arbitrary row partitions the integer counters stay exact and only the
+float sums may move by an ulp.
+
+Shard splits are generated over a real zoo trace (the ``ronnarrow``
+canned dataset), so the properties are exercised on realistic loss and
+latency patterns, not just synthetic rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.streaming import StreamingAnalyzer
+from repro.analysis.streaming.accumulators import (
+    MethodStatsAccumulator,
+    PathClpAccumulator,
+    WindowLossAccumulator,
+)
+from repro.testbed import collect, dataset
+from repro.trace import apply_standard_filters
+from repro.trace.records import Trace
+
+from ._support import (
+    assert_accumulators_equal,
+    assert_analyzers_equal,
+    assert_method_stats_equal,
+)
+
+DURATION = 240.0
+N_HOSTS = 17  # ronnarrow's host count; asserted in zoo_trace()
+
+_CACHE: dict = {}
+
+
+def zoo_trace() -> Trace:
+    """The memoized ronnarrow collection (unfiltered, canonical order)."""
+    if "trace" not in _CACHE:
+        trace = collect(dataset("ronnarrow"), DURATION, seed=6).trace
+        assert len(trace.meta.host_names) == N_HOSTS
+        _CACHE["trace"] = trace
+    return _CACHE["trace"]
+
+
+def split_by_hosts(trace: Trace, cuts: tuple[int, ...]) -> list[Trace]:
+    """Partition rows by contiguous source-host ranges (engine layout)."""
+    bounds = (0,) + tuple(cuts) + (N_HOSTS,)
+    return [
+        trace.select((trace.src >= lo) & (trace.src < hi))
+        for lo, hi in zip(bounds, bounds[1:])
+    ]
+
+
+def split_rows(trace: Trace, seed: int, k: int) -> list[Trace]:
+    """Partition rows arbitrarily (pairs split across parts)."""
+    part = np.random.default_rng(seed).integers(0, k, len(trace))
+    return [trace.select(part == i) for i in range(k)]
+
+
+def analyzer_over(parts: list[Trace]) -> StreamingAnalyzer:
+    a = StreamingAnalyzer(filters=False)
+    for p in parts:
+        a.update(p)
+    return a
+
+
+#: 1..4 distinct interior cut points -> 2..5 host-range shards.
+host_cuts = st.sets(st.integers(1, N_HOSTS - 1), min_size=1, max_size=4).map(
+    lambda s: tuple(sorted(s))
+)
+
+
+class TestEngineShardAlgebra:
+    """Host-range partitions: bitwise exactness, the engine's case."""
+
+    @given(cuts=host_cuts)
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_update_over_concat_equals_merge_of_shards(self, cuts):
+        trace = zoo_trace()
+        whole = analyzer_over([trace])
+        merged = analyzer_over([])
+        for part in split_by_hosts(trace, cuts):
+            merged = merged.merge(analyzer_over([part]))
+        assert_analyzers_equal(whole, merged, exact_floats=True)
+
+    @given(cuts=host_cuts, order_seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_merge_is_order_invariant(self, cuts, order_seed):
+        parts = split_by_hosts(zoo_trace(), cuts)
+        states = [analyzer_over([p]) for p in parts]
+        forward = states[0]
+        for s in states[1:]:
+            forward = forward.merge(s)
+        perm = np.random.default_rng(order_seed).permutation(len(states))
+        shuffled = states[perm[0]]
+        for i in perm[1:]:
+            shuffled = shuffled.merge(states[i])
+        assert_analyzers_equal(forward, shuffled, exact_floats=True)
+
+    @given(cuts=host_cuts)
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_merge_is_associative(self, cuts):
+        parts = split_by_hosts(zoo_trace(), cuts)
+        while len(parts) < 3:  # pad so both groupings are non-trivial
+            parts.append(parts[0].select(np.zeros(len(parts[0]), dtype=bool)))
+        a, b, c = (analyzer_over([p]) for p in (parts[0], parts[1], parts[2]))
+        for rest in parts[3:]:
+            c = c.merge(analyzer_over([rest]))
+        assert_analyzers_equal(
+            a.merge(b).merge(c), a.merge(b.merge(c)), exact_floats=True
+        )
+
+    @given(cuts=host_cuts)
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_empty_analyzer_is_identity(self, cuts):
+        parts = split_by_hosts(zoo_trace(), cuts)
+        state = analyzer_over(parts)
+        empty = StreamingAnalyzer(filters=False)
+        assert_analyzers_equal(empty.merge(state), state, exact_floats=True)
+        assert_analyzers_equal(state.merge(empty), state, exact_floats=True)
+
+    @given(cuts=host_cuts)
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_per_shard_filtering_equals_filtering_merged(self, cuts):
+        # the Section 4.1 filters are row-local, so filtering each shard
+        # commutes with the split — the analyzer relies on this
+        trace = zoo_trace()
+        streamed = StreamingAnalyzer(filters=True)
+        for part in split_by_hosts(trace, cuts):
+            streamed.update(part)
+        whole = StreamingAnalyzer(filters=False).update(apply_standard_filters(trace))
+        assert_analyzers_equal(whole, streamed, exact_floats=True)
+
+
+class TestArbitraryPartitions:
+    """Any row partition: counters stay exact, floats stay tight."""
+
+    @given(seed=st.integers(0, 2**31 - 1), k=st.integers(2, 6))
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_counters_exact_floats_tight(self, seed, k):
+        trace = zoo_trace()
+        whole = analyzer_over([trace])
+        merged = analyzer_over([])
+        for part in split_rows(trace, seed, k):
+            merged = merged.merge(analyzer_over([part]))
+        assert_analyzers_equal(whole, merged, exact_floats=False)
+
+    @given(seed=st.integers(0, 2**31 - 1), k=st.integers(2, 6))
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_loss_stats_rows_are_partition_invariant(self, seed, k):
+        # everything derived from integer counters is *exactly* invariant
+        trace = zoo_trace()
+        name = "direct_rand"
+        whole = MethodStatsAccumulator(trace.meta, name).update(trace)
+        merged = MethodStatsAccumulator(trace.meta, name)
+        for part in split_rows(trace, seed, k):
+            merged = merged.merge(MethodStatsAccumulator(trace.meta, name).update(part))
+        a, b = whole.finalize(), merged.finalize()
+        assert (a.n_probes, a.lp1, a.lp2, a.totlp, a.clp) == (
+            b.n_probes,
+            b.lp1,
+            b.lp2,
+            b.totlp,
+            b.clp,
+        )
+        np.testing.assert_allclose(a.latency_ms, b.latency_ms, rtol=1e-9)
+
+    @given(seed=st.integers(0, 2**31 - 1), k=st.integers(2, 5))
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_pure_counter_accumulators_are_partition_invariant(self, seed, k):
+        trace = zoo_trace()
+        for make in (
+            lambda m: PathClpAccumulator(m, "direct_rand"),
+            lambda m: WindowLossAccumulator(m, "loss", 600.0),
+        ):
+            whole = make(trace.meta).update(trace)
+            merged = make(trace.meta)
+            for part in split_rows(trace, seed, k):
+                merged = merged.merge(make(trace.meta).update(part))
+            assert_accumulators_equal(whole, merged, exact_floats=True)
+
+
+class TestAlgebraErrors:
+    def test_merge_rejects_different_parameterisations(self):
+        trace = zoo_trace()
+        a = WindowLossAccumulator(trace.meta, "loss", 600.0).update(trace)
+        b = WindowLossAccumulator(trace.meta, "loss", 1200.0).update(trace)
+        with pytest.raises(ValueError, match="parameterisations"):
+            a.merge(b)
+
+    def test_merge_rejects_different_types(self):
+        trace = zoo_trace()
+        a = PathClpAccumulator(trace.meta, "direct_rand")
+        b = WindowLossAccumulator(trace.meta, "loss")
+        with pytest.raises(TypeError, match="cannot merge"):
+            a.merge(b)
+
+    def test_update_rejects_foreign_trace(self):
+        trace = zoo_trace()
+        other = collect(dataset("ronnarrow"), DURATION, seed=7).trace
+        acc = PathClpAccumulator(trace.meta, "direct_rand")
+        with pytest.raises(ValueError, match="seed 7"):
+            acc.update(other)
+
+    def test_finalized_rows_match_across_snapshots_of_same_state(self):
+        trace = zoo_trace()
+        a = StreamingAnalyzer(filters=False).update(trace)
+        s1, s2 = a.snapshot(), a.snapshot()
+        for x, y in zip(s1.stats, s2.stats):
+            assert_method_stats_equal(x, y)

@@ -1,0 +1,163 @@
+"""Memory acceptance for streaming analysis.
+
+Two subprocess-measured gates (fresh interpreters, reading ``VmHWM``
+from ``/proc/self/status`` so the high-water mark covers exactly the
+work under test — ``ru_maxrss`` is unusable here because a forked
+child inherits the parent's peak on some kernels, so a fat pytest
+parent would leak into the child's number):
+
+* the ISSUE acceptance — analysing a 100-host spilled engine run one
+  shard at a time completes under a fixed peak-RSS budget;
+* the out-of-core claim — streaming a multi-hundred-MB sharded trace
+  peaks at a small fraction of the merged trace's in-RAM size (the
+  eager path must hold all of it at once).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.trace.records import Trace, TraceMeta
+from repro.trace.store import save_trace
+
+pytestmark = pytest.mark.skipif(
+    not sys.platform.startswith("linux"),
+    reason="peak RSS is read from Linux-only /proc/self/status VmHWM",
+)
+
+#: peak-RSS budget for analysing the 100-host spilled run.  The
+#: analyzer holds int64/float64 cell arrays (~10k cells at N=100) plus
+#: one shard at a time; the interpreter + numpy dominate.  Generous CI
+#: headroom over the ~45 MB measured locally — and far below the
+#: ~1.3 GB the collection itself needs (see tests/engine/test_spill.py).
+ANALYSIS_RSS_BUDGET_MB = 300
+
+_COLLECT_SCRIPT = """
+import sys
+from repro.engine import EngineConfig, ShardedCollector
+from repro.scenarios import stress_mesh
+from repro.testbed import dataset
+
+sc = stress_mesh(n_hosts=100, seed=1)
+sc.register()
+col = ShardedCollector(
+    EngineConfig(
+        n_shards=8,
+        executor="serial",
+        substrate="lazy",
+        spill_dir=sys.argv[1],
+        max_resident_shards=1,
+    )
+).collect(dataset(sc.name), 45.0, seed=1)
+print(f"rows={len(col.trace)} run_dir={col.spill_dir}")
+"""
+
+_ANALYZE_SCRIPT = """
+import sys
+from repro.analysis.streaming import StreamingAnalyzer
+
+analyzer = StreamingAnalyzer.from_run_dir(sys.argv[1])
+snap = analyzer.snapshot()
+table = snap.stats
+cdfs = [snap.path_loss_cdf(min_samples=5)]
+cdfs += [snap.window_cdf(n) for n in snap.meta.method_names]
+assert sum(s.n_probes for s in table) > 0
+with open("/proc/self/status") as f:
+    peak_kb = next(int(l.split()[1]) for l in f if l.startswith("VmHWM:"))
+print(f"rows={analyzer.n_rows} parts={analyzer.n_parts} peak_kb={peak_kb}")
+"""
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    return env
+
+
+def _run(script: str, *args: str) -> dict:
+    out = subprocess.run(
+        [sys.executable, "-c", script, *args],
+        capture_output=True,
+        text=True,
+        env=_env(),
+        check=True,
+    ).stdout
+    return dict(kv.split("=", 1) for kv in out.split())
+
+
+def test_100_host_spilled_run_analysis_stays_inside_budget(tmp_path):
+    """ISSUE acceptance: streaming analysis of a >=100-host spilled run
+    completes in a fresh interpreter under the fixed RSS budget."""
+    collected = _run(_COLLECT_SCRIPT, str(tmp_path))
+    assert int(collected["rows"]) > 3000
+    analysed = _run(_ANALYZE_SCRIPT, collected["run_dir"])
+    assert analysed["parts"] == "8"
+    assert int(analysed["rows"]) > 3000
+    peak_mb = int(analysed["peak_kb"]) / 1024  # VmHWM is reported in KiB
+    assert peak_mb < ANALYSIS_RSS_BUDGET_MB, (
+        f"streaming analysis peaked at {peak_mb:.0f} MB "
+        f"(budget {ANALYSIS_RSS_BUDGET_MB} MB)"
+    )
+
+
+def synthetic_shard(meta: TraceMeta, shard: int, n_shards: int, n: int, rng) -> Trace:
+    """``n`` synthetic probe rows for one shard (distinct probe ids)."""
+    n_hosts = len(meta.host_names)
+    src_host = shard % n_hosts
+    method_id = rng.integers(0, len(meta.method_names), n).astype(np.int16)
+    lost1 = rng.random(n) < 0.05
+    lost2 = rng.random(n) < 0.05
+    return Trace(
+        meta=meta,
+        probe_id=(np.arange(n) * np.int64(n_shards) + shard).astype(np.uint64),
+        method_id=method_id,
+        src=np.full(n, src_host, dtype=np.int16),
+        dst=((src_host + 1 + rng.integers(0, n_hosts - 1, n)) % n_hosts).astype(
+            np.int16
+        ),
+        t_send=np.sort(rng.uniform(0.0, meta.horizon_s, n)),
+        relay1=np.full(n, -1, dtype=np.int16),
+        relay2=np.where(method_id == 1, (src_host + 1) % n_hosts, -1).astype(np.int16),
+        lost1=lost1,
+        lost2=lost2 & (method_id == 1),
+        latency1=np.where(lost1, np.nan, 0.05).astype(np.float32),
+        latency2=np.where(lost2, np.nan, 0.08).astype(np.float32),
+        excluded=np.zeros(n, dtype=bool),
+    )
+
+
+def test_streaming_peak_rss_is_well_below_merged_trace_size(tmp_path):
+    """Streaming a sharded trace far bigger than any one shard must not
+    materialise it: peak RSS stays under half the merged in-RAM size."""
+    meta = TraceMeta(
+        dataset="BIG",
+        mode="oneway",
+        horizon_s=7200.0,
+        seed=0,
+        host_names=("A", "B", "C", "D", "E", "F", "G", "H"),
+        method_names=("loss", "direct_rand"),
+    )
+    rng = np.random.default_rng(1)
+    n_shards, rows_per_shard = 16, 500_000
+    total_bytes = 0
+    for shard in range(n_shards):
+        t = synthetic_shard(meta, shard, n_shards, rows_per_shard, rng)
+        total_bytes += sum(getattr(t, f).nbytes for f in Trace.ARRAY_FIELDS)
+        save_trace(t, tmp_path / f"shard-{shard:03d}")
+    merged_mb = total_bytes / 2**20
+    assert merged_mb > 250, "fixture must be big enough for the ratio to mean something"
+    analysed = _run(_ANALYZE_SCRIPT, str(tmp_path))
+    assert int(analysed["rows"]) == n_shards * rows_per_shard
+    peak_mb = int(analysed["peak_kb"]) / 1024
+    assert peak_mb < merged_mb / 2, (
+        f"streaming peaked at {peak_mb:.0f} MB against a {merged_mb:.0f} MB "
+        f"merged trace; the one-shard-resident claim does not hold"
+    )

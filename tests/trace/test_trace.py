@@ -218,8 +218,27 @@ class TestConcatenateStored:
         assert not streamed.src.flags.writeable
         merged_dir = tmp_path / "merged"
         assert sorted(p.name for p in merged_dir.iterdir()) == sorted(
-            f"{name}.npy" for name in Trace.ARRAY_FIELDS
+            [f"{name}.npy" for name in Trace.ARRAY_FIELDS] + ["__meta__.json"]
         )
+
+    def test_open_stored_reopens_merged_store(self, tmp_path):
+        t, _, paths = self.shards(tmp_path)
+        streamed = Trace.concatenate(paths)
+        from repro.trace.store import open_stored
+
+        reopened = open_stored(tmp_path / "merged")
+        assert reopened.meta == streamed.meta
+        assert not reopened.src.flags.writeable
+        for name in Trace.ARRAY_FIELDS:
+            np.testing.assert_array_equal(
+                getattr(reopened, name), getattr(streamed, name), err_msg=name
+            )
+
+    def test_open_stored_requires_meta(self, tmp_path):
+        from repro.trace.store import open_stored
+
+        with pytest.raises(FileNotFoundError, match="__meta__.json"):
+            open_stored(tmp_path)
 
     def test_stored_merge_rejects_mixed_runs(self, tmp_path):
         a = save_trace(make_trace(4, seed=0), tmp_path / "a")

@@ -31,9 +31,15 @@ Usage::
     # prove the gate trips (used once per change to the gate itself):
     python tools/perf_gate.py --inject-slowdown 3.0
 
+    # snapshot this machine's fresh results in baselines.json shape:
+    python tools/perf_gate.py --emit-baselines out/baselines-candidate.json
+
 After an intentional perf change, regenerate the references by running
-the benches on an idle machine and copying the new timings into
-``benchmarks/baselines.json`` — and justify the change in the PR body.
+the benches on an idle machine and writing the refreshed file with
+``--emit-baselines`` (CI archives one per run as the
+``baselines-candidate`` artifact — copy it over
+``benchmarks/baselines.json`` in the same PR) — and justify the change
+in the PR body.
 """
 
 from __future__ import annotations
@@ -86,6 +92,37 @@ def lookup(tree: dict, path: tuple):
     return node
 
 
+def emit_baselines(current: Path, out_dir: Path, target: Path) -> int:
+    """Write every fresh ``out_dir/*.json`` bench section as a complete
+    baselines file, calibrated to this machine.
+
+    Gate policy knobs (tolerance, floor, clamp) and the explanatory note
+    carry over from the current baselines file, so the emitted file can
+    be committed as ``benchmarks/baselines.json`` verbatim when a perf
+    change is intentional.
+    """
+    config = json.loads(current.read_text()) if current.exists() else {}
+    sections = {
+        path.stem: json.loads(path.read_text())
+        for path in sorted(out_dir.glob("*.json"))
+    }
+    if not sections:
+        print(f"error: no fresh bench results under {out_dir}; run the benches first")
+        return 2
+    payload = {
+        "_note": config.get("_note", "Reference wall-times for tools/perf_gate.py."),
+        "baselines": sections,
+        "calibration_seconds": round(calibration_kernel(), 4),
+        "max_machine_factor": config.get("max_machine_factor", 4.0),
+        "min_gated_seconds": config.get("min_gated_seconds", 1.0),
+        "tolerance_factor": config.get("tolerance_factor", 2.0),
+    }
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {len(sections)} baseline section(s) to {target}")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -101,7 +138,18 @@ def main() -> int:
         metavar="FACTOR",
         help="multiply fresh timings by FACTOR (self-test of the gate)",
     )
+    parser.add_argument(
+        "--emit-baselines",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the fresh bench results as a baselines.json-shaped "
+        "file (with this machine's calibration) instead of gating",
+    )
     args = parser.parse_args()
+
+    if args.emit_baselines is not None:
+        return emit_baselines(args.baselines, args.out, args.emit_baselines)
 
     if not args.baselines.exists():
         print(f"error: {args.baselines} missing; commit reference timings first")
