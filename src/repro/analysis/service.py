@@ -26,6 +26,8 @@ Protocol: one JSON object per line in, one per line out.  Requests are
 ``latency_cdf``     Figure 5: ``name``, ``baseline``, ``min_latency_s``
 ``latency_improvement``  Section 4.5: ``baseline``, ``improved``
 ``refresh``         ingest new shards; returns how many arrived
+``telemetry``       per-op service latency + the run's telemetry manifest
+                    summary (``None`` when the watched run has none)
 ==================  ====================================================
 
 CDF responses carry the full ``{"x": [...], "f": [...]}`` support, or
@@ -41,6 +43,9 @@ from dataclasses import asdict
 from pathlib import Path
 
 import numpy as np
+
+from repro import telemetry
+from repro.telemetry import clock as _tclock
 
 from .streaming import DEFAULT_WINDOW_SIZES, AnalysisSnapshot, StreamingAnalyzer
 
@@ -102,6 +107,9 @@ class AnalysisService:
         self._snapshot: AnalysisSnapshot | None = None
         self.generation = 0
         self.address: tuple[str, int] | None = None
+        #: per-op dispatch latency: op name -> [count, total_ns]; clock
+        #: reads go through the audited repro.telemetry.clock helpers.
+        self._op_stats: dict[str, list[int]] = {}
 
     # -- lifecycle -----------------------------------------------------
 
@@ -158,7 +166,11 @@ class AnalysisService:
                     break
                 try:
                     request = json.loads(line)
-                    response = await self._dispatch(request)
+                    t0 = _tclock.monotonic_ns()
+                    try:
+                        response = await self._dispatch(request)
+                    finally:
+                        self._note_op(request.get("op"), _tclock.monotonic_ns() - t0)
                     response.setdefault("ok", True)
                 except Exception as exc:  # surface, don't kill the connection
                     response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
@@ -169,11 +181,35 @@ class AnalysisService:
             # by a server shutdown, and the transport closes regardless
             writer.close()
 
+    def _note_op(self, op, dur_ns: int) -> None:
+        stats = self._op_stats.setdefault(str(op), [0, 0])
+        stats[0] += 1
+        stats[1] += dur_ns
+
+    def _telemetry_payload(self) -> dict:
+        ops = {
+            name: {
+                "count": count,
+                "total_s": total_ns / 1e9,
+                "mean_s": total_ns / count / 1e9,
+            }
+            for name, (count, total_ns) in sorted(self._op_stats.items())
+        }
+        manifest = None
+        if self.run_dir is not None:
+            path = telemetry.manifest_path(self.run_dir)
+            if path.is_file():
+                _, events = telemetry.read_manifest(path)
+                manifest = telemetry.summarize(events)
+        return {"ops": ops, "manifest": manifest}
+
     async def _dispatch(self, request: dict) -> dict:
         op = request.get("op")
         if op == "refresh":
             fresh = await self.refresh()
             return {"ingested": fresh, "generation": self.generation}
+        if op == "telemetry":
+            return self._telemetry_payload()
         snap = await self._get_snapshot()
         if op == "meta":
             return {

@@ -143,14 +143,20 @@ class StreamingAnalyzer:
 
     def update(self, trace: Trace) -> "StreamingAnalyzer":
         """Fold one partial trace (a shard, or a whole run) in place."""
-        if self.filters:
-            trace = apply_standard_filters(trace)
-        if self.meta is None:
-            self._bind(trace.meta)
-        for acc in self._accumulators():
-            acc.update(trace)
-        self.n_rows += len(trace)
-        self.n_parts += 1
+        from repro import telemetry  # leaf import; analysis stays engine-free
+
+        with telemetry.span("analyze", cat="stage", rows=len(trace)):
+            if self.filters:
+                trace = apply_standard_filters(trace)
+            if self.meta is None:
+                self._bind(trace.meta)
+            for acc in self._accumulators():
+                acc.update(trace)
+            self.n_rows += len(trace)
+            self.n_parts += 1
+        rec = telemetry.get_recorder()
+        if rec.enabled:
+            rec.counter_add("analyze.rows", len(trace))
         return self
 
     def ingest(self, part) -> "StreamingAnalyzer":

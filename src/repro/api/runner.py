@@ -23,6 +23,7 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Iterable
 
+from repro import telemetry
 from repro.engine import EngineConfig, ShardedCollector
 from repro.netsim.network import Network
 from repro.testbed.collection import collect
@@ -113,25 +114,36 @@ class Runner:
         collector = self._engine_collector(ds)
         # engine and sequential paths share the collect() signature
         run = collect if collector is None else collector.collect
-        if not self.reuse_networks:
-            col = run(ds, spec.duration_s, seed=seed, include_events=spec.include_events)
-            return ExperimentResult(spec=spec.single(seed), seed=seed, collection=col)
+        with telemetry.span(
+            "collect-run",
+            cat="run",
+            dataset=spec.dataset,
+            seed=int(seed),
+            engine=collector is not None,
+        ):
+            if not self.reuse_networks:
+                col = run(
+                    ds, spec.duration_s, seed=seed, include_events=spec.include_events
+                )
+                return ExperimentResult(
+                    spec=spec.single(seed), seed=seed, collection=col
+                )
 
-        key: _WeatherKey = (
-            dataset(spec.dataset),
-            float(spec.duration_s),
-            int(seed),
-            spec.include_events,
-        )
-        with self._lock_for(key):
-            network = self._network_for(key, ds, spec, seed, collector is not None)
-            col = run(
-                ds,
-                spec.duration_s,
-                seed=seed,
-                include_events=spec.include_events,
-                network=network,
+            key: _WeatherKey = (
+                dataset(spec.dataset),
+                float(spec.duration_s),
+                int(seed),
+                spec.include_events,
             )
+            with self._lock_for(key):
+                network = self._network_for(key, ds, spec, seed, collector is not None)
+                col = run(
+                    ds,
+                    spec.duration_s,
+                    seed=seed,
+                    include_events=spec.include_events,
+                    network=network,
+                )
         return ExperimentResult(spec=spec.single(seed), seed=seed, collection=col)
 
     def _engine_collector(self, ds: DatasetSpec) -> ShardedCollector | None:

@@ -214,6 +214,19 @@ def probe_rows(plan: ProbingPlan, host_lo: int, host_hi: int) -> ProbeBlock:
     or from a failed host are counted as lost — which is exactly what
     lets reactive routing route around host and access failures.
     """
+    from repro import telemetry  # leaf import; keeps core's netsim-only surface
+
+    with telemetry.span("shard-probe", cat="shard", host_lo=host_lo, host_hi=host_hi):
+        block = _probe_block(plan, host_lo, host_hi)
+    rec = telemetry.get_recorder()
+    if rec.enabled:
+        rec.counter_add(
+            "probe.probes", block.lost.shape[0] * (host_hi - host_lo) * (plan.n_hosts - 1)
+        )
+    return block
+
+
+def _probe_block(plan: ProbingPlan, host_lo: int, host_hi: int) -> ProbeBlock:
     n = plan.n_hosts
     if not 0 <= host_lo < host_hi <= n:
         raise ValueError(f"invalid host range [{host_lo}, {host_hi})")

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import os
 
+from repro import telemetry
 from repro.core.reactive import (
     ProbeBlock,
     ProbeSeries,
@@ -44,7 +45,7 @@ def _init_worker(plan: ProbingPlan) -> None:
 
 def _run_shard(bounds: tuple[int, int]) -> ProbeBlock:
     assert _WORKER_PLAN is not None, "worker used before initialisation"
-    return probe_rows(_WORKER_PLAN, *bounds)
+    return telemetry.run_instrumented(probe_rows, _WORKER_PLAN, *bounds)
 
 
 class ShardedProbe:

@@ -19,8 +19,10 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, replace
 from pathlib import Path
 
+from repro import telemetry
 from repro.netsim.network import Network
 from repro.netsim.substrate import SharedTimelineBank
+from repro.telemetry import clock as _tclock
 from repro.testbed.collection import (
     CollectionPlan,
     CollectionResult,
@@ -83,11 +85,18 @@ def run_shards(plan, ranges, kernel, worker, initializer, executor, max_workers,
     ``on_result`` is called in the parent, in shard order, with each
     result as it becomes available — how streaming analysis folds spill
     shards while later shards are still collecting.
+
+    With telemetry enabled, process workers return
+    :class:`~repro.telemetry.ShardEnvelope` wrappers (result + the
+    worker's batched spans/counters); they are unwrapped here — events
+    absorbed into the parent's recorder — before ``on_result`` or the
+    caller sees the value, so every call site keeps its pre-telemetry
+    object flow.
     """
     if executor == "serial" or len(ranges) == 1:
         out = []
         for lo, hi in ranges:
-            part = kernel(plan, lo, hi)
+            part = telemetry.unwrap_envelope(kernel(plan, lo, hi))
             if on_result is not None:
                 on_result(part)
             out.append(part)
@@ -114,6 +123,7 @@ def run_shards(plan, ranges, kernel, worker, initializer, executor, max_workers,
 def _drain(results, on_result):
     out = []
     for part in results:
+        part = telemetry.unwrap_envelope(part)
         if on_result is not None:
             on_result(part)
         out.append(part)
@@ -253,7 +263,26 @@ def _init_worker(plan: CollectionPlan) -> None:
 
 def _run_shard(bounds: tuple[int, int]) -> Trace:
     assert _WORKER_PLAN is not None, "worker used before initialisation"
-    return collect_rows(_WORKER_PLAN, *bounds)
+    return telemetry.run_instrumented(collect_rows, _WORKER_PLAN, *bounds)
+
+
+def _annotate_shard_waits(recorder, events, fanout_ns: int) -> None:
+    """Stamp per-shard queue wait onto the shard spans of one fan-out.
+
+    ``CLOCK_MONOTONIC`` is machine-wide, so a worker span's begin time
+    minus the parent's fan-out time is the shard's pool queue wait —
+    how long it sat behind ``max_workers``/``max_resident_shards``
+    before executing.  Also folds the waits and exec times into the
+    ``shard.queue_wait_ns``/``shard.exec_ns`` counters, the two numbers
+    the pipelined-execution roadmap item needs to compare.
+    """
+    for ev in events:
+        if ev.get("ev") == "span" and ev.get("cat") == "shard" and "queue_wait_ns" not in ev["args"]:
+            wait = max(ev["ts_ns"] - fanout_ns, 0)
+            ev["args"]["queue_wait_ns"] = wait
+            if ev["name"] == "shard-collect":
+                recorder.counter_add("shard.queue_wait_ns", wait)
+                recorder.counter_add("shard.exec_ns", ev["dur_ns"])
 
 
 class ShardedCollector:
@@ -323,7 +352,18 @@ class ShardedCollector:
         :class:`repro.analysis.StreamingAnalyzer`) has each completed
         shard folded into it — ``analyzer.ingest(part)`` in the parent,
         in shard order — so Table/Figure statistics are ready the moment
-        the run (or even just its first shards) are."""
+        the run (or even just its first shards) are.
+
+        With telemetry enabled (:func:`repro.telemetry.enable`), the
+        full stage pipeline — probe, tables, collect, per-shard
+        kernels, spill writes, merge, analyze — records spans and
+        counters; a spilled run additionally persists them as a
+        ``telemetry.jsonl`` manifest in its run directory (see
+        :mod:`repro.telemetry`).  The output trace is byte-identical
+        either way."""
+        rec = telemetry.get_recorder()
+        mark = rec.mark()
+        counters_base = rec.counter_snapshot()
         plan = prepare_collection(
             spec,
             duration_s,
@@ -340,22 +380,47 @@ class ShardedCollector:
         )
         on_result = analyzer.ingest if analyzer is not None else None
         directory: Path | None = None
-        if self.config.spill_dir is not None:
-            directory = Path(self.config.spill_dir) / run_slug(plan)
-            directory.mkdir(parents=True, exist_ok=True)
-            parts = run_shards(
-                SpillPlan(plan=plan, directory=directory),
-                ranges,
-                kernel=collect_rows_spilled,
-                worker=spill_mod._run_shard,
-                initializer=spill_mod._init_worker,
-                executor=executor,
-                max_workers=self.resolve_workers(),
-                on_result=on_result,
-            )
-        else:
-            parts = self._run(plan, ranges, executor, on_result)
-        trace = Trace.concatenate(parts)
+        fanout_ns = _tclock.monotonic_ns() if rec.enabled else 0
+        with rec.span("collect", cat="stage", executor=executor, shards=len(ranges)):
+            if self.config.spill_dir is not None:
+                directory = Path(self.config.spill_dir) / run_slug(plan)
+                directory.mkdir(parents=True, exist_ok=True)
+                parts = run_shards(
+                    SpillPlan(plan=plan, directory=directory),
+                    ranges,
+                    kernel=collect_rows_spilled,
+                    worker=spill_mod._run_shard,
+                    initializer=spill_mod._init_worker,
+                    executor=executor,
+                    max_workers=self.resolve_workers(),
+                    on_result=on_result,
+                )
+            else:
+                parts = self._run(plan, ranges, executor, on_result)
+        if rec.enabled:
+            _annotate_shard_waits(rec, rec.events_since(mark), fanout_ns)
+        with rec.span("merge", cat="stage", parts=len(parts)):
+            trace = Trace.concatenate(parts)
+        if rec.enabled:
+            rss = _tclock.peak_rss_bytes()
+            if rss is not None:
+                rec.gauge_set("process.peak_rss_bytes", rss)
+            if directory is not None:
+                telemetry.write_manifest(
+                    directory,
+                    rec.events(mark, counters_base),
+                    run={
+                        "dataset": plan.meta.dataset,
+                        "mode": plan.meta.mode,
+                        "seed": plan.seed,
+                        "horizon_s": plan.meta.horizon_s,
+                        "hosts": plan.n_hosts,
+                        "methods": list(plan.meta.method_names),
+                        "executor": executor,
+                        "n_shards": len(ranges),
+                        "pid": os.getpid(),
+                    },
+                )
         return CollectionResult(
             trace=trace, network=plan.network, tables=plan.tables, spill_dir=directory
         )

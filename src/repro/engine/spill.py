@@ -26,6 +26,7 @@ import re
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro import telemetry
 from repro.testbed.collection import CollectionPlan, collect_rows
 from repro.trace.store import save_trace
 
@@ -92,7 +93,12 @@ def shard_files(directory: str | Path) -> list[Path]:
 def collect_rows_spilled(splan: SpillPlan, host_lo: int, host_hi: int) -> Path:
     """Evaluate one shard and write it out; returns the ``.npz`` path."""
     trace = collect_rows(splan.plan, host_lo, host_hi)
-    return save_trace(trace, shard_path(splan.directory, host_lo, host_hi))
+    with telemetry.span("spill-write", cat="shard", host_lo=host_lo, host_hi=host_hi):
+        path = save_trace(trace, shard_path(splan.directory, host_lo, host_hi))
+    rec = telemetry.get_recorder()
+    if rec.enabled:
+        rec.counter_add("spill.bytes", path.stat().st_size)
+    return path
 
 
 # -- process-pool plumbing (see run_shards) ----------------------------------
@@ -107,4 +113,4 @@ def _init_worker(splan: SpillPlan) -> None:
 
 def _run_shard(bounds: tuple[int, int]) -> Path:
     assert _WORKER_PLAN is not None, "worker used before initialisation"
-    return collect_rows_spilled(_WORKER_PLAN, *bounds)
+    return telemetry.run_instrumented(collect_rows_spilled, _WORKER_PLAN, *bounds)

@@ -88,6 +88,9 @@ class LazyTimelineBank:
         return self._generated
 
     def _timelines_for(self, sids: np.ndarray) -> list[Timeline]:
+        from repro import telemetry  # leaf import; netsim has no engine deps
+
+        rec = telemetry.get_recorder()
         reg = self.recipe.topology.registry
         found: dict[int, Timeline] = {}
         with self._lock:
@@ -104,6 +107,7 @@ class LazyTimelineBank:
             sid: self.recipe.timeline(self.kind, reg[sid])
             for sid in {int(s) for s in sids} - found.keys()
         }
+        evicted = 0
         if fresh:
             with self._lock:
                 for sid, tl in fresh.items():
@@ -117,7 +121,12 @@ class LazyTimelineBank:
                 if self.max_cached is not None:
                     while len(self._cache) > self.max_cached:
                         self._cache.popitem(last=False)
+                        evicted += 1
             found.update(fresh)
+        if rec.enabled:
+            rec.counter_add("substrate.lru_hits", len(found) - len(fresh))
+            rec.counter_add("substrate.lru_misses", len(fresh))
+            rec.counter_add("substrate.lru_evictions", evicted)
         return [found[int(s)] for s in sids]
 
     # ------------------------------------------------------------------

@@ -1,0 +1,121 @@
+"""Chrome-trace-event export: open a run in ``chrome://tracing``/Perfetto.
+
+Converts recorder events into the Trace Event Format's JSON object form
+(``{"traceEvents": [...]}``): spans become complete (``"ph": "X"``)
+events on their original pid/tid tracks, counters and gauges become
+counter (``"ph": "C"``) samples, and metadata (``"ph": "M"``) events
+label each process track — the engine parent vs its shard workers.
+Timestamps are microseconds relative to the earliest span, so traces
+open zoomed to the run rather than to nanoseconds-since-boot.
+
+:func:`validate_chrome_trace` is the schema check the CLI applies after
+every export and CI's telemetry smoke step runs on the artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+__all__ = ["chrome_trace", "export_chrome_trace", "validate_chrome_trace"]
+
+
+def chrome_trace(events: list[dict], header: dict | None = None) -> dict:
+    """Trace Event Format document for a recorder/manifest event list."""
+    spans = [ev for ev in events if ev.get("ev") == "span"]
+    t0 = min((ev["ts_ns"] for ev in spans), default=0)
+    end_us = max(((ev["ts_ns"] + ev["dur_ns"] - t0) / 1e3 for ev in spans), default=0.0)
+    out: list[dict] = []
+
+    pids: dict[int, str] = {}
+    parent_pid = (header or {}).get("run", {}).get("pid", os.getpid())
+    for ev in spans:
+        pids.setdefault(
+            ev["pid"], "engine" if ev["pid"] == parent_pid else f"worker-{ev['pid']}"
+        )
+        out.append(
+            {
+                "ph": "X",
+                "name": ev["name"],
+                "cat": ev.get("cat", "run"),
+                "ts": (ev["ts_ns"] - t0) / 1e3,
+                "dur": ev["dur_ns"] / 1e3,
+                "pid": ev["pid"],
+                "tid": ev["tid"],
+                "args": ev.get("args", {}),
+            }
+        )
+    for ev in events:
+        if ev.get("ev") in ("counter", "gauge"):
+            pid = ev.get("pid", parent_pid)
+            pids.setdefault(pid, "engine" if pid == parent_pid else f"worker-{pid}")
+            out.append(
+                {
+                    "ph": "C",
+                    "name": ev["name"],
+                    "ts": end_us,
+                    "pid": pid,
+                    "args": {"value": ev["value"]},
+                }
+            )
+    meta = [
+        {"ph": "M", "name": "process_name", "pid": pid, "args": {"name": label}}
+        for pid, label in sorted(pids.items())
+    ]
+    doc = {
+        "traceEvents": meta + out,
+        "displayTimeUnit": "ms",
+    }
+    if header is not None:
+        doc["metadata"] = {"run": header.get("run", {}), "version": header.get("version")}
+    return doc
+
+
+def export_chrome_trace(
+    events: list[dict], path: str | Path, header: dict | None = None
+) -> Path:
+    """Write (and validate) the Chrome trace for an event list."""
+    doc = chrome_trace(events, header=header)
+    validate_chrome_trace(doc)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc))
+    return path
+
+
+def validate_chrome_trace(doc: dict) -> None:
+    """Raise ``ValueError`` unless ``doc`` is a well-formed trace document.
+
+    Checks the envelope (a ``traceEvents`` list) and every event's
+    per-phase required fields — what ``chrome://tracing`` needs to load
+    the file at all.
+    """
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        raise ValueError("not a Chrome trace: no 'traceEvents' list")
+    for i, ev in enumerate(doc["traceEvents"]):
+        if not isinstance(ev, dict) or "ph" not in ev:
+            raise ValueError(f"traceEvents[{i}]: not an event object with 'ph'")
+        ph = ev["ph"]
+        if ph == "X":
+            for field, kind in (
+                ("name", str),
+                ("ts", (int, float)),
+                ("dur", (int, float)),
+                ("pid", int),
+                ("tid", int),
+            ):
+                if not isinstance(ev.get(field), kind):
+                    raise ValueError(f"traceEvents[{i}]: X event needs {field}")
+            if ev["dur"] < 0:
+                raise ValueError(f"traceEvents[{i}]: negative duration")
+        elif ph == "C":
+            if not isinstance(ev.get("name"), str) or not isinstance(
+                ev.get("args"), dict
+            ):
+                raise ValueError(f"traceEvents[{i}]: C event needs name and args")
+        elif ph == "M":
+            if not isinstance(ev.get("name"), str):
+                raise ValueError(f"traceEvents[{i}]: M event needs name")
+        else:
+            raise ValueError(f"traceEvents[{i}]: unexpected phase {ph!r}")

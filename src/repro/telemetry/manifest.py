@@ -1,0 +1,134 @@
+"""Per-run telemetry manifests: ``telemetry.jsonl`` in the spill run dir.
+
+One manifest describes one engine run.  Line 1 is a header record
+(``{"ev": "manifest", ...}``) carrying the schema version, the run
+identity (dataset/mode/seed/horizon/hosts/methods) and the execution
+shape (executor, shard count); every following line is one event dict
+from :mod:`repro.telemetry.recorder` — span, counter or gauge.  JSONL
+keeps the file appendable and streamable: a reader never needs the
+whole run in memory, and a crashed run still yields a parseable prefix.
+
+:func:`summarize` reduces an event list to per-span aggregate timings
+plus the counter/gauge totals — what the CLI prints and the
+``telemetry`` service op returns.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from . import clock
+
+__all__ = [
+    "MANIFEST_NAME",
+    "MANIFEST_VERSION",
+    "manifest_path",
+    "write_manifest",
+    "read_manifest",
+    "summarize",
+]
+
+MANIFEST_NAME = "telemetry.jsonl"
+MANIFEST_VERSION = 1
+
+
+def manifest_path(target: str | Path) -> Path:
+    """The manifest file for ``target`` (a run dir, or the file itself)."""
+    target = Path(target)
+    if target.is_dir():
+        return target / MANIFEST_NAME
+    return target
+
+
+def write_manifest(
+    target: str | Path, events: list[dict], run: dict | None = None
+) -> Path:
+    """Write header + events to ``target`` (run dir or file path)."""
+    path = manifest_path(target)
+    header = {
+        "ev": "manifest",
+        "version": MANIFEST_VERSION,
+        "created_unix_s": clock.wall_unix_s(),
+        "run": run or {},
+    }
+    with open(path, "w") as fh:
+        fh.write(json.dumps(header) + "\n")
+        for ev in events:
+            fh.write(json.dumps(ev) + "\n")
+    return path
+
+
+def read_manifest(target: str | Path) -> tuple[dict, list[dict]]:
+    """Read a manifest back as ``(header, events)``.
+
+    Tolerates a truncated final line (a run killed mid-write still
+    yields its complete prefix); raises ``FileNotFoundError`` when
+    neither the file nor ``<dir>/telemetry.jsonl`` exists and
+    ``ValueError`` when the first line is not a manifest header.
+    """
+    path = manifest_path(target)
+    header: dict | None = None
+    events: list[dict] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                break  # truncated tail of an interrupted run
+            if header is None:
+                if record.get("ev") != "manifest":
+                    raise ValueError(
+                        f"{path} does not start with a manifest header "
+                        f"(got ev={record.get('ev')!r})"
+                    )
+                header = record
+            else:
+                events.append(record)
+    if header is None:
+        raise ValueError(f"{path} is empty; not a telemetry manifest")
+    return header, events
+
+
+def summarize(events: list[dict]) -> dict:
+    """Aggregate an event list into per-span timings + counter totals.
+
+    Spans aggregate by ``cat:name`` into count / total / mean / max
+    seconds; counters and gauges sum / keep-last by name.  ``shards``
+    counts the distinct ``cat="shard"`` host ranges seen — a quick
+    completeness check for sharded runs.
+    """
+    spans: dict[str, dict] = {}
+    counters: dict[str, float] = {}
+    gauges: dict[str, float] = {}
+    shard_ranges: set[tuple] = set()
+    for ev in events:
+        kind = ev.get("ev")
+        if kind == "span":
+            key = f"{ev.get('cat', 'run')}:{ev['name']}"
+            agg = spans.setdefault(
+                key, {"count": 0, "total_s": 0.0, "max_s": 0.0}
+            )
+            dur_s = ev.get("dur_ns", 0) / 1e9
+            agg["count"] += 1
+            agg["total_s"] += dur_s
+            agg["max_s"] = max(agg["max_s"], dur_s)
+            if ev.get("cat") == "shard":
+                args = ev.get("args", {})
+                if "host_lo" in args:
+                    shard_ranges.add((args["host_lo"], args.get("host_hi")))
+        elif kind == "counter":
+            counters[ev["name"]] = counters.get(ev["name"], 0) + ev["value"]
+        elif kind == "gauge":
+            gauges[ev["name"]] = ev["value"]
+    for agg in spans.values():
+        agg["mean_s"] = agg["total_s"] / agg["count"]
+    return {
+        "spans": spans,
+        "counters": counters,
+        "gauges": gauges,
+        "shards": len(shard_ranges),
+    }

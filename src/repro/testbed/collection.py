@@ -34,6 +34,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.methods import METHODS, Method
 from repro.core.reactive import RoutingTables, build_routing_tables, run_probing
 from repro.core.router import resolve_routes
@@ -221,11 +222,15 @@ def prepare_collection(
     # 1. the probing subsystem + routing tables (if any method needs them)
     tables: RoutingTables | None = None
     if any(m.needs_probing for m in methods):
-        if probing is None:
-            series = run_probing(network, cfg.probing, rngs)
-        else:
-            series = probing.run(network, cfg.probing, rngs)
-        tables = build_routing_tables(series, cfg.probing)
+        with telemetry.span(
+            "probe", cat="stage", sharded=probing is not None, hosts=len(hosts)
+        ):
+            if probing is None:
+                series = run_probing(network, cfg.probing, rngs)
+            else:
+                series = probing.run(network, cfg.probing, rngs)
+        with telemetry.span("tables", cat="stage", hosts=len(hosts)):
+            tables = build_routing_tables(series, cfg.probing)
 
     # 2. measurement probe schedule
     sched_rng = rngs.stream("schedule")
@@ -260,6 +265,15 @@ def collect_rows(plan: CollectionPlan, host_lo: int, host_hi: int) -> Trace:
     is identical whether blocks run in one process, across threads, or
     in separate worker processes.
     """
+    with telemetry.span("shard-collect", cat="shard", host_lo=host_lo, host_hi=host_hi):
+        trace = _collect_rows(plan, host_lo, host_hi)
+    rec = telemetry.get_recorder()
+    if rec.enabled:
+        rec.counter_add("collect.rows", len(trace))
+    return trace
+
+
+def _collect_rows(plan: CollectionPlan, host_lo: int, host_hi: int) -> Trace:
     if not 0 <= host_lo < host_hi <= plan.n_hosts:
         raise ValueError(f"invalid host range [{host_lo}, {host_hi})")
     network, sched, mode = plan.network, plan.sched, plan.meta.mode

@@ -129,6 +129,44 @@ class TestOps:
             resp["hourly"], analyzer.snapshot().testbed_hourly_loss()
         )
 
+    def test_telemetry_op_reports_per_op_latency(self, analyzer):
+        meta, tele = run(_roundtrip(analyzer, [("meta", {}), ("telemetry", {})]))
+        assert meta["ok"] is True
+        ops = tele["ops"]
+        # the meta request preceding it was timed; no watched run dir
+        assert ops["meta"]["count"] == 1
+        assert ops["meta"]["total_s"] >= 0.0
+        assert ops["meta"]["mean_s"] == pytest.approx(ops["meta"]["total_s"])
+        assert tele["manifest"] is None
+
+    def test_telemetry_op_surfaces_run_manifest(self, tmp_path):
+        from repro import telemetry
+        from repro.engine import always_shard
+
+        telemetry.enable()
+        try:
+            col = ShardedCollector(
+                always_shard(n_shards=2, executor="serial", spill_dir=tmp_path)
+            ).collect(dataset("ronnarrow"), DURATION, seed=SEED)
+        finally:
+            telemetry.disable()
+
+        async def go():
+            async with AnalysisService(run_dir=col.spill_dir) as (host, port):
+                client = await AnalysisClient.connect(host, port)
+                try:
+                    return await client.request("telemetry")
+                finally:
+                    await client.aclose()
+
+        resp = run(go())
+        manifest = resp["manifest"]
+        assert manifest is not None
+        assert manifest["shards"] == 2
+        for key in ("stage:collect", "stage:merge", "shard:shard-collect"):
+            assert key in manifest["spans"]
+        assert manifest["counters"]["collect.rows"] > 0
+
 
 class TestErrors:
     def test_unknown_op_is_an_error_response(self, analyzer):

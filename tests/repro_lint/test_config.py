@@ -116,3 +116,25 @@ def test_repo_pyproject_is_valid():
     assert config.is_excluded("tests/repro_lint/fixtures/injected_violation.py")
     assert "DET002" not in config.codes_for("tests/test_x.py")
     assert "DET002" in config.codes_for("src/repro/netsim/rng.py")
+
+
+def test_repo_config_exempts_telemetry_clock_reads_only():
+    """Under the committed config, a monotonic-clock read is a DET002
+    finding anywhere in src/ except the audited telemetry package."""
+    from pathlib import Path
+
+    from repro_lint import lint_sources, load_config
+
+    repo_root = Path(__file__).resolve().parents[2]
+    config = load_config(repo_root / "pyproject.toml")
+    clock_read = "import time\nt = time.monotonic()\n"
+    findings = lint_sources(
+        {
+            "src/repro/engine/hotpath.py": clock_read,
+            "src/repro/telemetry/clock.py": clock_read,
+        },
+        config,
+    )
+    assert [(f.path, f.code) for f in findings] == [
+        ("src/repro/engine/hotpath.py", "DET002")
+    ]

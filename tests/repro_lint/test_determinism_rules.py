@@ -140,6 +140,20 @@ class TestAmbientEntropy:
         assert [f.code for f in findings] == ["DET002"]
         assert "seeded_rng" in findings[0].message
 
+    def test_monotonic_clock_fires(self, lint):
+        findings = lint(
+            src(
+                """
+                import time
+                t0 = time.monotonic()
+                t1 = time.monotonic_ns()
+                """
+            ),
+            select=["DET002"],
+        )
+        assert [f.code for f in findings] == ["DET002", "DET002"]
+        assert "monotonic-clock" in findings[0].message
+
     def test_audited_helpers_and_perf_counter_clean(self, codes):
         assert (
             codes(

@@ -1,0 +1,163 @@
+"""Acceptance: a spilled 2-shard process run records the full pipeline.
+
+The ISSUE-8 gate: with telemetry enabled, a spilled process-executor
+run must persist a ``telemetry.jsonl`` manifest whose exported Chrome
+trace contains spans for every shard and every stage — probe, tables,
+collect, spill-write, merge, analyze — and the trace bytes must match
+the telemetry-off run exactly.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.analysis.streaming import StreamingAnalyzer
+from repro.engine import ShardedCollector, always_shard
+from repro.testbed import dataset
+from repro.trace import trace_fingerprint
+
+DURATION = 150.0
+SEED = 11
+
+STAGE_SPANS = ("stage:probe", "stage:tables", "stage:collect", "stage:merge")
+SHARD_SPANS = ("shard:shard-probe", "shard:shard-collect", "shard:spill-write")
+
+
+@pytest.fixture(autouse=True)
+def _disabled_after():
+    yield
+    telemetry.disable()
+
+
+@pytest.fixture(scope="module")
+def spilled_run(tmp_path_factory):
+    """One spilled 2-shard process-executor run with telemetry on."""
+    spill = tmp_path_factory.mktemp("spill")
+    telemetry.enable()
+    try:
+        analyzer = StreamingAnalyzer()
+        col = ShardedCollector(
+            always_shard(n_shards=2, executor="process", spill_dir=spill)
+        ).collect(dataset("ronnarrow"), DURATION, seed=SEED, analyzer=analyzer)
+    finally:
+        telemetry.disable()
+    return col, analyzer
+
+
+class TestManifestCompleteness:
+    def test_manifest_lands_in_the_run_dir(self, spilled_run):
+        col, _ = spilled_run
+        assert telemetry.manifest_path(col.spill_dir).is_file()
+
+    def test_every_stage_and_shard_has_spans(self, spilled_run):
+        col, _ = spilled_run
+        header, events = telemetry.read_manifest(col.spill_dir)
+        summary = telemetry.summarize(events)
+        for key in STAGE_SPANS + SHARD_SPANS + ("stage:analyze",):
+            assert key in summary["spans"], f"missing span {key}"
+        # both shards reported: two host ranges, two of each shard span
+        assert summary["shards"] == 2
+        for key in SHARD_SPANS:
+            assert summary["spans"][key]["count"] == 2
+
+    def test_header_records_run_identity(self, spilled_run):
+        col, _ = spilled_run
+        header, _ = telemetry.read_manifest(col.spill_dir)
+        run = header["run"]
+        assert run["dataset"] == "RONnarrow"
+        assert run["seed"] == SEED
+        assert run["executor"] == "process"
+        assert run["n_shards"] == 2
+        assert run["hosts"] == 17
+
+    def test_counters_and_gauges(self, spilled_run):
+        col, _ = spilled_run
+        _, events = telemetry.read_manifest(col.spill_dir)
+        counters = telemetry.summarize(events)["counters"]
+        assert counters["collect.rows"] == len(col.trace)
+        assert counters["spill.bytes"] > 0
+        assert counters["probe.probes"] > 0
+        assert counters["shard.exec_ns"] > 0
+        gauges = telemetry.summarize(events)["gauges"]
+        assert gauges["process.peak_rss_bytes"] > 0
+
+    def test_shard_spans_carry_queue_wait(self, spilled_run):
+        col, _ = spilled_run
+        _, events = telemetry.read_manifest(col.spill_dir)
+        waits = [
+            ev["args"]["queue_wait_ns"]
+            for ev in events
+            if ev.get("ev") == "span" and ev.get("cat") == "shard"
+        ]
+        assert len(waits) == 6  # 3 shard span kinds x 2 shards
+        assert all(w >= 0 for w in waits)
+
+    def test_worker_spans_keep_worker_pids(self, spilled_run):
+        col, _ = spilled_run
+        header, events = telemetry.read_manifest(col.spill_dir)
+        parent = header["run"]["pid"]
+        shard_pids = {
+            ev["pid"]
+            for ev in events
+            if ev.get("ev") == "span" and ev["name"] == "shard-collect"
+        }
+        assert shard_pids and parent not in shard_pids
+
+
+class TestChromeExport:
+    def test_export_validates_and_covers_all_stages(self, spilled_run, tmp_path):
+        col, _ = spilled_run
+        header, events = telemetry.read_manifest(col.spill_dir)
+        out = tmp_path / "trace.json"
+        telemetry.export_chrome_trace(events, out, header=header)
+        doc = json.loads(out.read_text())
+        telemetry.validate_chrome_trace(doc)
+        names = {ev["name"] for ev in doc["traceEvents"] if ev["ph"] == "X"}
+        assert {
+            "probe", "tables", "collect", "merge", "analyze",
+            "shard-probe", "shard-collect", "spill-write",
+        } <= names
+        labels = {
+            ev["args"]["name"]
+            for ev in doc["traceEvents"]
+            if ev["ph"] == "M" and ev["name"] == "process_name"
+        }
+        assert "engine" in labels
+        assert any(label.startswith("worker-") for label in labels)
+
+
+class TestOutputUnchanged:
+    def test_trace_identical_to_telemetry_off_run(self, spilled_run, tmp_path):
+        col, _ = spilled_run
+        assert telemetry.get_recorder().enabled is False
+        off = ShardedCollector(
+            always_shard(n_shards=2, executor="process", spill_dir=tmp_path)
+        ).collect(dataset("ronnarrow"), DURATION, seed=SEED)
+        assert trace_fingerprint(off.trace) == trace_fingerprint(col.trace)
+
+    def test_streaming_analyzer_unaffected(self, spilled_run):
+        col, analyzer = spilled_run
+        snap = analyzer.snapshot()
+        assert snap.n_parts == 2
+        eager = StreamingAnalyzer().update(col.trace).snapshot()
+        assert [s.method for s in snap.stats] == [s.method for s in eager.stats]
+
+
+class TestLazySubstrateCounters:
+    def test_lru_counters_recorded(self, tmp_path):
+        with telemetry.recording() as rec:
+            ShardedCollector(
+                always_shard(
+                    n_shards=2,
+                    executor="serial",
+                    substrate="lazy",
+                    max_cached_segments=8,
+                )
+            ).collect(dataset("ronnarrow"), 60.0, seed=2)
+            counters = rec.counter_snapshot()
+        assert counters["substrate.lru_misses"] > 0
+        assert counters["substrate.lru_evictions"] > 0
+        assert counters.get("substrate.lru_hits", 0) >= 0

@@ -169,6 +169,7 @@ def main() -> int:
 
     failures: list[str] = []
     checked = 0
+    measured: dict[str, float] = {}
     for section, base_tree in config["baselines"].items():
         fresh_file = args.out / f"{section}.json"
         if not fresh_file.exists():
@@ -184,6 +185,7 @@ def main() -> int:
             fresh = float(fresh) * args.inject_slowdown
             base = base * machine
             checked += 1
+            measured[section] = measured.get(section, 0.0) + fresh
             if max(base, fresh) < floor:
                 verdict = "skip (sub-floor)"
             elif fresh > base * tolerance:
@@ -196,8 +198,19 @@ def main() -> int:
                 verdict = "ok"
             print(f"{label:60s} base={base:8.3f}s fresh={fresh:8.3f}s  {verdict}")
 
+    if measured:
+        print(
+            f"\nper-bench measured wall seconds "
+            f"(baselines calibrated by {machine:.2f}x):"
+        )
+        for section in sorted(measured):
+            print(f"  {section:40s} {measured[section]:8.3f}s")
+
     if failures:
-        print(f"\nperf gate FAILED ({len(failures)} problem(s)):")
+        print(
+            f"\nperf gate FAILED ({len(failures)} problem(s); "
+            f"calibration factor {machine:.2f}x):"
+        )
         for f in failures:
             print(f"  - {f}")
         print(
@@ -206,7 +219,10 @@ def main() -> int:
             "change in the PR body."
         )
         return 1
-    print(f"\nperf gate passed: {checked} wall-time metrics within {tolerance:g}x")
+    print(
+        f"\nperf gate passed: {checked} wall-time metrics within {tolerance:g}x "
+        f"(calibration factor {machine:.2f}x)"
+    )
     return 0
 
 

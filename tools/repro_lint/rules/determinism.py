@@ -37,9 +37,15 @@ _MODERN_NP_RANDOM = {
 #: ambient entropy / wall-clock sources that leak irreproducibility into
 #: simulation state (DET002).  time.perf_counter is deliberately absent:
 #: measuring wall time is fine, feeding it into a simulation is not.
+#: time.monotonic/monotonic_ns *are* listed: telemetry is the one
+#: legitimate consumer, and it reads them only through the audited
+#: helpers in repro.telemetry.clock (exempted per-path in pyproject), so
+#: a monotonic read anywhere else is a determinism smell.
 _AMBIENT_CALLS = {
     "time.time": "wall-clock time",
     "time.time_ns": "wall-clock time",
+    "time.monotonic": "monotonic-clock time",
+    "time.monotonic_ns": "monotonic-clock time",
     "os.urandom": "OS entropy",
     "uuid.uuid4": "OS entropy",
 }
