@@ -66,7 +66,12 @@ class Runner:
         are computed once in parallel, then shared read-only by every
         collection shard.  ``engine.spill_dir`` additionally streams
         shard traces through disk with bounded residency
-        (``engine.max_resident_shards``) for runs larger than RAM.
+        (``engine.max_resident_shards``) for runs larger than RAM, and
+        ``engine.pipeline=True`` overlaps the probe/tables/collect/
+        merge stages themselves
+        (:func:`~repro.engine.collect_pipelined`): each collection
+        shard starts the moment its routing-table block is ready and
+        the merge streams while shards still run.
         Results are bitwise identical either way; smaller scenarios
         keep the cheaper sequential path.
     """

@@ -41,11 +41,12 @@ from repro.netsim.network import Network
 from repro.netsim.rng import RngFactory
 from repro.trace.records import id_dtype
 
-from .selector import select_paths_batch
+from .selector import select_paths_batch, select_paths_block
 
 __all__ = [
     "ProbeSeries",
     "RoutingTables",
+    "RoutingTableBlock",
     "ProbingPlan",
     "ProbeBlock",
     "prepare_probing",
@@ -54,6 +55,8 @@ __all__ = [
     "run_probing",
     "probe_estimates",
     "build_routing_tables",
+    "build_table_block",
+    "assemble_routing_tables",
 ]
 
 
@@ -154,6 +157,66 @@ class RoutingTables:
                 self.failed,
             )
         )
+
+
+@dataclass
+class RoutingTableBlock:
+    """Rows ``[host_lo, host_hi)`` of a run's :class:`RoutingTables`.
+
+    Built per collection shard by the pipelined engine
+    (:mod:`repro.engine.pipeline`), so a shard can start routing the
+    moment *its* source rows are selected instead of waiting for the
+    whole mesh's tables.  Arrays are (G, host_hi - host_lo, n); row
+    ``s - host_lo`` is bitwise identical to row ``s`` of the full
+    tables (:func:`~repro.core.selector.select_paths_block`).
+
+    ``lookup`` duck-types :meth:`RoutingTables.lookup` for sources
+    inside the block — all a collection shard ever asks about —
+    offsetting ``src`` by ``host_lo``; sources outside the block raise.
+    """
+
+    interval: float
+    host_lo: int
+    host_hi: int
+    loss_best: np.ndarray  # (G, host_hi - host_lo, n) id_dtype(n)
+    loss_second: np.ndarray
+    lat_best: np.ndarray
+    lat_second: np.ndarray
+
+    @property
+    def n_slots(self) -> int:
+        return self.loss_best.shape[0]
+
+    def lookup(
+        self,
+        criterion: str,
+        times: np.ndarray,
+        src: np.ndarray,
+        dst: np.ndarray,
+        alternate: bool = False,
+    ) -> np.ndarray:
+        """Relay chosen for (src, dst) at each time; DIRECT for direct.
+
+        Same clamp-to-horizon slot mapping as
+        :meth:`RoutingTables.slot_of`, same table semantics — only the
+        source axis is offset into the block.
+        """
+        g = (np.asarray(times, dtype=np.float64) // self.interval).astype(np.int64)
+        g = np.clip(g, 0, self.n_slots - 1)
+        table = {
+            ("loss", False): self.loss_best,
+            ("loss", True): self.loss_second,
+            ("lat", False): self.lat_best,
+            ("lat", True): self.lat_second,
+        }.get((criterion, alternate))
+        if table is None:
+            raise ValueError(f"unknown criterion {criterion!r} (use 'loss' or 'lat')")
+        rows = np.asarray(src, dtype=np.int64) - self.host_lo
+        if rows.size and (rows.min() < 0 or rows.max() >= self.host_hi - self.host_lo):
+            raise IndexError(
+                f"source outside table block [{self.host_lo}, {self.host_hi})"
+            )
+        return table[g, rows, dst]
 
 
 @dataclass(frozen=True, eq=False)
@@ -351,6 +414,13 @@ def probe_estimates(
     The estimate in force during slot ``g`` uses probes from slots
     ``< g`` only — routing reacts with at least one probe interval of
     lag, like the real system.
+
+    Every output column depends only on its own (source, destination)
+    probe series — the rolling windows run along the slot axis — so
+    feeding a series whose rows are one :class:`ProbeBlock`'s source
+    range yields exactly those rows of the full-mesh estimates, bitwise.
+    The pipelined engine folds estimates per probe shard this way while
+    other shards are still probing.
     """
     g_total = series.n_slots
     lost = series.lost.astype(np.float64)
@@ -404,6 +474,102 @@ def build_routing_tables(
 
     return RoutingTables(
         interval=series.interval,
+        loss_best=loss_best,
+        loss_second=loss_second,
+        lat_best=lat_best,
+        lat_second=lat_second,
+        loss_est=loss_est.astype(np.float32),
+        failed=failed,
+    )
+
+
+def build_table_block(
+    loss_est: np.ndarray,
+    lat_est: np.ndarray,
+    failed: np.ndarray,
+    interval: float,
+    params: ProbingParams,
+    host_lo: int,
+    host_hi: int,
+) -> RoutingTableBlock:
+    """Select routing-table rows ``[host_lo, host_hi)`` from full estimates.
+
+    The per-source-range half of :func:`build_routing_tables`: the same
+    slot-block batching (sized by the full mesh's ``n``, so the memory
+    bound holds however the sources are cut) over
+    :func:`~repro.core.selector.select_paths_block` — row for row
+    bitwise identical to the full build.  The estimates must be the
+    full (G, n, n) arrays from :func:`probe_estimates`; relay legs
+    reach every host whatever the source range.
+    """
+    g_total, n = loss_est.shape[0], loss_est.shape[1]
+    width = host_hi - host_lo
+    loss_best = np.empty((g_total, width, n), dtype=id_dtype(n))
+    loss_second = np.empty_like(loss_best)
+    lat_best = np.empty_like(loss_best)
+    lat_second = np.empty_like(loss_best)
+    block = _slot_block(n)
+    for g0 in range(0, g_total, block):
+        g1 = min(g0 + block, g_total)
+        tables = select_paths_block(
+            loss_est[g0:g1],
+            lat_est[g0:g1],
+            failed[g0:g1],
+            host_lo,
+            host_hi,
+            params.selection_margin,
+        )
+        loss_best[g0:g1] = tables.loss_best
+        loss_second[g0:g1] = tables.loss_second
+        lat_best[g0:g1] = tables.lat_best
+        lat_second[g0:g1] = tables.lat_second
+    return RoutingTableBlock(
+        interval=interval,
+        host_lo=host_lo,
+        host_hi=host_hi,
+        loss_best=loss_best,
+        loss_second=loss_second,
+        lat_best=lat_best,
+        lat_second=lat_second,
+    )
+
+
+def assemble_routing_tables(
+    interval: float,
+    loss_est: np.ndarray,
+    failed: np.ndarray,
+    blocks,
+) -> RoutingTables:
+    """Assemble per-range table blocks into the full :class:`RoutingTables`.
+
+    Blocks may arrive in any order but must tile ``range(n)`` exactly
+    once; gaps and overlaps raise with the offending hosts (the same
+    contract as :func:`merge_probe_blocks`).  On the estimates the
+    blocks were built from, the result is bitwise identical to
+    :func:`build_routing_tables` — how the pipelined engine hands back
+    the same ``CollectionResult.tables`` as the barrier engine.
+    """
+    g_total, n = loss_est.shape[0], loss_est.shape[1]
+    loss_best = np.empty((g_total, n, n), dtype=id_dtype(n))
+    loss_second = np.empty_like(loss_best)
+    lat_best = np.empty_like(loss_best)
+    lat_second = np.empty_like(loss_best)
+    covered = np.zeros(n, dtype=bool)
+    for b in blocks:
+        if covered[b.host_lo : b.host_hi].any():
+            raise ValueError(
+                f"overlapping table blocks at hosts [{b.host_lo}, {b.host_hi})"
+            )
+        covered[b.host_lo : b.host_hi] = True
+        loss_best[:, b.host_lo : b.host_hi, :] = b.loss_best
+        loss_second[:, b.host_lo : b.host_hi, :] = b.loss_second
+        lat_best[:, b.host_lo : b.host_hi, :] = b.lat_best
+        lat_second[:, b.host_lo : b.host_hi, :] = b.lat_second
+    if not covered.all():
+        missing = np.flatnonzero(~covered)
+        raise ValueError(f"table blocks left source hosts {missing.tolist()} uncovered")
+    return RoutingTables(
+        interval=interval,
         loss_best=loss_best,
         loss_second=loss_second,
         lat_best=lat_best,

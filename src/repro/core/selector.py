@@ -32,6 +32,7 @@ __all__ = [
     "combine_loss",
     "select_paths",
     "select_paths_batch",
+    "select_paths_block",
 ]
 
 #: sentinel meaning "use the direct path" in choice arrays.
@@ -87,6 +88,117 @@ def _top2(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     return order[:, 0], order[:, 1]
 
 
+def select_paths_block(
+    loss_est: np.ndarray,
+    lat_est: np.ndarray,
+    failed: np.ndarray,
+    host_lo: int,
+    host_hi: int,
+    margin: float = 0.005,
+) -> SelectionTables:
+    """Compute best/runner-up choices for the source rows
+    ``[host_lo, host_hi)`` only.
+
+    The row-sliced workhorse behind :func:`select_paths_batch` (which
+    defers here with the full range, so the two can never disagree).
+    The estimate matrices are still the *full* (G, n, n) — a relay leg
+    ``r -> d`` is needed whatever the source — but the (G, w, n, n)
+    candidate tensors and the argsort ranking are built only for the
+    ``w = host_hi - host_lo`` requested source rows.  Every candidate
+    entry and every ranked row depends only on its own (g, s, d), so
+    the output is bitwise identical to slicing the full-mesh tables at
+    ``[:, host_lo:host_hi, :]`` — the invariant that lets the pipelined
+    engine (:mod:`repro.engine.pipeline`) start collecting a shard's
+    source range as soon as *its* table block is selected.
+
+    Parameters
+    ----------
+    loss_est, lat_est:
+        (G, n, n) per-slot, per-ordered-pair leg estimates (direct
+        probes); the diagonal is ignored.  ``lat_est`` may contain +inf
+        for legs with no successful probes.
+    failed:
+        (G, n, n) bool; legs considered down (run of lost probes).
+    host_lo, host_hi:
+        the source rows to select; the returned tables are
+        (G, host_hi - host_lo, n).
+    margin:
+        hysteresis: an indirect option must beat direct loss by this
+        absolute amount to be selected.
+    """
+    if loss_est.ndim != 3:
+        raise ValueError("estimate matrices must be (G, n, n)")
+    g, n = loss_est.shape[0], loss_est.shape[1]
+    if (
+        loss_est.shape != (g, n, n)
+        or lat_est.shape != (g, n, n)
+        or failed.shape != (g, n, n)
+    ):
+        raise ValueError("estimate matrices must all be (G, n, n)")
+    if not 0 <= host_lo < host_hi <= n:
+        raise ValueError(f"invalid source range [{host_lo}, {host_hi}) for {n} hosts")
+    w = host_hi - host_lo
+
+    idx = np.arange(n)
+    rows = np.arange(w)
+    srcs = rows + host_lo
+
+    # --- candidate matrices: option axis = [direct] + relays ----------
+    # loss of s->r->d for all (g, s in block, r, d)
+    l1 = loss_est[:, host_lo:host_hi, :, None]  # (g, s, r, 1)
+    l2 = loss_est[:, None, :, :]  # (g, 1, r, d)
+    relay_loss = combine_loss(l1, l2)  # (g, s, r, d)
+    relay_lat = lat_est[:, host_lo:host_hi, :, None] + lat_est[:, None, :, :]
+
+    # forbid r == s and r == d
+    relay_loss[:, rows, srcs, :] = np.inf
+    relay_lat[:, rows, srcs, :] = np.inf
+    relay_loss[:, :, idx, idx] = np.inf
+    relay_lat[:, :, idx, idx] = np.inf
+
+    # the latency optimiser "avoids completely failed links"; failed or
+    # never-probed options stay *legal* (rank above forbidden relays)
+    leg_failed = failed[:, host_lo:host_hi, :, None] | failed[:, None, :, :]
+    relay_lat = np.where(leg_failed | ~np.isfinite(relay_lat), _UNATTRACTIVE, relay_lat)
+    relay_lat[:, rows, srcs, :] = np.inf  # re-forbid r == s / r == d
+    relay_lat[:, :, idx, idx] = np.inf
+    direct_lat = np.where(
+        failed[:, host_lo:host_hi, :] | ~np.isfinite(lat_est[:, host_lo:host_hi, :]),
+        _UNATTRACTIVE,
+        lat_est[:, host_lo:host_hi, :],
+    )
+
+    hid = id_dtype(n)
+
+    # --- loss criterion ------------------------------------------------
+    # options: direct (with a hysteresis *bonus*) vs relays; we subtract
+    # the margin from direct's effective loss so relays only win when
+    # they are better by > margin.
+    n_rows = g * w * n
+    direct_col = (loss_est[:, host_lo:host_hi, :] - margin).reshape(n_rows, 1)
+    relay_cols = relay_loss.transpose(0, 1, 3, 2).reshape(n_rows, n)
+    loss_options = np.concatenate([direct_col, relay_cols], axis=1)
+    best, second = _top2(loss_options)
+    loss_best = (best - 1).astype(hid).reshape(g, w, n)  # option 0 -> DIRECT
+    loss_second = (second - 1).astype(hid).reshape(g, w, n)
+
+    # --- latency criterion ---------------------------------------------
+    # direct wins ties (subtract a tiny epsilon rather than a loss margin)
+    direct_col = (direct_lat - 1e-4).reshape(n_rows, 1)
+    relay_cols = relay_lat.transpose(0, 1, 3, 2).reshape(n_rows, n)
+    lat_options = np.concatenate([direct_col, relay_cols], axis=1)
+    best, second = _top2(lat_options)
+    lat_best = (best - 1).astype(hid).reshape(g, w, n)
+    lat_second = (second - 1).astype(hid).reshape(g, w, n)
+
+    return SelectionTables(
+        loss_best=loss_best,
+        loss_second=loss_second,
+        lat_best=lat_best,
+        lat_second=lat_second,
+    )
+
+
 def select_paths_batch(
     loss_est: np.ndarray,
     lat_est: np.ndarray,
@@ -101,6 +213,8 @@ def select_paths_batch(
     the slots, but without G round-trips through Python.  Callers with
     large G bound the (G, n, n, n) candidate working set by passing slot
     blocks (see :func:`repro.core.reactive.build_routing_tables`).
+    Defers to :func:`select_paths_block` with the full source range, so
+    full-mesh and per-range selection can never disagree.
 
     Parameters
     ----------
@@ -116,65 +230,8 @@ def select_paths_batch(
     """
     if loss_est.ndim != 3:
         raise ValueError("estimate matrices must be (G, n, n)")
-    g, n = loss_est.shape[0], loss_est.shape[1]
-    if (
-        loss_est.shape != (g, n, n)
-        or lat_est.shape != (g, n, n)
-        or failed.shape != (g, n, n)
-    ):
-        raise ValueError("estimate matrices must all be (G, n, n)")
-
-    idx = np.arange(n)
-
-    # --- candidate matrices: option axis = [direct] + relays ----------
-    # loss of s->r->d for all (g, s, r, d)
-    l1 = loss_est[:, :, :, None]  # (g, s, r, 1)
-    l2 = loss_est[:, None, :, :]  # (g, 1, r, d)
-    relay_loss = combine_loss(l1, l2)  # (g, s, r, d)
-    relay_lat = lat_est[:, :, :, None] + lat_est[:, None, :, :]
-
-    # forbid r == s and r == d
-    relay_loss[:, idx, idx, :] = np.inf
-    relay_lat[:, idx, idx, :] = np.inf
-    relay_loss[:, :, idx, idx] = np.inf
-    relay_lat[:, :, idx, idx] = np.inf
-
-    # the latency optimiser "avoids completely failed links"; failed or
-    # never-probed options stay *legal* (rank above forbidden relays)
-    leg_failed = failed[:, :, :, None] | failed[:, None, :, :]
-    relay_lat = np.where(leg_failed | ~np.isfinite(relay_lat), _UNATTRACTIVE, relay_lat)
-    relay_lat[:, idx, idx, :] = np.inf  # re-forbid r == s / r == d
-    relay_lat[:, :, idx, idx] = np.inf
-    direct_lat = np.where(failed | ~np.isfinite(lat_est), _UNATTRACTIVE, lat_est)
-
-    hid = id_dtype(n)
-
-    # --- loss criterion ------------------------------------------------
-    # options: direct (with a hysteresis *bonus*) vs relays; we subtract
-    # the margin from direct's effective loss so relays only win when
-    # they are better by > margin.
-    n_rows = g * n * n
-    direct_col = (loss_est - margin).reshape(n_rows, 1)
-    relay_cols = relay_loss.transpose(0, 1, 3, 2).reshape(n_rows, n)
-    loss_options = np.concatenate([direct_col, relay_cols], axis=1)
-    best, second = _top2(loss_options)
-    loss_best = (best - 1).astype(hid).reshape(g, n, n)  # option 0 -> DIRECT
-    loss_second = (second - 1).astype(hid).reshape(g, n, n)
-
-    # --- latency criterion ---------------------------------------------
-    # direct wins ties (subtract a tiny epsilon rather than a loss margin)
-    direct_col = (direct_lat - 1e-4).reshape(n_rows, 1)
-    relay_cols = relay_lat.transpose(0, 1, 3, 2).reshape(n_rows, n)
-    lat_options = np.concatenate([direct_col, relay_cols], axis=1)
-    best, second = _top2(lat_options)
-    lat_best = (best - 1).astype(hid).reshape(g, n, n)
-    lat_second = (second - 1).astype(hid).reshape(g, n, n)
-
-    return SelectionTables(
-        loss_best=loss_best,
-        loss_second=loss_second,
-        lat_best=lat_best,
-        lat_second=lat_second,
+    return select_paths_block(
+        loss_est, lat_est, failed, 0, loss_est.shape[1], margin
     )
 
 

@@ -28,10 +28,18 @@ changing a single output bit:
   (:class:`~repro.engine.substrate.SharedTimelineBank`) so process
   pools stop duplicating the substrate — at which point ``"process"``
   becomes the default executor above ``process_min_hosts`` hosts.
+* **Pipelined stage execution** — ``EngineConfig(pipeline=True)`` hands
+  the run to :func:`~repro.engine.pipeline.collect_pipelined`, which
+  drops the barriers between probe/tables/collect/merge that the data
+  flow does not force: estimates fold as probe shards land, each
+  collection shard starts the moment *its* routing-table block is
+  selected, and the merge (plus streaming analysis) scatters finished
+  shards while later ones still run.  Same bytes, less pool idle time.
 
 Wire it into sweeps through ``repro.api.Runner(engine=EngineConfig())``.
 """
 
+from .pipeline import collect_pipelined
 from .probing import ShardedProbe
 from .sharding import (
     EngineConfig,
@@ -48,6 +56,7 @@ __all__ = [
     "ShardedProbe",
     "always_shard",
     "auto_executor",
+    "collect_pipelined",
     "plan_shards",
     "LazyTimelineBank",
     "SharedTimelineBank",

@@ -1,0 +1,459 @@
+"""Pipelined stage execution: completion-order scheduling across stages.
+
+The barrier engine (:meth:`repro.engine.ShardedCollector.collect`) runs
+probe → tables → collect → merge with a full stop between stages: every
+probe shard must land before estimation starts, the whole mesh's routing
+tables must be selected before any collection shard is submitted, and
+every collection shard must finish before the merge touches a row.  On
+a pool narrower than the shard count, each barrier converts shard-
+completion skew straight into idle cores — visible as the
+``shard.queue_wait_ns.*`` counters :func:`~repro.engine.sharding.run_shards`
+folds.
+
+:func:`collect_pipelined` keeps the stages but drops the barriers that
+the data flow does not force:
+
+* **probe ↔ estimate fold** — :func:`~repro.core.reactive.probe_estimates`
+  is column-independent (the rolling windows run along the slot axis),
+  so each probe shard's rows of the full-mesh estimate arrays are folded
+  the moment that shard lands, while other shards are still probing.
+  The probe → tables boundary itself is a true barrier: a routing table
+  needs *every* host's probes (relay legs reach the whole mesh), so
+  selection cannot start until the last probe shard has folded.
+* **tables ↔ collect** — selection is row-independent
+  (:func:`~repro.core.selector.select_paths_block`), so the tables are
+  built per collection-shard source range and each shard's collection
+  is submitted the moment *its* :class:`~repro.core.reactive.RoutingTableBlock`
+  is ready — block ``j+1`` selects while shard ``j`` collects.  The
+  table builder runs on a parent-side single thread: width 1 keeps the
+  tables/collect overlap deterministic and the selection NumPy kernels
+  release the GIL anyway.
+* **collect ↔ merge / ingest** — the canonical output order is a stable
+  sort by ``probe_id``, and the collection plan already knows every
+  row's probe id, so the merge destination of every shard is computed
+  up front (:class:`repro.trace.store.StreamingMerge`) and each
+  finished shard is scattered — and fed to the streaming analyzer —
+  while later shards are still collecting.
+
+Stage overlap moves wall-clock idle time, never a byte: the trace, the
+tables and the spilled files are bitwise identical to the barrier
+engine and the sequential pipeline (held by
+``tests/engine/test_pipeline.py`` across the executor × shard × spill
+zoo).  Probing and collection share one pool, so
+``EngineConfig.probe_executor`` is ignored in this mode;
+``probe_shards`` still controls the probe fan-out width.
+
+With telemetry enabled the run records the same ``stage`` spans as the
+barrier engine — but post-hoc (:meth:`repro.telemetry.Recorder.record_span`),
+because overlapping stages cannot be nested context managers; each
+carries ``pipelined=True`` and a Chrome trace export shows the stages
+overlapping.  Per-shard ``queue_wait_ns`` annotation works exactly as
+in :func:`~repro.engine.sharding.run_shards`: probe-stage waits are
+stamped when the probe fan-out drains, collect-stage waits at the end
+(the two fan-outs reuse the same host ranges, so annotating per stage
+window keeps their submit stamps apart).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+    wait,
+)
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+import numpy as np
+
+from repro import telemetry
+from repro.core.reactive import (
+    ProbeSeries,
+    RoutingTableBlock,
+    RoutingTables,
+    assemble_routing_tables,
+    build_table_block,
+    prepare_probing,
+    probe_estimates,
+    probe_rows,
+)
+from repro.netsim.network import Network
+from repro.netsim.rng import RngFactory
+from repro.telemetry import clock as _tclock
+from repro.testbed.collection import (
+    CollectionPlan,
+    CollectionResult,
+    collect_rows,
+    prepare_collection_base,
+)
+from repro.testbed.datasets import DatasetSpec
+from repro.trace.store import StreamingMerge
+
+from .sharding import _annotate_shard_waits, auto_executor, plan_shards
+from .spill import SpillPlan, collect_rows_spilled, run_slug
+
+__all__ = ["collect_pipelined"]
+
+
+# -- process-pool plumbing ---------------------------------------------------
+# one fork-time context serves both stages: workers inherit the probing
+# plan and the (table-less) collection plan by memory; only the shard
+# ranges, per-shard RoutingTableBlocks and partial results cross the pipe.
+
+
+@dataclass(frozen=True, eq=False)
+class _PipelineContext:
+    """What a pipelined pool worker inherits at fork time."""
+
+    probing: object | None  # ProbingPlan, or None when no method probes
+    collection: CollectionPlan  # tables=None; blocks ship per task
+    spill: Path | None
+
+
+_CTX: _PipelineContext | None = None
+
+
+def _init_worker(ctx: _PipelineContext) -> None:
+    global _CTX
+    _CTX = ctx
+
+
+def _probe_task(bounds: tuple[int, int]):
+    assert _CTX is not None and _CTX.probing is not None, "worker used before initialisation"
+    return telemetry.run_instrumented(probe_rows, _CTX.probing, *bounds)
+
+
+def _collect_block(
+    plan: CollectionPlan,
+    host_lo: int,
+    host_hi: int,
+    block: RoutingTableBlock | None,
+    spill_dir: Path | None,
+):
+    """Collect one shard against its own routing-table block.
+
+    The pipelined collect kernel: the shard's plan is the shared
+    table-less plan with *its* block swapped in
+    (:class:`~repro.core.reactive.RoutingTableBlock` duck-types
+    ``RoutingTables.lookup`` for the shard's own sources — the only rows
+    it ever asks about), so routing and evaluation are bitwise the
+    barrier kernel's.  Spill mode writes the shard out exactly like
+    :func:`~repro.engine.spill.collect_rows_spilled`.
+    """
+    if block is not None:
+        plan = replace(plan, tables=block)
+    if spill_dir is not None:
+        return collect_rows_spilled(
+            SpillPlan(plan=plan, directory=spill_dir), host_lo, host_hi
+        )
+    return collect_rows(plan, host_lo, host_hi)
+
+
+def _collect_task(bounds: tuple[int, int], block: RoutingTableBlock | None):
+    assert _CTX is not None, "worker used before initialisation"
+    return telemetry.run_instrumented(
+        _collect_block, _CTX.collection, bounds[0], bounds[1], block, _CTX.spill
+    )
+
+
+def collect_pipelined(
+    collector,
+    spec: DatasetSpec,
+    duration_s: float,
+    seed: int = 0,
+    include_events: bool = True,
+    network: Network | None = None,
+    analyzer=None,
+) -> CollectionResult:
+    """Collect ``spec`` with overlapped stages; bitwise the barrier result.
+
+    The ``EngineConfig(pipeline=True)`` entry point, dispatched to by
+    :meth:`~repro.engine.ShardedCollector.collect` (same signature,
+    same :class:`~repro.testbed.collection.CollectionResult` contract —
+    including the spilled manifest, which additionally records
+    ``"pipeline": true``).  See the module docstring for which barriers
+    are dropped and why the bytes cannot move.
+    """
+    cfg = collector.config
+    rec = telemetry.get_recorder()
+    mark = rec.mark()
+    counters_base = rec.counter_snapshot()
+
+    plan = prepare_collection_base(
+        spec,
+        duration_s,
+        seed=seed,
+        include_events=include_events,
+        network=network,
+        substrate=cfg.resolved_substrate,
+        max_cached_segments=cfg.max_cached_segments,
+    )
+    n = plan.n_hosts
+    netcfg = spec.network_config(duration_s, include_events=include_events)
+    ranges = plan_shards(n, collector.resolve_shards(n))
+    executor = cfg.executor or auto_executor(plan.network, n, cfg.process_min_hosts)
+
+    probing_plan = None
+    probe_ranges: list[tuple[int, int]] = []
+    if any(m.needs_probing for m in plan.methods):
+        probing_plan = prepare_probing(plan.network, netcfg.probing, RngFactory(seed))
+        probe_ranges = plan_shards(n, collector.probe_runner().resolve_shards(n))
+
+    directory: Path | None = None
+    if cfg.spill_dir is not None:
+        directory = Path(cfg.spill_dir) / run_slug(plan)
+        directory.mkdir(parents=True, exist_ok=True)
+
+    # merge destinations are known before any shard runs: the schedule
+    # holds every row's probe id, and contiguous ascending source ranges
+    # make schedule order the part-concatenation order
+    offsets = [int(plan.bounds[lo]) for lo, _ in ranges] + [int(plan.bounds[n])]
+    merge = StreamingMerge(
+        meta=plan.meta,
+        pids=plan.sched.probe_id,
+        offsets=offsets,
+        out_dir=None if directory is None else directory / "merged",
+    )
+    on_result = analyzer.ingest if analyzer is not None else None
+
+    # full-mesh estimates, folded per probe shard as blocks land
+    if probing_plan is not None:
+        g = probing_plan.n_slots
+        loss_est = np.empty((g, n, n), dtype=np.float64)
+        lat_est = np.empty((g, n, n), dtype=np.float64)
+        failed = np.empty((g, n, n), dtype=bool)
+
+    probe_submit: dict[tuple[int, int], int] = {}
+    collect_submit: dict[tuple[int, int], int] = {}
+    table_blocks: list[RoutingTableBlock | None] = [None] * len(ranges)
+    t_probe0 = t_probe1 = t_tables0 = t_tables1 = None
+    t_collect0 = t_collect1 = t_merge0 = None
+
+    def fold_probe(block) -> None:
+        with rec.span(
+            "estimate-fold", cat="pipeline", host_lo=block.host_lo, host_hi=block.host_hi
+        ):
+            series = ProbeSeries(
+                interval=probing_plan.interval, lost=block.lost, latency=block.latency
+            )
+            le, la, fa = probe_estimates(series, netcfg.probing)
+            loss_est[:, block.host_lo : block.host_hi, :] = le
+            lat_est[:, block.host_lo : block.host_hi, :] = la
+            failed[:, block.host_lo : block.host_hi, :] = fa
+
+    def drain_part(j: int, part) -> None:
+        nonlocal t_merge0
+        part = telemetry.unwrap_envelope(part)
+        if on_result is not None:
+            on_result(part)
+        if t_merge0 is None:
+            t_merge0 = _tclock.monotonic_ns()
+        with rec.span("merge-scatter", cat="pipeline", part=j):
+            merge.add(j, part)
+
+    if executor == "serial":
+        # degenerate inline schedule: same stage interleaving (tables
+        # block j+1 after collect j, merge after each part), one thread
+        probe_mark = rec.mark()
+        if probing_plan is not None:
+            t_probe0 = _tclock.monotonic_ns()
+            for lo, hi in probe_ranges:
+                if rec.enabled:
+                    probe_submit[(lo, hi)] = _tclock.monotonic_ns()
+                fold_probe(probe_rows(probing_plan, lo, hi))
+            t_probe1 = _tclock.monotonic_ns()
+            if rec.enabled:
+                _annotate_shard_waits(rec, rec.events_since(probe_mark), probe_submit)
+        for j, (lo, hi) in enumerate(ranges):
+            block = None
+            if probing_plan is not None:
+                if t_tables0 is None:
+                    t_tables0 = _tclock.monotonic_ns()
+                block = build_table_block(
+                    loss_est, lat_est, failed, probing_plan.interval, netcfg.probing, lo, hi
+                )
+                t_tables1 = _tclock.monotonic_ns()
+                table_blocks[j] = block
+            if rec.enabled:
+                collect_submit[(lo, hi)] = _tclock.monotonic_ns()
+            if t_collect0 is None:
+                t_collect0 = _tclock.monotonic_ns()
+            part = _collect_block(plan, lo, hi, block, directory)
+            t_collect1 = _tclock.monotonic_ns()
+            drain_part(j, part)
+    else:
+        if executor == "process":
+            try:
+                mp_ctx = multiprocessing.get_context("fork")
+            except ValueError as exc:  # pragma: no cover - non-POSIX platforms
+                raise RuntimeError(
+                    "the 'process' executor needs fork(); use executor='thread'"
+                ) from exc
+            pool = ProcessPoolExecutor(
+                max_workers=min(
+                    collector.resolve_workers() or os.cpu_count() or 1,
+                    max(len(ranges), len(probe_ranges) or 1),
+                ),
+                mp_context=mp_ctx,
+                initializer=_init_worker,
+                initargs=(
+                    _PipelineContext(
+                        probing=probing_plan, collection=plan, spill=directory
+                    ),
+                ),
+            )
+        else:
+            pool = ThreadPoolExecutor(
+                max_workers=min(
+                    collector.resolve_workers() or os.cpu_count() or 1,
+                    max(len(ranges), len(probe_ranges) or 1),
+                )
+            )
+        table_pool = ThreadPoolExecutor(max_workers=1) if probing_plan is not None else None
+        try:
+            probe_mark = rec.mark()
+            if probing_plan is not None:
+                t_probe0 = _tclock.monotonic_ns()
+                probe_futs = {}
+                for lo, hi in probe_ranges:
+                    if rec.enabled:
+                        probe_submit[(lo, hi)] = _tclock.monotonic_ns()
+                    if executor == "thread":
+                        fut = pool.submit(probe_rows, probing_plan, lo, hi)
+                    else:
+                        fut = pool.submit(_probe_task, (lo, hi))
+                    probe_futs[fut] = (lo, hi)
+                for fut in as_completed(probe_futs):
+                    fold_probe(telemetry.unwrap_envelope(fut.result()))
+                t_probe1 = _tclock.monotonic_ns()
+                if rec.enabled:
+                    _annotate_shard_waits(rec, rec.events_since(probe_mark), probe_submit)
+
+            collect_futs: dict = {}
+            table_futs: dict = {}
+
+            def submit_collect(j: int, block: RoutingTableBlock | None):
+                nonlocal t_collect0
+                lo, hi = ranges[j]
+                if rec.enabled:
+                    collect_submit[(lo, hi)] = _tclock.monotonic_ns()
+                if t_collect0 is None:
+                    t_collect0 = _tclock.monotonic_ns()
+                if executor == "thread":
+                    fut = pool.submit(_collect_block, plan, lo, hi, block, directory)
+                else:
+                    fut = pool.submit(_collect_task, (lo, hi), block)
+                collect_futs[fut] = j
+                return fut
+
+            pending = set()
+            if probing_plan is not None:
+                t_tables0 = _tclock.monotonic_ns()
+                for j, (lo, hi) in enumerate(ranges):
+                    fut = table_pool.submit(
+                        build_table_block,
+                        loss_est,
+                        lat_est,
+                        failed,
+                        probing_plan.interval,
+                        netcfg.probing,
+                        lo,
+                        hi,
+                    )
+                    table_futs[fut] = j
+                    pending.add(fut)
+            else:
+                for j in range(len(ranges)):
+                    pending.add(submit_collect(j, None))
+
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for fut in done:
+                    if fut in table_futs:
+                        j = table_futs[fut]
+                        block = fut.result()
+                        table_blocks[j] = block
+                        t_tables1 = _tclock.monotonic_ns()
+                        pending.add(submit_collect(j, block))
+                    else:
+                        j = collect_futs[fut]
+                        part = fut.result()
+                        t_collect1 = _tclock.monotonic_ns()
+                        drain_part(j, part)
+        finally:
+            pool.shutdown(wait=True)
+            if table_pool is not None:
+                table_pool.shutdown(wait=True)
+
+    tables: RoutingTables | None = None
+    if probing_plan is not None:
+        tables = assemble_routing_tables(
+            probing_plan.interval, loss_est, failed, table_blocks
+        )
+    trace = merge.finalize()
+    t_merge1 = _tclock.monotonic_ns()
+
+    if rec.enabled:
+        _annotate_shard_waits(rec, rec.events_since(mark), collect_submit)
+        if t_probe0 is not None:
+            rec.record_span(
+                "probe",
+                cat="stage",
+                ts_ns=t_probe0,
+                dur_ns=t_probe1 - t_probe0,
+                sharded=True,
+                hosts=n,
+                pipelined=True,
+            )
+            rec.record_span(
+                "tables",
+                cat="stage",
+                ts_ns=t_tables0,
+                dur_ns=t_tables1 - t_tables0,
+                hosts=n,
+                pipelined=True,
+            )
+        rec.record_span(
+            "collect",
+            cat="stage",
+            ts_ns=t_collect0,
+            dur_ns=t_collect1 - t_collect0,
+            executor=executor,
+            shards=len(ranges),
+            pipelined=True,
+        )
+        rec.record_span(
+            "merge",
+            cat="stage",
+            ts_ns=t_merge0 if t_merge0 is not None else t_merge1,
+            dur_ns=t_merge1 - (t_merge0 if t_merge0 is not None else t_merge1),
+            parts=len(ranges),
+            pipelined=True,
+        )
+        rss = _tclock.peak_rss_bytes()
+        if rss is not None:
+            rec.gauge_set("process.peak_rss_bytes", rss)
+        if directory is not None:
+            telemetry.write_manifest(
+                directory,
+                rec.events(mark, counters_base),
+                run={
+                    "dataset": plan.meta.dataset,
+                    "mode": plan.meta.mode,
+                    "seed": plan.seed,
+                    "horizon_s": plan.meta.horizon_s,
+                    "hosts": plan.n_hosts,
+                    "methods": list(plan.meta.method_names),
+                    "executor": executor,
+                    "n_shards": len(ranges),
+                    "pid": os.getpid(),
+                    "pipeline": True,
+                },
+            )
+    return CollectionResult(
+        trace=trace, network=plan.network, tables=tables, spill_dir=directory
+    )

@@ -9,6 +9,13 @@ The shard layout cannot affect the output: every source host draws its
 phases and packet fates from its own ``probing/<host>`` substream, so
 1 shard, 2 shards or one shard per host all fingerprint identically to
 the sequential :func:`~repro.core.reactive.run_probing`.
+
+With telemetry enabled, the probe fan-out stamps each shard's submit
+time like the collect fan-out does, so ``shard-probe`` spans carry
+``queue_wait_ns`` and the waits fold into the
+``shard.queue_wait_ns.probe`` / ``shard.exec_ns.probe`` counters (see
+:func:`~repro.engine.sharding.run_shards`) — the probe barrier is no
+longer invisible to the numbers pipelined execution steers by.
 """
 
 from __future__ import annotations

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_completed
 from dataclasses import dataclass, replace
 from pathlib import Path
 
@@ -82,51 +82,80 @@ def run_shards(plan, ranges, kernel, worker, initializer, executor, max_workers,
     must be picklable by name), so nothing but the (small) shard ranges
     and partial results crosses the pipe.
 
-    ``on_result`` is called in the parent, in shard order, with each
-    result as it becomes available — how streaming analysis folds spill
-    shards while later shards are still collecting.
+    ``on_result`` is called in the parent, in *completion* order, with
+    each result the moment its shard finishes — a slow shard cannot
+    head-of-line-block streaming ingest of faster ones (the analysis
+    accumulators are order-invariant, see
+    :mod:`repro.analysis.streaming`).  The returned list, by contrast,
+    is always in submission (= shard range) order, so merge call sites
+    never depend on completion timing.
 
-    With telemetry enabled, process workers return
-    :class:`~repro.telemetry.ShardEnvelope` wrappers (result + the
-    worker's batched spans/counters); they are unwrapped here — events
-    absorbed into the parent's recorder — before ``on_result`` or the
-    caller sees the value, so every call site keeps its pre-telemetry
-    object flow.
+    With telemetry enabled, each shard's submit time is stamped and the
+    shard spans it records are annotated with their pool queue wait
+    (see :func:`_annotate_shard_waits`) when the fan-out drains.
+    Process workers return :class:`~repro.telemetry.ShardEnvelope`
+    wrappers (result + the worker's batched spans/counters); they are
+    unwrapped here — events absorbed into the parent's recorder —
+    before ``on_result`` or the caller sees the value, so every call
+    site keeps its pre-telemetry object flow.
     """
+    rec = telemetry.get_recorder()
+    mark = rec.mark()
+    submit_ns: dict[tuple[int, int], int] = {}
     if executor == "serial" or len(ranges) == 1:
         out = []
         for lo, hi in ranges:
+            if rec.enabled:
+                submit_ns[(lo, hi)] = _tclock.monotonic_ns()
             part = telemetry.unwrap_envelope(kernel(plan, lo, hi))
             if on_result is not None:
                 on_result(part)
             out.append(part)
+        if rec.enabled:
+            _annotate_shard_waits(rec, rec.events_since(mark), submit_ns)
         return out
     workers = min(max_workers or os.cpu_count() or 1, len(ranges))
     if executor == "thread":
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            return _drain(pool.map(lambda b: kernel(plan, *b), ranges), on_result)
-    try:
-        ctx = multiprocessing.get_context("fork")
-    except ValueError as exc:  # pragma: no cover - non-POSIX platforms
-        raise RuntimeError(
-            "the 'process' executor needs fork(); use executor='thread'"
-        ) from exc
-    with ProcessPoolExecutor(
-        max_workers=workers,
-        mp_context=ctx,
-        initializer=initializer,
-        initargs=(plan,),
-    ) as pool:
-        return _drain(pool.map(worker, ranges), on_result)
+            futures = []
+            for lo, hi in ranges:
+                if rec.enabled:
+                    submit_ns[(lo, hi)] = _tclock.monotonic_ns()
+                futures.append(pool.submit(kernel, plan, lo, hi))
+            out = _drain_completed(futures, on_result)
+    else:
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError as exc:  # pragma: no cover - non-POSIX platforms
+            raise RuntimeError(
+                "the 'process' executor needs fork(); use executor='thread'"
+            ) from exc
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=ctx,
+            initializer=initializer,
+            initargs=(plan,),
+        ) as pool:
+            futures = []
+            for bounds in ranges:
+                if rec.enabled:
+                    submit_ns[tuple(bounds)] = _tclock.monotonic_ns()
+                futures.append(pool.submit(worker, bounds))
+            out = _drain_completed(futures, on_result)
+    if rec.enabled:
+        _annotate_shard_waits(rec, rec.events_since(mark), submit_ns)
+    return out
 
 
-def _drain(results, on_result):
-    out = []
-    for part in results:
-        part = telemetry.unwrap_envelope(part)
+def _drain_completed(futures, on_result):
+    """Drain futures as they complete; return results in submission order."""
+    index = {fut: i for i, fut in enumerate(futures)}
+    out: list = [None] * len(futures)
+    for fut in as_completed(index):
+        part = telemetry.unwrap_envelope(fut.result())
+        out[index[fut]] = part
         if on_result is not None:
             on_result(part)
-        out.append(part)
     return out
 
 
@@ -186,6 +215,17 @@ class EngineConfig:
     shards fan out and share them read-only.  Both default to ``None``,
     meaning "inherit ``n_shards``/``executor``".
 
+    ``pipeline=True`` replaces the barrier stage sequence (probe →
+    tables → collect → merge, each waiting for the last) with the
+    completion-order scheduler of :mod:`repro.engine.pipeline`:
+    estimates fold as probe shards land, each collection shard starts
+    the moment *its* routing-table block is selected, and the merge
+    (plus streaming analysis) scatters finished shards while later ones
+    are still collecting.  The output is bitwise identical — stage
+    overlap only moves wall-clock idle time, never a byte.  Pipelined
+    runs drive probing and collection through one shared pool, so
+    ``probe_executor`` is ignored in this mode.
+
     The engine parallelises *within* one run; the runner's
     ``max_workers`` parallelises *across* runs.  Combining both
     oversubscribes cores (each concurrent run spawns its own shard
@@ -205,6 +245,7 @@ class EngineConfig:
     max_resident_shards: int | None = None
     shared_memory: bool = False
     process_min_hosts: int = PROCESS_MIN_HOSTS
+    pipeline: bool = False
 
     def __post_init__(self) -> None:
         if self.n_shards is not None and self.n_shards < 1:
@@ -266,23 +307,45 @@ def _run_shard(bounds: tuple[int, int]) -> Trace:
     return telemetry.run_instrumented(collect_rows, _WORKER_PLAN, *bounds)
 
 
-def _annotate_shard_waits(recorder, events, fanout_ns: int) -> None:
+#: which per-stage counter suffix a shard span's waits fold into.
+#: ``spill-write`` spans get the args annotation but no counter: the
+#: write happens inside an already-executing shard, so its "wait" is
+#: the same pool wait the enclosing ``shard-collect`` span reports.
+_SPAN_STAGE = {"shard-probe": "probe", "shard-collect": "collect"}
+
+
+def _annotate_shard_waits(recorder, events, submit_ns: dict) -> None:
     """Stamp per-shard queue wait onto the shard spans of one fan-out.
 
-    ``CLOCK_MONOTONIC`` is machine-wide, so a worker span's begin time
-    minus the parent's fan-out time is the shard's pool queue wait —
-    how long it sat behind ``max_workers``/``max_resident_shards``
-    before executing.  Also folds the waits and exec times into the
-    ``shard.queue_wait_ns``/``shard.exec_ns`` counters, the two numbers
-    the pipelined-execution roadmap item needs to compare.
+    ``submit_ns`` maps each shard's ``(host_lo, host_hi)`` to the
+    parent's submit time for that shard.  ``CLOCK_MONOTONIC`` is
+    machine-wide, so a worker span's begin time minus that stamp is the
+    shard's pool queue wait — how long it sat behind ``max_workers``/
+    ``max_resident_shards`` before executing.  Waits and exec times
+    fold into per-stage counters (``shard.queue_wait_ns.probe`` /
+    ``shard.queue_wait_ns.collect``, likewise ``shard.exec_ns.*``) and
+    into the stage-summed totals (``shard.queue_wait_ns`` /
+    ``shard.exec_ns``) — the numbers the pipelined scheduler reclaims
+    barrier idle time against.  Spans already annotated (an earlier
+    fan-out's) are left untouched.
     """
     for ev in events:
-        if ev.get("ev") == "span" and ev.get("cat") == "shard" and "queue_wait_ns" not in ev["args"]:
-            wait = max(ev["ts_ns"] - fanout_ns, 0)
-            ev["args"]["queue_wait_ns"] = wait
-            if ev["name"] == "shard-collect":
-                recorder.counter_add("shard.queue_wait_ns", wait)
-                recorder.counter_add("shard.exec_ns", ev["dur_ns"])
+        if ev.get("ev") != "span" or ev.get("cat") != "shard":
+            continue
+        args = ev["args"]
+        if "queue_wait_ns" in args:
+            continue
+        base = submit_ns.get((args.get("host_lo"), args.get("host_hi")))
+        if base is None:
+            continue
+        wait = max(ev["ts_ns"] - base, 0)
+        args["queue_wait_ns"] = wait
+        stage = _SPAN_STAGE.get(ev["name"])
+        if stage is not None:
+            recorder.counter_add("shard.queue_wait_ns", wait)
+            recorder.counter_add("shard.exec_ns", ev["dur_ns"])
+            recorder.counter_add(f"shard.queue_wait_ns.{stage}", wait)
+            recorder.counter_add(f"shard.exec_ns.{stage}", ev["dur_ns"])
 
 
 class ShardedCollector:
@@ -351,8 +414,15 @@ class ShardedCollector:
         ``analyzer`` (a
         :class:`repro.analysis.StreamingAnalyzer`) has each completed
         shard folded into it — ``analyzer.ingest(part)`` in the parent,
-        in shard order — so Table/Figure statistics are ready the moment
-        the run (or even just its first shards) are.
+        in completion order (the accumulators are order-invariant) — so
+        Table/Figure statistics are ready the moment the run (or even
+        just its first shards) are.
+
+        With ``pipeline=True`` the whole call is handed to the
+        completion-order scheduler (:mod:`repro.engine.pipeline`),
+        which overlaps the probe/tables/collect/merge stages instead of
+        running them as barriers; result, spans and manifest keep this
+        method's contract, and the trace is bitwise identical.
 
         With telemetry enabled (:func:`repro.telemetry.enable`), the
         full stage pipeline — probe, tables, collect, per-shard
@@ -361,6 +431,18 @@ class ShardedCollector:
         ``telemetry.jsonl`` manifest in its run directory (see
         :mod:`repro.telemetry`).  The output trace is byte-identical
         either way."""
+        if self.config.pipeline:
+            from .pipeline import collect_pipelined  # sharding <-> pipeline cycle
+
+            return collect_pipelined(
+                self,
+                spec,
+                duration_s,
+                seed=seed,
+                include_events=include_events,
+                network=network,
+                analyzer=analyzer,
+            )
         rec = telemetry.get_recorder()
         mark = rec.mark()
         counters_base = rec.counter_snapshot()
@@ -380,7 +462,6 @@ class ShardedCollector:
         )
         on_result = analyzer.ingest if analyzer is not None else None
         directory: Path | None = None
-        fanout_ns = _tclock.monotonic_ns() if rec.enabled else 0
         with rec.span("collect", cat="stage", executor=executor, shards=len(ranges)):
             if self.config.spill_dir is not None:
                 directory = Path(self.config.spill_dir) / run_slug(plan)
@@ -397,8 +478,6 @@ class ShardedCollector:
                 )
             else:
                 parts = self._run(plan, ranges, executor, on_result)
-        if rec.enabled:
-            _annotate_shard_waits(rec, rec.events_since(mark), fanout_ns)
         with rec.span("merge", cat="stage", parts=len(parts)):
             trace = Trace.concatenate(parts)
         if rec.enabled:
@@ -439,7 +518,7 @@ class ShardedCollector:
             worker=_run_shard,
             initializer=_init_worker,
             executor=executor,
-            max_workers=self.config.max_workers,
+            max_workers=self.resolve_workers(),
             on_result=on_result,
         )
 

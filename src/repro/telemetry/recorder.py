@@ -92,6 +92,11 @@ class NullRecorder:
     def gauge_set(self, name: str, value: float) -> None:
         pass
 
+    def record_span(
+        self, name: str, cat: str = "run", *, ts_ns: int, dur_ns: int, **args
+    ) -> None:
+        pass
+
     def absorb(self, events) -> None:
         pass
 
@@ -177,6 +182,30 @@ class Recorder:
     def gauge_set(self, name: str, value: float) -> None:
         with self._lock:
             self._gauges[name] = value
+
+    def record_span(
+        self, name: str, cat: str = "run", *, ts_ns: int, dur_ns: int, **args
+    ) -> None:
+        """Record a span from timestamps taken earlier.
+
+        The post-hoc form of :meth:`span`, for intervals whose bounds a
+        caller measured itself — e.g. the pipelined engine's logical
+        stage spans, which overlap each other and so cannot be nested
+        context managers.  ``ts_ns``/``dur_ns`` must come from the same
+        monotonic clock spans use (:func:`repro.telemetry.clock.monotonic_ns`).
+        """
+        self._append(
+            {
+                "ev": "span",
+                "name": name,
+                "cat": cat,
+                "ts_ns": ts_ns,
+                "dur_ns": dur_ns,
+                "pid": os.getpid(),
+                "tid": threading.get_ident(),
+                "args": args,
+            }
+        )
 
     def _append(self, event: dict) -> None:
         with self._lock:

@@ -29,7 +29,7 @@ sequential and sharded runs serialise identically.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 
 import numpy as np
@@ -51,6 +51,7 @@ __all__ = [
     "CollectionResult",
     "CollectionPlan",
     "prepare_collection",
+    "prepare_collection_base",
     "collect_rows",
 ]
 
@@ -180,6 +181,66 @@ def _eval_rtt(
     return lost1, rtt1, lost2, rtt2
 
 
+def prepare_collection_base(
+    spec: DatasetSpec,
+    duration_s: float,
+    seed: int = 0,
+    include_events: bool = True,
+    network: Network | None = None,
+    substrate: str = "eager",
+    max_cached_segments: int | None = None,
+) -> CollectionPlan:
+    """The non-probing shared stages: substrate, schedule, run meta.
+
+    Everything :func:`prepare_collection` builds *except* the probing
+    subsystem and routing tables — the returned plan has
+    ``tables=None``.  The pipelined engine
+    (:mod:`repro.engine.pipeline`) starts from this plan and overlaps
+    table construction with collection instead of finishing it here.
+    Every RNG substream is named (``schedule``, ``probing/<host>``,
+    ...), so building the schedule without — or before — probing
+    changes no draw: composing this with the probe/tables stages in any
+    order yields the bitwise-identical plan.
+    """
+    if duration_s <= 0:
+        raise ValueError("duration must be positive")
+    rngs = RngFactory(seed)
+    cfg = spec.network_config(duration_s, include_events=include_events)
+    hosts = spec.hosts()
+    if network is None:
+        network = Network.build(
+            hosts,
+            cfg,
+            duration_s,
+            seed=seed,
+            substrate=substrate,
+            max_cached_segments=max_cached_segments,
+        )
+    methods = tuple(METHODS.lookup(name) for name in spec.probe_methods)
+
+    sched_rng = rngs.stream("schedule")
+    sched = generate_schedule(len(hosts), len(methods), duration_s, sched_rng)
+
+    meta = TraceMeta(
+        dataset=spec.name,
+        mode=spec.mode,
+        horizon_s=duration_s,
+        seed=seed,
+        host_names=tuple(h.name for h in hosts),
+        method_names=tuple(m.name for m in methods),
+    )
+    return CollectionPlan(
+        meta=meta,
+        seed=seed,
+        network=network,
+        methods=methods,
+        tables=None,
+        sched=sched,
+        bounds=sched.source_bounds(len(hosts)),
+        include_events=include_events,
+    )
+
+
 def prepare_collection(
     spec: DatasetSpec,
     duration_s: float,
@@ -203,57 +264,32 @@ def prepare_collection(
     the output is bitwise identical either way, so the resulting
     routing tables can be shared read-only by every collection shard.
     """
-    if duration_s <= 0:
-        raise ValueError("duration must be positive")
-    rngs = RngFactory(seed)
-    cfg = spec.network_config(duration_s, include_events=include_events)
-    hosts = spec.hosts()
-    if network is None:
-        network = Network.build(
-            hosts,
-            cfg,
-            duration_s,
-            seed=seed,
-            substrate=substrate,
-            max_cached_segments=max_cached_segments,
-        )
-    methods = tuple(METHODS.lookup(name) for name in spec.probe_methods)
+    plan = prepare_collection_base(
+        spec,
+        duration_s,
+        seed=seed,
+        include_events=include_events,
+        network=network,
+        substrate=substrate,
+        max_cached_segments=max_cached_segments,
+    )
 
-    # 1. the probing subsystem + routing tables (if any method needs them)
-    tables: RoutingTables | None = None
-    if any(m.needs_probing for m in methods):
+    # the probing subsystem + routing tables (if any method needs them)
+    if any(m.needs_probing for m in plan.methods):
+        cfg = spec.network_config(duration_s, include_events=include_events)
+        rngs = RngFactory(seed)
+        tables: RoutingTables | None = None
         with telemetry.span(
-            "probe", cat="stage", sharded=probing is not None, hosts=len(hosts)
+            "probe", cat="stage", sharded=probing is not None, hosts=plan.n_hosts
         ):
             if probing is None:
-                series = run_probing(network, cfg.probing, rngs)
+                series = run_probing(plan.network, cfg.probing, rngs)
             else:
-                series = probing.run(network, cfg.probing, rngs)
-        with telemetry.span("tables", cat="stage", hosts=len(hosts)):
+                series = probing.run(plan.network, cfg.probing, rngs)
+        with telemetry.span("tables", cat="stage", hosts=plan.n_hosts):
             tables = build_routing_tables(series, cfg.probing)
-
-    # 2. measurement probe schedule
-    sched_rng = rngs.stream("schedule")
-    sched = generate_schedule(len(hosts), len(methods), duration_s, sched_rng)
-
-    meta = TraceMeta(
-        dataset=spec.name,
-        mode=spec.mode,
-        horizon_s=duration_s,
-        seed=seed,
-        host_names=tuple(h.name for h in hosts),
-        method_names=tuple(m.name for m in methods),
-    )
-    return CollectionPlan(
-        meta=meta,
-        seed=seed,
-        network=network,
-        methods=methods,
-        tables=tables,
-        sched=sched,
-        bounds=sched.source_bounds(len(hosts)),
-        include_events=include_events,
-    )
+        plan = replace(plan, tables=tables)
+    return plan
 
 
 def collect_rows(plan: CollectionPlan, host_lo: int, host_hi: int) -> Trace:

@@ -22,7 +22,13 @@ import numpy as np
 
 from .records import Trace, TraceMeta, debug_checks_enabled, require_same_run
 
-__all__ = ["save_trace", "load_trace", "concatenate_stored", "open_stored"]
+__all__ = [
+    "save_trace",
+    "load_trace",
+    "concatenate_stored",
+    "open_stored",
+    "StreamingMerge",
+]
 
 
 def _npz_path(path: str | Path) -> Path:
@@ -168,6 +174,138 @@ def concatenate_stored(paths, out_dir: str | Path | None = None) -> Trace:
     if debug_checks_enabled():
         merged.assert_canonical_order("concatenate_stored")
     return merged
+
+
+class StreamingMerge:
+    """Incremental shard merge: scatter parts as they complete.
+
+    The pipelined engine's counterpart of :func:`concatenate_stored`
+    (and, for in-RAM parts, of :meth:`Trace.concatenate`): instead of
+    waiting for every shard before the two merge passes begin, the
+    caller precomputes the global probe-id order — the collection plan
+    already holds every row's ``probe_id`` in schedule order, which for
+    contiguous ascending source ranges *is* part-concatenation order —
+    and each part is scattered into the output the moment it finishes,
+    while other shards are still running.  The finalized trace is
+    bitwise identical to the barrier merge: same stable sort, same
+    dtypes, and (when spilling) the same ``.npy`` + ``__meta__.json``
+    layout :func:`open_stored` re-opens.
+
+    Parameters
+    ----------
+    meta:
+        the run's :class:`TraceMeta` (every part must be from this run).
+    pids:
+        all parts' ``probe_id`` values concatenated in part order
+        (uint64; the global stable argsort of this array defines the
+        canonical output order).
+    offsets:
+        ``n_parts + 1`` row offsets: part ``i`` covers rows
+        ``[offsets[i], offsets[i+1])`` of ``pids``.
+    out_dir:
+        directory for memory-mapped output columns (the spilled-merge
+        layout), or ``None`` to merge into RAM arrays.
+    """
+
+    def __init__(self, meta: TraceMeta, pids, offsets, out_dir: str | Path | None = None):
+        self.meta = meta
+        pids = np.asarray(pids)
+        self._offsets = np.asarray(offsets, dtype=np.int64)
+        if self._offsets.ndim != 1 or len(self._offsets) < 2:
+            raise ValueError("offsets must hold n_parts + 1 row bounds")
+        total = int(self._offsets[-1])
+        if int(self._offsets[0]) != 0 or len(pids) != total:
+            raise ValueError(
+                f"offsets [{self._offsets[0]}..{total}] do not cover the "
+                f"{len(pids)} probe ids"
+            )
+        order = np.argsort(pids, kind="stable")
+        self._dest = np.empty(total, dtype=np.int64)
+        self._dest[order] = np.arange(total)
+        self._total = total
+        self.out_dir = Path(out_dir) if out_dir is not None else None
+        self._outs: dict[str, np.ndarray] | None = None
+        self._seen = [False] * (len(self._offsets) - 1)
+        if self.out_dir is not None:
+            self.out_dir.mkdir(parents=True, exist_ok=True)
+            meta_dict = {
+                "dataset": meta.dataset,
+                "mode": meta.mode,
+                "horizon_s": meta.horizon_s,
+                "seed": meta.seed,
+                "host_names": list(meta.host_names),
+                "method_names": list(meta.method_names),
+                "extra": {},
+            }
+            (self.out_dir / "__meta__.json").write_text(json.dumps(meta_dict))
+
+    def _allocate(self, dtypes: dict[str, np.dtype]) -> dict[str, np.ndarray]:
+        if self.out_dir is None:
+            return {
+                name: np.empty(self._total, dtype=dtypes[name])
+                for name in Trace.ARRAY_FIELDS
+            }
+        return {
+            name: np.lib.format.open_memmap(
+                self.out_dir / f"{name}.npy",
+                mode="w+",
+                dtype=dtypes[name],
+                shape=(self._total,),
+            )
+            for name in Trace.ARRAY_FIELDS
+        }
+
+    def add(self, index: int, part: Trace | str | Path) -> None:
+        """Scatter part ``index`` (a :class:`Trace`, or a path written by
+        :func:`save_trace`) into its destination rows.  Parts may arrive
+        in any order; each index exactly once."""
+        if self._seen[index]:
+            raise ValueError(f"part {index} already merged")
+        if isinstance(part, Trace):
+            require_same_run([self.meta, part.meta])
+            arrays = {name: getattr(part, name) for name in Trace.ARRAY_FIELDS}
+        else:
+            with np.load(_npz_path(part)) as data:
+                require_same_run(
+                    [self.meta, _meta_from_dict(json.loads(bytes(data["__meta__"]).decode()))]
+                )
+                arrays = {name: data[name] for name in Trace.ARRAY_FIELDS}
+        lo, hi = int(self._offsets[index]), int(self._offsets[index + 1])
+        if len(arrays["probe_id"]) != hi - lo:
+            raise ValueError(
+                f"part {index} has {len(arrays['probe_id'])} rows, expected {hi - lo}"
+            )
+        if self._outs is None:
+            self._outs = self._allocate({name: a.dtype for name, a in arrays.items()})
+        rows = self._dest[lo:hi]
+        for name in Trace.ARRAY_FIELDS:
+            self._outs[name][rows] = arrays[name]
+        self._seen[index] = True
+
+    def finalize(self) -> Trace:
+        """All parts in: flush (spilled) and return the merged trace.
+
+        Spilled outputs come back re-opened as read-only memory maps —
+        the same bounded-residency contract as :func:`concatenate_stored`.
+        """
+        missing = [i for i, seen in enumerate(self._seen) if not seen]
+        if missing:
+            raise ValueError(f"cannot finalize: parts {missing} never added")
+        assert self._outs is not None
+        if self.out_dir is not None:
+            for arr in self._outs.values():
+                arr.flush()
+            arrays = {
+                name: np.load(self.out_dir / f"{name}.npy", mmap_mode="r")
+                for name in Trace.ARRAY_FIELDS
+            }
+        else:
+            arrays = self._outs
+        self._outs = None
+        merged = Trace(meta=self.meta, **arrays)
+        if debug_checks_enabled():
+            merged.assert_canonical_order("StreamingMerge")
+        return merged
 
 
 def open_stored(out_dir: str | Path) -> Trace:

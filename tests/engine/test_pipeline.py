@@ -1,0 +1,247 @@
+"""Pipelined-engine equivalence: overlapping the probe/tables/collect/
+merge stages must move wall-clock idle time, never a byte.
+
+The ISSUE-9 gate: ``EngineConfig(pipeline=True)`` fingerprints
+identically to the sequential pipeline and the barrier engine across
+the executor x shard-count x spill zoo, the streaming merge is byte
+equal to both merge paths it replaces, and the completion-order drain
+of ``run_shards`` delivers fast shards to ``on_result`` while a slow
+one is still running.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.engine import ShardedCollector
+from repro.engine.sharding import run_shards
+from repro.scenarios import quiet_wide_area
+from repro.testbed import collect, dataset
+from repro.testbed.collection import collect_rows, prepare_collection
+from repro.trace import Trace, trace_fingerprint
+from repro.trace.store import StreamingMerge, concatenate_stored, save_trace
+
+from ..conftest import assert_traces_equal
+
+DURATION = 240.0
+SEED = 6
+
+
+@pytest.fixture(scope="module")
+def sequential():
+    ds = dataset("ronnarrow")
+    return ds, collect(ds, DURATION, seed=SEED)
+
+
+class TestPipelinedEquivalence:
+    """Bitwise identity of the overlapped schedule, across the zoo."""
+
+    @pytest.mark.parametrize("executor", ["serial", "thread"])
+    @pytest.mark.parametrize("n_shards", [1, 2, 17])
+    def test_in_ram_matches_sequential(self, sequential, executor, n_shards):
+        ds, seq = sequential
+        col = ShardedCollector(
+            n_shards=n_shards, executor=executor, pipeline=True
+        ).collect(ds, DURATION, seed=SEED, network=seq.network)
+        assert trace_fingerprint(col.trace) == trace_fingerprint(seq.trace)
+        assert_traces_equal(col.trace, seq.trace)
+
+    def test_tables_match_barrier_engine(self, sequential):
+        ds, seq = sequential
+        pipe = ShardedCollector(n_shards=4, executor="thread", pipeline=True).collect(
+            ds, DURATION, seed=SEED, network=seq.network
+        )
+        barrier = ShardedCollector(n_shards=4, executor="thread").collect(
+            ds, DURATION, seed=SEED, network=seq.network
+        )
+        assert pipe.tables.fingerprint() == barrier.tables.fingerprint()
+
+    @pytest.mark.skipif(not hasattr(os, "fork"), reason="process executor needs fork()")
+    def test_process_executor_matches_sequential(self, sequential):
+        ds, seq = sequential
+        col = ShardedCollector(
+            n_shards=3, executor="process", max_workers=2, pipeline=True
+        ).collect(ds, DURATION, seed=SEED, network=seq.network)
+        assert_traces_equal(col.trace, seq.trace)
+
+    def test_spilled_matches_barrier_spill_bytes(self, sequential, tmp_path):
+        ds, seq = sequential
+        pipe = ShardedCollector(
+            n_shards=4, executor="thread", spill_dir=tmp_path / "pipe", pipeline=True
+        ).collect(ds, DURATION, seed=SEED, network=seq.network)
+        barrier = ShardedCollector(
+            n_shards=4, executor="thread", spill_dir=tmp_path / "barrier"
+        ).collect(ds, DURATION, seed=SEED, network=seq.network)
+        assert_traces_equal(pipe.trace, seq.trace)
+        # the merged memory-mapped store is the same bytes, file for file
+        for name in Trace.ARRAY_FIELDS:
+            a = np.load(pipe.spill_dir / "merged" / f"{name}.npy")
+            b = np.load(barrier.spill_dir / "merged" / f"{name}.npy")
+            assert a.tobytes() == b.tobytes(), name
+
+    def test_rtt_scenario_matches_sequential(self):
+        sc = quiet_wide_area(n_hosts=8, seed=4)
+        sc.register()
+        try:
+            ds = dataset(sc.name)
+            seq = collect(ds, DURATION, seed=SEED)
+            col = ShardedCollector(n_shards=4, executor="thread", pipeline=True).collect(
+                ds, DURATION, seed=SEED, network=seq.network
+            )
+            assert_traces_equal(col.trace, seq.trace)
+        finally:
+            sc.unregister()
+
+    def test_no_probing_methods_skip_tables(self, sequential):
+        # methods that never consult routing tables: the probe and
+        # tables stages vanish and every collect shard submits at once
+        ds, seq = sequential
+        no_probe = replace(ds, probe_methods=("direct", "rand"))
+        ref = collect(no_probe, DURATION, seed=SEED, network=seq.network)
+        col = ShardedCollector(n_shards=4, executor="thread", pipeline=True).collect(
+            no_probe, DURATION, seed=SEED, network=seq.network
+        )
+        assert col.tables is None
+        assert_traces_equal(col.trace, ref.trace)
+
+
+class TestStreamingMerge:
+    """The precomputed-destination merge is byte-for-byte the barrier merge."""
+
+    @pytest.fixture(scope="class")
+    def parts(self, sequential):
+        ds, seq = sequential
+        plan = prepare_collection(ds, DURATION, seed=SEED, network=seq.network)
+        ranges = [(0, 6), (6, 12), (12, 17)]
+        parts = [collect_rows(plan, lo, hi) for lo, hi in ranges]
+        offsets = [int(plan.bounds[lo]) for lo, _ in ranges] + [
+            int(plan.bounds[plan.n_hosts])
+        ]
+        return plan, parts, offsets
+
+    def test_in_ram_matches_concatenate_any_add_order(self, parts):
+        plan, traces, offsets = parts
+        expected = Trace.concatenate(traces)
+        merge = StreamingMerge(plan.meta, plan.sched.probe_id, offsets)
+        for j in (2, 0, 1):  # completion order need not be range order
+            merge.add(j, traces[j])
+        merged = merge.finalize()
+        assert_traces_equal(merged, expected)
+
+    def test_spilled_matches_concatenate_stored(self, parts, tmp_path):
+        plan, traces, offsets = parts
+        paths = [
+            save_trace(t, tmp_path / f"shard-{j}") for j, t in enumerate(traces)
+        ]
+        expected = concatenate_stored(paths, out_dir=tmp_path / "barrier")
+        merge = StreamingMerge(
+            plan.meta, plan.sched.probe_id, offsets, out_dir=tmp_path / "streaming"
+        )
+        for j in (1, 2, 0):
+            merge.add(j, paths[j])
+        merged = merge.finalize()
+        assert_traces_equal(merged, expected)
+        for name in Trace.ARRAY_FIELDS:
+            a = (tmp_path / "streaming" / f"{name}.npy").read_bytes()
+            b = (tmp_path / "barrier" / f"{name}.npy").read_bytes()
+            assert a == b, name
+
+    def test_guards(self, parts):
+        plan, traces, offsets = parts
+        merge = StreamingMerge(plan.meta, plan.sched.probe_id, offsets)
+        merge.add(0, traces[0])
+        with pytest.raises(ValueError, match="already merged"):
+            merge.add(0, traces[0])
+        with pytest.raises(ValueError, match="rows"):
+            merge.add(1, traces[2])  # wrong part for the range
+        with pytest.raises(ValueError, match="never added"):
+            merge.finalize()
+
+
+# -- completion-order drain (the on_result head-of-line fix) -----------------
+
+
+def _gated_kernel(plan, lo, hi):
+    """Shard 0 blocks until released; later shards finish immediately."""
+    if lo == 0:
+        assert plan["release"].wait(timeout=30), "release never arrived"
+    return (lo, hi)
+
+
+def test_slow_first_shard_does_not_block_on_result():
+    # regression for the pool.map drain: shard 1's result must reach
+    # on_result while shard 0 is still running — here shard 0 *cannot*
+    # finish until shard 1's on_result callback has released it, so the
+    # old submission-order drain would deadlock (and time out)
+    release = threading.Event()
+    seen = []
+
+    def on_result(part):
+        seen.append(part)
+        if part == (1, 2):
+            release.set()
+
+    out = run_shards(
+        {"release": release},
+        [(0, 1), (1, 2)],
+        kernel=_gated_kernel,
+        worker=_gated_kernel,
+        initializer=None,
+        executor="thread",
+        max_workers=2,
+        on_result=on_result,
+    )
+    assert seen[0] == (1, 2)  # completion order: the fast shard streams first
+    assert out == [(0, 1), (1, 2)]  # the returned list stays in submission order
+
+
+# -- stage overlap + queue-wait visibility -----------------------------------
+
+
+def test_stage_spans_overlap_and_waits_fold_per_stage(sequential):
+    ds, seq = sequential
+    with telemetry.recording() as rec:
+        ShardedCollector(
+            n_shards=4, executor="thread", max_workers=2, pipeline=True
+        ).collect(ds, DURATION, seed=SEED, network=seq.network)
+        events = rec.events()
+    spans = [e for e in events if e.get("ev") == "span"]
+    stage = {e["name"]: e for e in spans if e["cat"] == "stage"}
+    for name in ("probe", "tables", "collect", "merge"):
+        assert stage[name]["args"]["pipelined"] is True
+
+    # tables/collect overlap: shard 0 starts collecting while later
+    # table blocks are still being selected (table pool width is 1)
+    tables_end = stage["tables"]["ts_ns"] + stage["tables"]["dur_ns"]
+    assert tables_end > stage["collect"]["ts_ns"]
+    # merge/collect overlap: the first finished shard scatters before
+    # the last shard completes
+    collect_end = stage["collect"]["ts_ns"] + stage["collect"]["dur_ns"]
+    assert stage["merge"]["ts_ns"] < collect_end
+
+    # every shard span of both fan-outs carries its pool queue wait
+    shard_spans = [e for e in spans if e["cat"] == "shard"]
+    probe_spans = [e for e in shard_spans if e["name"] == "shard-probe"]
+    assert probe_spans and all("queue_wait_ns" in e["args"] for e in shard_spans)
+
+    # and the waits fold into per-stage counters that sum to the totals
+    counters = {e["name"]: e["value"] for e in events if e.get("ev") == "counter"}
+    for key in (
+        "shard.queue_wait_ns.probe",
+        "shard.queue_wait_ns.collect",
+        "shard.exec_ns.probe",
+        "shard.exec_ns.collect",
+    ):
+        assert key in counters, key
+    assert counters["shard.queue_wait_ns"] == (
+        counters["shard.queue_wait_ns.probe"] + counters["shard.queue_wait_ns.collect"]
+    )
+    assert counters["shard.exec_ns"] == (
+        counters["shard.exec_ns.probe"] + counters["shard.exec_ns.collect"]
+    )

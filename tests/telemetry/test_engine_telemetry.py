@@ -95,6 +95,39 @@ class TestManifestCompleteness:
         assert len(waits) == 6  # 3 shard span kinds x 2 shards
         assert all(w >= 0 for w in waits)
 
+    def test_probe_spans_carry_queue_wait(self, spilled_run):
+        # regression: the probe fan-out used to take no submit stamps,
+        # so shard-probe spans silently lacked queue_wait_ns and the
+        # probe stage's pool waits never reached any counter
+        col, _ = spilled_run
+        _, events = telemetry.read_manifest(col.spill_dir)
+        probe_waits = [
+            ev["args"]["queue_wait_ns"]
+            for ev in events
+            if ev.get("ev") == "span" and ev.get("name") == "shard-probe"
+        ]
+        assert len(probe_waits) == 2 and all(w >= 0 for w in probe_waits)
+
+    def test_queue_waits_fold_per_stage(self, spilled_run):
+        col, _ = spilled_run
+        _, events = telemetry.read_manifest(col.spill_dir)
+        counters = telemetry.summarize(events)["counters"]
+        for key in (
+            "shard.queue_wait_ns.probe",
+            "shard.queue_wait_ns.collect",
+            "shard.exec_ns.probe",
+            "shard.exec_ns.collect",
+        ):
+            assert key in counters, key
+        # the per-stage folds are a partition of the legacy totals
+        assert counters["shard.queue_wait_ns"] == (
+            counters["shard.queue_wait_ns.probe"]
+            + counters["shard.queue_wait_ns.collect"]
+        )
+        assert counters["shard.exec_ns"] == (
+            counters["shard.exec_ns.probe"] + counters["shard.exec_ns.collect"]
+        )
+
     def test_worker_spans_keep_worker_pids(self, spilled_run):
         col, _ = spilled_run
         header, events = telemetry.read_manifest(col.spill_dir)
