@@ -1,0 +1,148 @@
+"""Sparse relay-set scaling bench: dense vs ``k_nearest`` topology
+builds at growing mesh sizes.
+
+Measures the *superlinear* savings of candidate-set path tables: dense
+relay rows grow as N^3 while a ``k_nearest`` set grows as ~k*N^2, so
+the dense/sparse byte ratio must itself grow with N.  Dense builds are
+measured up to :data:`DENSE_BUILD_MAX` hosts; beyond that the dense
+table is priced analytically from the measured bytes-per-row (building
+it would need tens of GB).  Results land in
+``benchmarks/out/sparse_scaling.json`` for CI to archive and for
+``tools/perf_gate.py`` to gate the wall-time leaves.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.netsim import RngFactory
+from repro.netsim.topology import build_topology
+from repro.relaysets import RelayPolicySpec
+from repro.scenarios import stress_mesh
+
+OUT_DIR = Path(__file__).parent / "out"
+
+SIZES = (50, 100, 300)
+#: largest dense build actually executed (dense 300-host = ~27M rows,
+#: ~30 s on one core and >1 GB resident — priced analytically instead)
+DENSE_BUILD_MAX = 100
+K = 4
+POLICY = RelayPolicySpec(policy="k_nearest", k=K)
+
+#: per-row fields of the path table (parallel arrays over pids)
+TABLE_FIELDS = (
+    "seg",
+    "offset",
+    "prop_total",
+    "forward_loss",
+    "forward_delay",
+    "relay_host",
+    "valid",
+)
+
+
+def table_nbytes(paths) -> int:
+    return sum(int(getattr(paths, name).nbytes) for name in TABLE_FIELDS)
+
+
+def test_sparse_vs_dense_build_scaling():
+    results: dict[str, dict] = {}
+    bytes_per_dense_row = None
+    for n in SIZES:
+        sc = stress_mesh(n_hosts=n, seed=1)
+        hosts, cfg = sc.hosts(), sc.network_config()
+        dense_rows = n * n + n * (n - 1) * (n - 2)
+
+        t0 = time.perf_counter()
+        sparse = build_topology(hosts, cfg, RngFactory(1), relay_policy=POLICY)
+        t_sparse = time.perf_counter() - t0
+        rs = sparse.paths.relay_set
+        sparse_rows = n * n + rs.nnz
+        sparse_bytes = table_nbytes(sparse.paths)
+
+        entry = {
+            "hosts": n,
+            "k": K,
+            "sparse_build_seconds": round(t_sparse, 4),
+            "sparse_rows": sparse_rows,
+            "sparse_bytes": sparse_bytes,
+            "dense_rows": dense_rows,
+        }
+        if n <= DENSE_BUILD_MAX:
+            t0 = time.perf_counter()
+            dense = build_topology(hosts, cfg, RngFactory(1))
+            entry["dense_build_seconds"] = round(time.perf_counter() - t0, 4)
+            dense_bytes = table_nbytes(dense.paths)
+            bytes_per_dense_row = dense_bytes / dense_rows
+            entry["dense_bytes"] = dense_bytes
+            entry["dense_analytic"] = False
+        else:
+            assert bytes_per_dense_row is not None
+            entry["dense_bytes"] = int(dense_rows * bytes_per_dense_row)
+            entry["dense_analytic"] = True
+        entry["bytes_ratio"] = round(entry["dense_bytes"] / sparse_bytes, 2)
+        results[str(n)] = entry
+
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "sparse_scaling.json").write_text(
+        json.dumps(results, indent=2, sort_keys=True) + "\n"
+    )
+    print(json.dumps(results, indent=2, sort_keys=True))
+
+    # the sparse table is genuinely k-bounded at every size ...
+    for n in SIZES:
+        r = results[str(n)]
+        assert r["sparse_rows"] <= n * n * (1 + 2 * K)
+    # ... so the savings ratio must grow with N (superlinear savings:
+    # dense is Theta(N^3), sparse Theta(k N^2))
+    ratios = [results[str(n)]["bytes_ratio"] for n in SIZES]
+    assert ratios == sorted(ratios) and ratios[-1] > ratios[0] * 2, ratios
+    # at interdomain scale the dense table is 2+ orders of magnitude
+    # bigger than the candidate-set table
+    assert ratios[-1] > 30.0, ratios
+
+
+def test_sparse_selector_scaling():
+    """Candidate-bounded selection over synthetic estimates: the sparse
+    selector's working set is ~k*N^2 entries where a dense pass gathers
+    the full (G, N, N, N) tensor."""
+    from repro.core.selector import select_paths_block
+    from repro.relaysets import compile_relay_set
+
+    results: dict[str, dict] = {}
+    g = 2
+    for n in SIZES:
+        rng = np.random.default_rng(2)
+        loss = rng.uniform(0.0, 0.4, size=(g, n, n))
+        lat = rng.uniform(0.01, 0.3, size=(g, n, n))
+        failed = rng.random((g, n, n)) < 0.05
+        pos = rng.uniform(0.0, 1.0, size=(n, 2))
+        dist = np.linalg.norm(pos[:, None, :] - pos[None, :, :], axis=-1)
+        rs = compile_relay_set(POLICY, n, distances=dist)
+
+        t0 = time.perf_counter()
+        sparse = select_paths_block(loss, lat, failed, 0, n, relay_set=rs)
+        t_sparse = time.perf_counter() - t0
+        entry = {
+            "hosts": n,
+            "candidates": rs.nnz,
+            "sparse_select_seconds": round(t_sparse, 4),
+        }
+        if n <= DENSE_BUILD_MAX:
+            t0 = time.perf_counter()
+            dense = select_paths_block(loss, lat, failed, 0, n)
+            entry["dense_select_seconds"] = round(time.perf_counter() - t0, 4)
+            # sanity: both layouts produced full tables
+            assert dense.loss_best.shape == sparse.loss_best.shape
+        assert sparse.loss_best.shape == (g, n, n)
+        results[str(n)] = entry
+
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "sparse_selector_scaling.json").write_text(
+        json.dumps(results, indent=2, sort_keys=True) + "\n"
+    )
+    print(json.dumps(results, indent=2, sort_keys=True))

@@ -43,7 +43,9 @@ from .api import (
     ExperimentSpec,
     FecSpec,
     MethodRegistry,
+    RelayPolicySpec,
     Runner,
+    StageConfig,
     SweepResult,
     spec_grid,
 )
@@ -92,11 +94,13 @@ __all__ = [
     "RON2003",
     "RONNARROW",
     "RONWIDE",
+    "RelayPolicySpec",
     "RngFactory",
     "RouteKind",
     "Runner",
     "Scenario",
     "ShardedCollector",
+    "StageConfig",
     "SweepResult",
     "Trace",
     "__version__",

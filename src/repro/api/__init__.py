@@ -26,7 +26,8 @@ families of workloads that run through this API unchanged.
 """
 
 from repro.core.methods import MethodRegistry, register_method
-from repro.engine import EngineConfig
+from repro.engine import EngineConfig, StageConfig
+from repro.relaysets import RelayPolicySpec
 
 from .experiment import Experiment
 from .grid import spec_grid
@@ -41,7 +42,9 @@ __all__ = [
     "ExperimentSpec",
     "FecSpec",
     "MethodRegistry",
+    "RelayPolicySpec",
     "Runner",
+    "StageConfig",
     "SweepResult",
     "register_method",
     "spec_grid",

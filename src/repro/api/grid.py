@@ -25,6 +25,8 @@ from __future__ import annotations
 
 from itertools import product
 
+from repro.relaysets import RelayPolicySpec
+
 from .spec import ExperimentSpec
 
 __all__ = ["spec_grid"]
@@ -70,6 +72,10 @@ def spec_grid(label_fmt: str | None = None, **axes) -> list[ExperimentSpec]:
 def _fmt(value) -> str:
     if isinstance(value, float):
         return f"{value:g}"
+    if isinstance(value, RelayPolicySpec):
+        # relay-policy axes label by the compact policy token, so a
+        # k-scan reads "relays=k_nearest-8-s0,..." instead of a repr
+        return value.label
     if isinstance(value, tuple):
         return "+".join(str(v) for v in value)
     return str(value)

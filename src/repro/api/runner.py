@@ -38,8 +38,10 @@ __all__ = ["Runner"]
 #: Network.build; method/mode/filter overrides deliberately excluded).
 #: The registered DatasetSpec object itself is part of the key, so
 #: re-registering a dataset (overwrite=True) never serves a stale
-#: substrate built from the old definition.
-_WeatherKey = tuple[DatasetSpec, float, int, bool]
+#: substrate built from the old definition.  The relay policy is part
+#: of the key too: a sparse and a dense run build different path
+#: tables, so they must never share a cached substrate.
+_WeatherKey = tuple[DatasetSpec, float, int, bool, object]
 
 
 class Runner:
@@ -62,7 +64,7 @@ class Runner:
         optionally over a lazy or shared-memory substrate) instead of
         the sequential pipeline.  The probing subsystem of an engine
         run is sharded too (:class:`~repro.engine.ShardedProbe`, tuned
-        by ``engine.probe_shards``/``probe_executor``): routing tables
+        by ``engine.probe=StageConfig(...)``): routing tables
         are computed once in parallel, then shared read-only by every
         collection shard.  ``engine.spill_dir`` additionally streams
         shard traces through disk with bounded residency
@@ -139,6 +141,7 @@ class Runner:
                 float(spec.duration_s),
                 int(seed),
                 spec.include_events,
+                ds.relay_policy,
             )
             with self._lock_for(key):
                 network = self._network_for(key, ds, spec, seed, collector is not None)
@@ -184,6 +187,7 @@ class Runner:
                 seed=seed,
                 substrate=substrate,
                 max_cached_segments=budget,
+                relay_policy=ds.relay_policy,
             )
             entry = (network, network.traffic_rng_state)
             self._networks[key] = entry

@@ -20,9 +20,10 @@ from dataclasses import dataclass
 
 from repro.core.methods import METHODS
 from repro.fec import DuplicationCode, ReedSolomonCode, TransmissionPlan, transmission_plan
+from repro.relaysets import RelayPolicySpec
 from repro.testbed.datasets import DatasetSpec, dataset
 
-__all__ = ["ExperimentSpec", "FecSpec"]
+__all__ = ["ExperimentSpec", "FecSpec", "RelayPolicySpec"]
 
 
 @dataclass(frozen=True)
@@ -86,6 +87,12 @@ class ExperimentSpec:
     method names accept any paper-style spelling and are stored
     canonically.  ``seeds`` lists every seed the spec should be run at —
     the :class:`repro.api.Runner` fans them out.
+
+    ``relays`` attaches a :class:`repro.relaysets.RelayPolicySpec` —
+    which relay candidates each pair may route through (the sparse
+    interdomain-scale path; see :mod:`repro.relaysets`).  The default
+    ``None`` keeps the dense all-relays path table, so pre-existing
+    specs stay value-equal and their goldens byte-identical.
     """
 
     dataset: str
@@ -97,6 +104,7 @@ class ExperimentSpec:
     filters: bool = True
     fec: FecSpec | None = None
     label: str | None = None
+    relays: RelayPolicySpec | None = None
 
     def __post_init__(self) -> None:
         if isinstance(self.dataset, DatasetSpec):
@@ -131,6 +139,11 @@ class ExperimentSpec:
             raise ValueError(f"mode must be 'oneway' or 'rtt', got {self.mode!r}")
         if self.fec is not None and isinstance(self.fec, dict):
             object.__setattr__(self, "fec", FecSpec.from_dict(self.fec))
+        if self.relays is not None:
+            if isinstance(self.relays, dict):
+                object.__setattr__(self, "relays", RelayPolicySpec.from_dict(self.relays))
+            elif not isinstance(self.relays, RelayPolicySpec):
+                raise TypeError("relays must be a RelayPolicySpec, a dict, or None")
 
     # ------------------------------------------------------------------
     # resolution
@@ -144,6 +157,8 @@ class ExperimentSpec:
             changes["probe_methods"] = self.methods
         if self.mode is not None:
             changes["mode"] = self.mode
+        if self.relays is not None:
+            changes["relay_policy"] = self.relays
         return dataclasses.replace(base, **changes) if changes else base
 
     @property
@@ -174,6 +189,8 @@ class ExperimentSpec:
         d = dataclasses.asdict(self)
         if self.fec is not None:
             d["fec"] = self.fec.to_dict()
+        if self.relays is not None:
+            d["relays"] = self.relays.to_dict()
         return d
 
     @classmethod
@@ -181,6 +198,8 @@ class ExperimentSpec:
         d = dict(d)
         if d.get("fec") is not None:
             d["fec"] = FecSpec.from_dict(d["fec"])
+        if d.get("relays") is not None:
+            d["relays"] = RelayPolicySpec.from_dict(d["relays"])
         if d.get("methods") is not None:
             d["methods"] = tuple(d["methods"])
         d["seeds"] = tuple(d.get("seeds", (0,)))

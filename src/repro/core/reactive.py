@@ -400,9 +400,17 @@ def _rolling_mean_excl(
 _SELECT_BUDGET = 2_000_000
 
 
-def _slot_block(n: int, budget: int = _SELECT_BUDGET) -> int:
-    """How many slots to select at once for an n-host mesh."""
-    return max(1, int(budget // max(n * n * n, 1)))
+def _slot_block(n: int, n_options: int | None = None, budget: int = _SELECT_BUDGET) -> int:
+    """How many slots to select at once for an n-host mesh.
+
+    ``n_options`` is the per-pair option count the selector will build
+    (the relay axis): ``n`` for the dense layout, the candidate set's
+    ragged maximum for sparse runs — which is what lets sparse meshes
+    select far more slots per pass inside the same memory bound.
+    """
+    if n_options is None:
+        n_options = n
+    return max(1, int(budget // max(n * n * max(n_options, 1), 1)))
 
 
 def probe_estimates(
@@ -446,13 +454,15 @@ def probe_estimates(
 def build_routing_tables(
     series: ProbeSeries,
     params: ProbingParams,
+    relay_set=None,
 ) -> RoutingTables:
     """Turn probe outcomes into per-slot best-path choices.
 
     Estimates come from :func:`probe_estimates`; selection runs through
     :func:`~repro.core.selector.select_paths_batch` in slot blocks
     sized by :func:`_slot_block`, elementwise identical to the per-slot
-    loop it replaced.
+    loop it replaced.  When ``relay_set`` is given, selection only
+    considers each pair's relay candidates.
     """
     g_total, n = series.n_slots, series.n_hosts
     loss_est, lat_est, failed = probe_estimates(series, params)
@@ -461,11 +471,15 @@ def build_routing_tables(
     loss_second = np.empty_like(loss_best)
     lat_best = np.empty_like(loss_best)
     lat_second = np.empty_like(loss_best)
-    block = _slot_block(n)
+    block = _slot_block(n, None if relay_set is None else relay_set.max_k + 1)
     for g0 in range(0, g_total, block):
         g1 = min(g0 + block, g_total)
         tables = select_paths_batch(
-            loss_est[g0:g1], lat_est[g0:g1], failed[g0:g1], params.selection_margin
+            loss_est[g0:g1],
+            lat_est[g0:g1],
+            failed[g0:g1],
+            params.selection_margin,
+            relay_set=relay_set,
         )
         loss_best[g0:g1] = tables.loss_best
         loss_second[g0:g1] = tables.loss_second
@@ -491,6 +505,7 @@ def build_table_block(
     params: ProbingParams,
     host_lo: int,
     host_hi: int,
+    relay_set=None,
 ) -> RoutingTableBlock:
     """Select routing-table rows ``[host_lo, host_hi)`` from full estimates.
 
@@ -500,7 +515,8 @@ def build_table_block(
     :func:`~repro.core.selector.select_paths_block` — row for row
     bitwise identical to the full build.  The estimates must be the
     full (G, n, n) arrays from :func:`probe_estimates`; relay legs
-    reach every host whatever the source range.
+    reach every host whatever the source range.  ``relay_set`` limits
+    selection to each pair's relay candidates.
     """
     g_total, n = loss_est.shape[0], loss_est.shape[1]
     width = host_hi - host_lo
@@ -508,7 +524,7 @@ def build_table_block(
     loss_second = np.empty_like(loss_best)
     lat_best = np.empty_like(loss_best)
     lat_second = np.empty_like(loss_best)
-    block = _slot_block(n)
+    block = _slot_block(n, None if relay_set is None else relay_set.max_k + 1)
     for g0 in range(0, g_total, block):
         g1 = min(g0 + block, g_total)
         tables = select_paths_block(
@@ -518,6 +534,7 @@ def build_table_block(
             host_lo,
             host_hi,
             params.selection_margin,
+            relay_set=relay_set,
         )
         loss_best[g0:g1] = tables.loss_best
         loss_second[g0:g1] = tables.loss_second

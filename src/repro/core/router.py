@@ -23,7 +23,7 @@ import numpy as np
 from repro.netsim.topology import PathTable
 from repro.trace.records import id_dtype
 
-from .mesh import random_relays
+from .mesh import random_candidate_relays, random_relays
 from .methods import Method, RouteKind
 from .reactive import RoutingTables
 from .selector import DIRECT
@@ -45,6 +45,26 @@ class ResolvedRoutes:
     relay2: np.ndarray | None
 
 
+def _random_relays(
+    rng: np.random.Generator,
+    paths: PathTable,
+    src: np.ndarray,
+    dst: np.ndarray,
+    exclude: np.ndarray | None = None,
+) -> np.ndarray:
+    """Random relay per row, honouring the path table's candidate sets.
+
+    Dense tables (and complete candidate sets, where every non-endpoint
+    host is a candidate) keep the exact order-statistics draw of
+    :func:`random_relays` so existing seeded runs stay bitwise
+    reproducible; sparse tables draw from the pair's candidates.
+    """
+    rs = paths.relay_set
+    if rs is None or rs.is_complete:
+        return random_relays(rng, paths.n_hosts, src, dst, exclude=exclude)
+    return random_candidate_relays(rng, rs, src, dst, exclude=exclude)
+
+
 def _resolve_kind(
     kind: RouteKind,
     src: np.ndarray,
@@ -52,15 +72,15 @@ def _resolve_kind(
     times: np.ndarray,
     tables: RoutingTables | None,
     rng: np.random.Generator,
-    n_hosts: int,
+    paths: PathTable,
     exclude: np.ndarray | None = None,
 ) -> np.ndarray:
     """Relay choice (or DIRECT) for one route kind."""
-    hid = id_dtype(n_hosts)
+    hid = id_dtype(paths.n_hosts)
     if kind == RouteKind.DIRECT:
         return np.full(len(src), DIRECT, dtype=hid)
     if kind == RouteKind.RAND:
-        return random_relays(rng, n_hosts, src, dst, exclude=exclude).astype(hid)
+        return _random_relays(rng, paths, src, dst, exclude=exclude).astype(hid)
     if tables is None:
         raise ValueError(f"route kind {kind.value} needs routing tables")
     criterion = "lat" if kind == RouteKind.LAT else "loss"
@@ -71,8 +91,16 @@ def _pids_for(
     paths: PathTable, src: np.ndarray, dst: np.ndarray, relay: np.ndarray
 ) -> np.ndarray:
     direct = paths.direct_pids(src, dst)
-    via = paths.relay_pids(src, np.maximum(relay, 0), dst)
-    return np.where(relay == DIRECT, direct, via)
+    via_rows = relay != DIRECT
+    pids = np.asarray(direct, dtype=np.int64).copy()
+    if via_rows.any():
+        # only query relay pids where a relay was actually chosen: under a
+        # candidate-set table, relay 0 need not be a valid (src, 0, dst)
+        # lookup for rows that route DIRECT.
+        pids[via_rows] = paths.relay_pids(
+            src[via_rows], relay[via_rows].astype(np.int64), dst[via_rows]
+        )
+    return pids
 
 
 def resolve_routes(
@@ -94,7 +122,7 @@ def resolve_routes(
         raise ValueError(f"method {m.name} requires routing tables")
     n_hosts = paths.n_hosts
 
-    relay1 = _resolve_kind(m.first, src, dst, times, tables, rng, n_hosts)
+    relay1 = _resolve_kind(m.first, src, dst, times, tables, rng, paths)
     pid1 = _pids_for(paths, src, dst, relay1)
     if not m.is_pair:
         return ResolvedRoutes(pid1=pid1, relay1=relay1, pid2=None, relay2=None)
@@ -110,23 +138,23 @@ def resolve_routes(
             relay2 = np.empty_like(relay1)
             has_ex = relay1 != DIRECT
             if has_ex.any():
-                relay2[has_ex] = random_relays(
+                relay2[has_ex] = _random_relays(
                     rng,
-                    n_hosts,
+                    paths,
                     src[has_ex],
                     dst[has_ex],
                     exclude=relay1[has_ex].astype(np.int64),
                 ).astype(hid)
             if (~has_ex).any():
-                relay2[~has_ex] = random_relays(
-                    rng, n_hosts, src[~has_ex], dst[~has_ex]
+                relay2[~has_ex] = _random_relays(
+                    rng, paths, src[~has_ex], dst[~has_ex]
                 ).astype(hid)
         else:
-            relay2 = random_relays(rng, n_hosts, src, dst).astype(hid)
+            relay2 = _random_relays(rng, paths, src, dst).astype(hid)
         pid2 = _pids_for(paths, src, dst, relay2)
         return ResolvedRoutes(pid1=pid1, relay1=relay1, pid2=pid2, relay2=relay2)
 
-    relay2 = _resolve_kind(m.second, src, dst, times, tables, rng, n_hosts)
+    relay2 = _resolve_kind(m.second, src, dst, times, tables, rng, paths)
     # distinctness: where both criteria picked the same path, the second
     # packet takes its criterion's runner-up.
     clash = relay2 == relay1

@@ -88,6 +88,96 @@ def _top2(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     return order[:, 0], order[:, 1]
 
 
+def _candidate_bytes(relay_loss: np.ndarray, relay_lat: np.ndarray) -> None:
+    """Record how many candidate-tensor bytes this selection built."""
+    from repro import telemetry
+
+    rec = telemetry.get_recorder()
+    if rec.enabled:
+        rec.counter_add(
+            "selector.candidate_bytes", relay_loss.nbytes + relay_lat.nbytes
+        )
+
+
+def _select_block_sparse(
+    loss_est: np.ndarray,
+    lat_est: np.ndarray,
+    failed: np.ndarray,
+    host_lo: int,
+    host_hi: int,
+    margin: float,
+    relay_set,
+) -> SelectionTables:
+    """Candidate-set selection: gather (g, w, d, k) tensors, not n-slabs.
+
+    Options per pair are ``[direct] + candidates(s, d)`` with candidates
+    stored ascending by host id and endpoints excluded at compile time —
+    exactly the finite entries of the dense option row in the same
+    order, so with a complete candidate set (policy ``all``) the stable
+    argsort picks bitwise-identical winners.  Option indices are mapped
+    back to host ids *here*; routing tables, router and traces never see
+    candidate positions.  Padded slots carry ``-1 == DIRECT`` ids at
+    +inf, which also makes the runner-up of a candidate-less pair fall
+    back to the direct path.
+    """
+    g, n = loss_est.shape[0], loss_est.shape[1]
+    w = host_hi - host_lo
+    srcs = np.arange(host_lo, host_hi)
+    didx = np.arange(n)
+
+    cand = relay_set.padded_block(host_lo, host_hi)  # (w, n, k), -1 padded
+    k = cand.shape[2]
+    pad = cand < 0
+    safe = np.where(pad, 0, cand).astype(np.int64)
+
+    # --- candidate tensors: (g, w, d, k) — k, not n -------------------
+    l1 = loss_est[:, srcs[:, None, None], safe]  # leg s -> r
+    l2 = loss_est[:, safe, didx[None, :, None]]  # leg r -> d
+    relay_loss = combine_loss(l1, l2)
+    relay_loss[:, pad] = np.inf
+
+    relay_lat = lat_est[:, srcs[:, None, None], safe] + lat_est[:, safe, didx[None, :, None]]
+    leg_failed = (
+        failed[:, srcs[:, None, None], safe] | failed[:, safe, didx[None, :, None]]
+    )
+    relay_lat = np.where(leg_failed | ~np.isfinite(relay_lat), _UNATTRACTIVE, relay_lat)
+    relay_lat[:, pad] = np.inf
+    direct_lat = np.where(
+        failed[:, host_lo:host_hi, :] | ~np.isfinite(lat_est[:, host_lo:host_hi, :]),
+        _UNATTRACTIVE,
+        lat_est[:, host_lo:host_hi, :],
+    )
+    _candidate_bytes(relay_loss, relay_lat)
+
+    hid = id_dtype(n)
+    n_rows = g * w * n
+    # option j > 0 of pair row (s, d) is candidate j-1; option 0 and the
+    # padded slots are DIRECT
+    opt_ids = np.concatenate(
+        [np.full((w, n, 1), DIRECT, dtype=hid), cand.astype(hid)], axis=2
+    ).reshape(w * n, k + 1)
+    rowp = np.arange(n_rows) % (w * n)
+
+    direct_col = (loss_est[:, host_lo:host_hi, :] - margin).reshape(n_rows, 1)
+    loss_options = np.concatenate([direct_col, relay_loss.reshape(n_rows, k)], axis=1)
+    best, second = _top2(loss_options)
+    loss_best = opt_ids[rowp, best].reshape(g, w, n)
+    loss_second = opt_ids[rowp, second].reshape(g, w, n)
+
+    direct_col = (direct_lat - 1e-4).reshape(n_rows, 1)
+    lat_options = np.concatenate([direct_col, relay_lat.reshape(n_rows, k)], axis=1)
+    best, second = _top2(lat_options)
+    lat_best = opt_ids[rowp, best].reshape(g, w, n)
+    lat_second = opt_ids[rowp, second].reshape(g, w, n)
+
+    return SelectionTables(
+        loss_best=loss_best,
+        loss_second=loss_second,
+        lat_best=lat_best,
+        lat_second=lat_second,
+    )
+
+
 def select_paths_block(
     loss_est: np.ndarray,
     lat_est: np.ndarray,
@@ -95,6 +185,7 @@ def select_paths_block(
     host_lo: int,
     host_hi: int,
     margin: float = 0.005,
+    relay_set=None,
 ) -> SelectionTables:
     """Compute best/runner-up choices for the source rows
     ``[host_lo, host_hi)`` only.
@@ -125,6 +216,11 @@ def select_paths_block(
     margin:
         hysteresis: an indirect option must beat direct loss by this
         absolute amount to be selected.
+    relay_set:
+        a :class:`repro.relaysets.RelaySet` restricting each pair's
+        options to its candidate relays; ``None`` ranks every host.
+        With a complete set (policy ``all``) the results are bitwise
+        identical to the dense path.
     """
     if loss_est.ndim != 3:
         raise ValueError("estimate matrices must be (G, n, n)")
@@ -137,6 +233,14 @@ def select_paths_block(
         raise ValueError("estimate matrices must all be (G, n, n)")
     if not 0 <= host_lo < host_hi <= n:
         raise ValueError(f"invalid source range [{host_lo}, {host_hi}) for {n} hosts")
+    if relay_set is not None:
+        if relay_set.n_hosts != n:
+            raise ValueError(
+                f"relay set is for {relay_set.n_hosts} hosts, estimates for {n}"
+            )
+        return _select_block_sparse(
+            loss_est, lat_est, failed, host_lo, host_hi, margin, relay_set
+        )
     w = host_hi - host_lo
 
     idx = np.arange(n)
@@ -167,6 +271,7 @@ def select_paths_block(
         _UNATTRACTIVE,
         lat_est[:, host_lo:host_hi, :],
     )
+    _candidate_bytes(relay_loss, relay_lat)
 
     hid = id_dtype(n)
 
@@ -191,6 +296,11 @@ def select_paths_block(
     lat_best = (best - 1).astype(hid).reshape(g, w, n)
     lat_second = (second - 1).astype(hid).reshape(g, w, n)
 
+    # diagonal pairs are never routed; pin them to DIRECT so the dense
+    # and candidate-set layouts produce identical tables
+    for table in (loss_best, loss_second, lat_best, lat_second):
+        table[:, rows, srcs] = DIRECT
+
     return SelectionTables(
         loss_best=loss_best,
         loss_second=loss_second,
@@ -204,6 +314,7 @@ def select_paths_batch(
     lat_est: np.ndarray,
     failed: np.ndarray,
     margin: float = 0.005,
+    relay_set=None,
 ) -> SelectionTables:
     """Compute best/runner-up choices for every ordered pair and slot.
 
@@ -231,7 +342,7 @@ def select_paths_batch(
     if loss_est.ndim != 3:
         raise ValueError("estimate matrices must be (G, n, n)")
     return select_paths_block(
-        loss_est, lat_est, failed, 0, loss_est.shape[1], margin
+        loss_est, lat_est, failed, 0, loss_est.shape[1], margin, relay_set=relay_set
     )
 
 
@@ -240,6 +351,7 @@ def select_paths(
     lat_est: np.ndarray,
     failed: np.ndarray,
     margin: float = 0.005,
+    relay_set=None,
 ) -> SelectionTables:
     """Compute best/runner-up choices for every ordered pair.
 
@@ -251,7 +363,7 @@ def select_paths(
     if loss_est.shape != (n, n) or lat_est.shape != (n, n) or failed.shape != (n, n):
         raise ValueError("estimate matrices must all be (n, n)")
     t = select_paths_batch(
-        loss_est[None], lat_est[None], failed[None], margin
+        loss_est[None], lat_est[None], failed[None], margin, relay_set=relay_set
     )
     return SelectionTables(
         loss_best=t.loss_best[0],

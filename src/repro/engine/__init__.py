@@ -44,6 +44,7 @@ from .probing import ShardedProbe
 from .sharding import (
     EngineConfig,
     ShardedCollector,
+    StageConfig,
     always_shard,
     auto_executor,
     plan_shards,
@@ -52,6 +53,7 @@ from .substrate import LazyTimelineBank, SharedTimelineBank
 
 __all__ = [
     "EngineConfig",
+    "StageConfig",
     "ShardedCollector",
     "ShardedProbe",
     "always_shard",

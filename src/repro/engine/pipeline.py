@@ -39,9 +39,10 @@ Stage overlap moves wall-clock idle time, never a byte: the trace, the
 tables and the spilled files are bitwise identical to the barrier
 engine and the sequential pipeline (held by
 ``tests/engine/test_pipeline.py`` across the executor × shard × spill
-zoo).  Probing and collection share one pool, so
-``EngineConfig.probe_executor`` is ignored in this mode;
-``probe_shards`` still controls the probe fan-out width.
+zoo).  Probing and collection share one pool, so the probe stage's
+executor override (``EngineConfig.probe.executor``, or the deprecated
+``probe_executor`` alias) is ignored in this mode; the probe stage's
+shard count still controls the probe fan-out width.
 
 With telemetry enabled the run records the same ``stage`` spans as the
 barrier engine — but post-hoc (:meth:`repro.telemetry.Recorder.record_span`),
@@ -194,8 +195,11 @@ def collect_pipelined(
     )
     n = plan.n_hosts
     netcfg = spec.network_config(duration_s, include_events=include_events)
+    relay_set = plan.network.paths.relay_set
     ranges = plan_shards(n, collector.resolve_shards(n))
-    executor = cfg.executor or auto_executor(plan.network, n, cfg.process_min_hosts)
+    executor = cfg.stage("collect").executor or auto_executor(
+        plan.network, n, cfg.process_min_hosts
+    )
 
     probing_plan = None
     probe_ranges: list[tuple[int, int]] = []
@@ -274,7 +278,14 @@ def collect_pipelined(
                 if t_tables0 is None:
                     t_tables0 = _tclock.monotonic_ns()
                 block = build_table_block(
-                    loss_est, lat_est, failed, probing_plan.interval, netcfg.probing, lo, hi
+                    loss_est,
+                    lat_est,
+                    failed,
+                    probing_plan.interval,
+                    netcfg.probing,
+                    lo,
+                    hi,
+                    relay_set=relay_set,
                 )
                 t_tables1 = _tclock.monotonic_ns()
                 table_blocks[j] = block
@@ -363,6 +374,7 @@ def collect_pipelined(
                         netcfg.probing,
                         lo,
                         hi,
+                        relay_set,
                     )
                     table_futs[fut] = j
                     pending.add(fut)

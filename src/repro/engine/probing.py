@@ -8,7 +8,15 @@ partial blocks with :func:`repro.core.reactive.merge_probe_blocks`.
 The shard layout cannot affect the output: every source host draws its
 phases and packet fates from its own ``probing/<host>`` substream, so
 1 shard, 2 shards or one shard per host all fingerprint identically to
-the sequential :func:`~repro.core.reactive.run_probing`.
+the sequential :func:`~repro.core.reactive.run_probing`.  Probing is
+direct-path only, so the probe grid is independent of any relay
+candidate set the network carries (:mod:`repro.relaysets`); shards
+inherit the :class:`~repro.relaysets.RelaySet` read-only through the
+shared network and it first matters downstream, at table selection.
+
+Shard count and executor come from the probe stage's
+:class:`~repro.engine.sharding.StageConfig` when driven through
+:meth:`~repro.engine.ShardedCollector.probe_runner`.
 
 With telemetry enabled, the probe fan-out stamps each shard's submit
 time like the collect fan-out does, so ``shard-probe`` spans carry

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_completed
 from dataclasses import dataclass, replace
 from pathlib import Path
@@ -37,6 +38,7 @@ from .spill import SpillPlan, collect_rows_spilled, run_slug
 
 __all__ = [
     "EngineConfig",
+    "StageConfig",
     "ShardedCollector",
     "plan_shards",
     "always_shard",
@@ -181,6 +183,29 @@ def plan_shards(n_hosts: int, n_shards: int) -> list[tuple[int, int]]:
 
 
 @dataclass(frozen=True)
+class StageConfig:
+    """Execution settings for one engine stage (``probe`` or ``collect``).
+
+    ``None`` fields inherit the run-level ``EngineConfig.n_shards`` /
+    ``EngineConfig.executor``; :meth:`EngineConfig.stage` applies that
+    resolution rule and returns a fully-resolved ``StageConfig`` (whose
+    fields may still be ``None`` when the run-level knobs are auto).
+    """
+
+    shards: int | None = None
+    executor: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.shards is not None and self.shards < 1:
+            raise ValueError("shards must be None (inherit) or >= 1")
+        if self.executor is not None and self.executor not in _EXECUTORS:
+            raise ValueError(
+                f"executor must be None (inherit) or one of {_EXECUTORS}, "
+                f"got {self.executor!r}"
+            )
+
+
+@dataclass(frozen=True)
 class EngineConfig:
     """How the engine should execute one large collection.
 
@@ -209,11 +234,18 @@ class EngineConfig:
     read-only memory maps under its ``merged/``.
 
     The probing subsystem — formerly the last sequential stage of a
-    sharded run — is sharded too: ``probe_shards``/``probe_executor``
-    configure the :class:`~repro.engine.ShardedProbe` that computes the
-    probe grid and routing tables once in the parent, before collection
-    shards fan out and share them read-only.  Both default to ``None``,
-    meaning "inherit ``n_shards``/``executor``".
+    sharded run — is sharded too.  Per-stage execution is configured
+    through :class:`StageConfig`: ``probe=StageConfig(shards=...,
+    executor=...)`` scales the :class:`~repro.engine.ShardedProbe` that
+    computes the probe grid and routing tables once in the parent
+    (before collection shards fan out and share them read-only), and
+    ``collect=StageConfig(...)`` does the same for the collection
+    fan-out.  Unset (``None``) stage fields inherit the run-level
+    ``n_shards``/``executor`` — the single resolution rule of
+    :meth:`stage`.  The legacy paired knobs ``probe_shards``/
+    ``probe_executor`` are deprecated aliases for ``probe=``; they
+    still work (folded into ``probe`` with a :class:`DeprecationWarning`)
+    but cannot be combined with an explicit ``probe``.
 
     ``pipeline=True`` replaces the barrier stage sequence (probe →
     tables → collect → merge, each waiting for the last) with the
@@ -241,6 +273,8 @@ class EngineConfig:
     max_cached_segments: int | None = None
     probe_shards: int | None = None
     probe_executor: str | None = None
+    probe: StageConfig | None = None
+    collect: StageConfig | None = None
     spill_dir: str | Path | None = None
     max_resident_shards: int | None = None
     shared_memory: bool = False
@@ -261,13 +295,32 @@ class EngineConfig:
             raise ValueError("min_hosts must be >= 1")
         if self.substrate not in _SUBSTRATES:
             raise ValueError(f"substrate must be one of {_SUBSTRATES}, got {self.substrate!r}")
-        if self.probe_shards is not None and self.probe_shards < 1:
-            raise ValueError("probe_shards must be None (inherit) or >= 1")
-        if self.probe_executor is not None and self.probe_executor not in _EXECUTORS:
-            raise ValueError(
-                f"probe_executor must be None or one of {_EXECUTORS}, "
-                f"got {self.probe_executor!r}"
+        if self.probe is not None and not isinstance(self.probe, StageConfig):
+            raise TypeError("probe must be a StageConfig or None")
+        if self.collect is not None and not isinstance(self.collect, StageConfig):
+            raise TypeError("collect must be a StageConfig or None")
+        if self.probe_shards is not None or self.probe_executor is not None:
+            if self.probe is not None:
+                raise ValueError(
+                    "pass either probe=StageConfig(...) or the deprecated "
+                    "probe_shards/probe_executor aliases, not both"
+                )
+            warnings.warn(
+                "probe_shards/probe_executor are deprecated; use "
+                "probe=StageConfig(shards=..., executor=...)",
+                DeprecationWarning,
+                stacklevel=3,
             )
+            # StageConfig validates the alias values (>= 1, known executor);
+            # the aliases are cleared after folding so the canonical form
+            # lives in ``probe`` alone (keeps dataclasses.replace sound).
+            object.__setattr__(
+                self,
+                "probe",
+                StageConfig(shards=self.probe_shards, executor=self.probe_executor),
+            )
+            object.__setattr__(self, "probe_shards", None)
+            object.__setattr__(self, "probe_executor", None)
         if self.max_resident_shards is not None:
             if self.max_resident_shards < 1:
                 raise ValueError("max_resident_shards must be None or >= 1")
@@ -288,6 +341,24 @@ class EngineConfig:
     def resolved_substrate(self) -> str:
         """The ``Network.build`` substrate flavour this config implies."""
         return "shared" if self.shared_memory else self.substrate
+
+    def stage(self, name: str) -> StageConfig:
+        """Resolved execution settings for one stage.
+
+        The single resolution rule of the per-stage config surface: the
+        stage's own :class:`StageConfig` fields win where set, the
+        run-level ``n_shards``/``executor`` fill the rest.  Fields may
+        still come back ``None`` — auto — when neither level pins them.
+        """
+        if name not in ("probe", "collect"):
+            raise ValueError(f"unknown stage {name!r}; stages are 'probe' and 'collect'")
+        override = self.probe if name == "probe" else self.collect
+        if override is None:
+            override = StageConfig()
+        return StageConfig(
+            shards=override.shards if override.shards is not None else self.n_shards,
+            executor=override.executor if override.executor is not None else self.executor,
+        )
 
 
 # -- process-pool plumbing ---------------------------------------------------
@@ -365,7 +436,7 @@ class ShardedCollector:
         self.config = config if config is not None else EngineConfig(**overrides)
 
     def resolve_shards(self, n_hosts: int) -> int:
-        wanted = self.config.n_shards or os.cpu_count() or 1
+        wanted = self.config.stage("collect").shards or os.cpu_count() or 1
         return max(1, min(wanted, n_hosts))
 
     def resolve_workers(self) -> int | None:
@@ -379,16 +450,18 @@ class ShardedCollector:
     def probe_runner(self):
         """The :class:`~repro.engine.ShardedProbe` this config implies.
 
-        ``probe_shards``/``probe_executor`` default to the collection
-        settings, so one config scales both stages together; a ``None``
-        executor resolves per run (see :func:`auto_executor`).
+        The probe stage's :class:`StageConfig` resolves against the
+        run-level settings (see :meth:`EngineConfig.stage`), so one
+        config scales both stages together; a ``None`` executor
+        resolves per run (see :func:`auto_executor`).
         """
         from .probing import ShardedProbe  # sharding <-> probing cycle
 
         cfg = self.config
+        probe = cfg.stage("probe")
         return ShardedProbe(
-            n_shards=cfg.probe_shards if cfg.probe_shards is not None else cfg.n_shards,
-            executor=cfg.probe_executor or cfg.executor,
+            n_shards=probe.shards,
+            executor=probe.executor,
             max_workers=cfg.max_workers,
             process_min_hosts=cfg.process_min_hosts,
         )
@@ -457,7 +530,7 @@ class ShardedCollector:
             probing=self.probe_runner(),
         )
         ranges = plan_shards(plan.n_hosts, self.resolve_shards(plan.n_hosts))
-        executor = self.config.executor or auto_executor(
+        executor = self.config.stage("collect").executor or auto_executor(
             plan.network, plan.n_hosts, self.config.process_min_hosts
         )
         on_result = analyzer.ingest if analyzer is not None else None

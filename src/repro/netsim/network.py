@@ -117,6 +117,7 @@ class Network:
         seed: int = 0,
         substrate: str = "eager",
         max_cached_segments: int | None = None,
+        relay_policy=None,
     ) -> "Network":
         """Convenience constructor: topology + state in one call.
 
@@ -125,10 +126,13 @@ class Network:
         ``"shared"`` parks the timeline arrays in shared memory so a
         process pool reads one physical copy (see
         :mod:`repro.engine.substrate`).  Query results are bitwise
-        identical to the eager default either way.
+        identical to the eager default either way.  ``relay_policy``
+        (a :class:`repro.relaysets.RelayPolicySpec`) switches the path
+        table to the sparse per-pair candidate layout; ``None`` keeps
+        the dense all-relays reference.
         """
         rngs = RngFactory(seed)
-        topology = build_topology(hosts, config, rngs)
+        topology = build_topology(hosts, config, rngs, relay_policy=relay_policy)
         state = build_state(
             topology,
             horizon,
@@ -159,6 +163,11 @@ class Network:
     @property
     def paths(self):
         return self.topology.paths
+
+    @property
+    def relay_set(self):
+        """The compiled relay candidate set (None = dense layout)."""
+        return self.topology.relay_set
 
     # ------------------------------------------------------------------
     # sampling

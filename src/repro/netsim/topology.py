@@ -18,6 +18,7 @@ from .config import NetworkConfig
 from .links import AccessLinkClass, link_class
 from .rng import RngFactory
 from .segments import Segment, SegmentKind, SegmentRegistry
+from repro.relaysets import RelayPolicySpec, RelaySet, compile_relay_set
 from repro.trace.records import id_dtype
 from .units import MILLISECOND, haversine_km, propagation_delay_s
 
@@ -52,17 +53,37 @@ class HostSpec:
 class PathTable:
     """Flat arrays describing every direct and one-hop path.
 
-    Path ids:  ``direct_pid(s, d) = s * N + d`` and
-    ``relay_pid(s, r, d) = N^2 + ((s * N + r) * N + d)``.
-    Rows for degenerate combinations (``s == d``, relay equal to an
-    endpoint) are filled with :data:`NO_SEGMENT` and flagged invalid.
+    **Dense layout** (``relay_set is None``, the default): every relay
+    combination is materialized.  Path ids are
+    ``direct_pid(s, d) = s * N + d`` and
+    ``relay_pid(s, r, d) = N^2 + ((s * N + r) * N + d)``.  Rows for
+    degenerate combinations (``s == d``, relay equal to an endpoint)
+    are filled with :data:`NO_SEGMENT` and flagged invalid.
+
+    **Sparse layout** (a :class:`repro.relaysets.RelaySet` given): only
+    the direct paths plus the candidate relay paths exist —
+    ``N^2 + relay_set.nnz`` rows instead of ``N^2 + N^3``.  Relay path
+    ids follow the CSR order of the candidate set:
+    ``relay_pid(s, r, d) = N^2 + position of (s, r, d) in relay_set``;
+    looking up a non-candidate relay raises.  Path ids never appear in
+    traces or fingerprints (only relay *host* ids do), so the two
+    layouts produce identical outputs when their candidate choices
+    agree.
     """
 
     MAX_LEN = 11  # direct paths use 6 slots, relay paths 11
 
-    def __init__(self, n_hosts: int) -> None:
+    def __init__(self, n_hosts: int, relay_set: RelaySet | None = None) -> None:
+        if relay_set is not None and relay_set.n_hosts != n_hosts:
+            raise ValueError(
+                f"relay set is for {relay_set.n_hosts} hosts, table for {n_hosts}"
+            )
         self.n_hosts = n_hosts
-        n_paths = n_hosts * n_hosts + n_hosts**3
+        self.relay_set = relay_set
+        if relay_set is None:
+            n_paths = n_hosts * n_hosts + n_hosts**3
+        else:
+            n_paths = n_hosts * n_hosts + relay_set.nnz
         self.seg = np.full((n_paths, self.MAX_LEN), NO_SEGMENT, dtype=np.int32)
         self.offset = np.zeros((n_paths, self.MAX_LEN), dtype=np.float64)
         self.prop_total = np.zeros(n_paths, dtype=np.float64)
@@ -76,7 +97,9 @@ class PathTable:
 
     def relay_pid(self, src: int, relay: int, dst: int) -> int:
         n = self.n_hosts
-        return n * n + (src * n + relay) * n + dst
+        if self.relay_set is None:
+            return n * n + (src * n + relay) * n + dst
+        return n * n + int(self.relay_set.positions(src, relay, dst))
 
     def direct_pids(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
         return np.asarray(src) * self.n_hosts + np.asarray(dst)
@@ -85,7 +108,42 @@ class PathTable:
         self, src: np.ndarray, relay: np.ndarray, dst: np.ndarray
     ) -> np.ndarray:
         n = self.n_hosts
-        return n * n + (np.asarray(src) * n + np.asarray(relay)) * n + np.asarray(dst)
+        if self.relay_set is None:
+            return n * n + (np.asarray(src) * n + np.asarray(relay)) * n + np.asarray(dst)
+        return n * n + self.relay_set.positions(src, relay, dst)
+
+    def _relay_endpoints(self, pids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Decode (src, dst) for relay-path ids (``pid >= n^2``)."""
+        n = self.n_hosts
+        rem = np.asarray(pids, dtype=np.int64) - n * n
+        if self.relay_set is None:
+            return rem // (n * n), rem % n
+        pair = np.searchsorted(self.relay_set.offsets, rem, side="right") - 1
+        return pair // n, pair % n
+
+    def _check_relay_rows(self, pids: np.ndarray, relay_host: np.ndarray) -> None:
+        """Reject degenerate relays at construction time (not select time).
+
+        Historically ``set_paths*`` accepted a relay equal to src or dst
+        and the selector masked the row late with ``+inf``; a sparse
+        candidate set must never contain such a row, so both layouts now
+        validate here and name the offender.
+        """
+        pids = np.asarray(pids, dtype=np.int64)
+        relay_host = np.asarray(relay_host)
+        rows = (pids >= self.n_hosts * self.n_hosts) & (relay_host >= 0)
+        if not rows.any():
+            return
+        src, dst = self._relay_endpoints(pids[rows])
+        relay = relay_host[rows].astype(np.int64)
+        bad = (relay == src) | (relay == dst)
+        if bad.any():
+            i = int(np.argmax(bad))
+            raise ValueError(
+                f"degenerate relay path (src={int(src[i])}, "
+                f"relay={int(relay[i])}, dst={int(dst[i])}): the relay "
+                "host must differ from both endpoints"
+            )
 
     def set_path(
         self,
@@ -101,6 +159,7 @@ class PathTable:
         relay's ACCESS_IN)."""
         if len(segments) > self.MAX_LEN:
             raise ValueError(f"path of {len(segments)} segments exceeds MAX_LEN")
+        self._check_relay_rows(np.array([pid]), np.array([relay_host]))
         offset = 0.0
         for i, seg in enumerate(segments):
             self.seg[pid, i] = seg.sid
@@ -147,6 +206,7 @@ class PathTable:
             raise ValueError(f"forward_after {forward_after} outside path of {k} segments")
         forward_loss = np.broadcast_to(np.asarray(forward_loss, dtype=np.float64), pids.shape)
         relay_host = np.broadcast_to(np.asarray(relay_host, dtype=self.relay_host.dtype), pids.shape)
+        self._check_relay_rows(pids, relay_host)
         for lo in range(0, len(pids), self.BATCH_CHUNK):
             hi = min(lo + self.BATCH_CHUNK, len(pids))
             p, s = pids[lo:hi], segs[lo:hi]
@@ -185,6 +245,8 @@ class Topology:
     #: per-ordered-pair chronic middle loss (0 for healthy pairs).
     chronic_loss: np.ndarray
     config: NetworkConfig
+    #: compiled relay candidate set (None = dense all-relays layout).
+    relay_set: RelaySet | None = None
 
     @property
     def n_hosts(self) -> int:
@@ -220,8 +282,18 @@ def build_topology(
     hosts: list[HostSpec],
     config: NetworkConfig,
     rngs: RngFactory,
+    relay_policy: RelayPolicySpec | None = None,
 ) -> Topology:
-    """Construct segments and the full path table for a host catalogue."""
+    """Construct segments and the path table for a host catalogue.
+
+    With ``relay_policy=None`` every relay path is materialized (the
+    dense O(N^3) reference).  With a policy, a
+    :class:`~repro.relaysets.RelaySet` is compiled once and only the
+    candidate relay paths are assembled — the segment construction and
+    every RNG draw (circuitous stretches, chronic pair loss) are
+    identical either way, so the same pair sees the same weather under
+    any policy.
+    """
     if len(hosts) < 3:
         raise ValueError("an overlay needs at least 3 hosts (for one-hop routing)")
     names = [h.name for h in hosts]
@@ -346,8 +418,7 @@ def build_topology(
                 queue_ms=config.middle.queue_ms,
             )
 
-    # --- path table (batch-assembled: N^2 direct + N^3 relay rows) -------
-    paths = PathTable(n)
+    # --- path table (batch-assembled: N^2 direct + relay rows) -----------
     seg_prop = np.array([seg.prop_delay_s for seg in registry], dtype=np.float64)
     acc_out_sid = np.array([seg.sid for seg in acc_out], dtype=np.int32)
     acc_in_sid = np.array([seg.sid for seg in acc_in], dtype=np.int32)
@@ -372,6 +443,28 @@ def build_topology(
         dtype=np.float64,
     )
 
+    relay_set = None
+    if relay_policy is not None:
+        # static direct-path propagation distances feed k_nearest; the
+        # compile is a pure function of (policy, regions, distances)
+        mid_prop = np.where(
+            middle_sid == NO_SEGMENT, 0.0, seg_prop[middle_sid]
+        )
+        acc_out_prop = seg_prop[acc_out_sid]
+        acc_in_prop = seg_prop[acc_in_sid]
+        isp_prop = seg_prop[isp_sid]
+        dist = (
+            (acc_out_prop + isp_prop)[:, None]
+            + seg_prop[trunk_sid][region_idx[:, None], region_idx[None, :]]
+            + mid_prop
+            + (isp_prop + acc_in_prop)[None, :]
+        )
+        np.fill_diagonal(dist, 0.0)
+        relay_set = compile_relay_set(
+            relay_policy, n, regions=region_idx, distances=dist
+        )
+    paths = PathTable(n, relay_set=relay_set)
+
     idx = np.arange(n)
     S, D = (a.ravel() for a in np.meshgrid(idx, idx, indexing="ij"))
     keep = S != D
@@ -389,34 +482,45 @@ def build_topology(
     )
     paths.set_paths_batch(paths.direct_pids(S, D), direct_segs, seg_prop)
 
-    S, R, D = (a.ravel() for a in np.meshgrid(idx, idx, idx, indexing="ij"))
-    keep = (S != R) & (S != D) & (R != D)
-    S, R, D = S[keep], R[keep], D[keep]
-    relay_segs = np.stack(
-        [
-            acc_out_sid[S],
-            isp_sid[S],
-            trunk_sid[region_idx[S], region_idx[R]],
-            middle_sid[S, R],
-            isp_sid[R],
-            acc_in_sid[R],
-            acc_out_sid[R],
-            trunk_sid[region_idx[R], region_idx[D]],
-            middle_sid[R, D],
-            isp_sid[D],
-            acc_in_sid[D],
-        ],
-        axis=1,
-    )
-    paths.set_paths_batch(
-        paths.relay_pids(S, R, D),
-        relay_segs,
-        seg_prop,
-        forward_loss=fwd_loss_host[R],
-        forward_delay=config.forward_delay_ms * MILLISECOND,
-        relay_host=R,
-        forward_after=5,  # after the relay's ACCESS_IN
-    )
+    if relay_set is None:
+        S, R, D = (a.ravel() for a in np.meshgrid(idx, idx, idx, indexing="ij"))
+        keep = (S != R) & (S != D) & (R != D)
+        S, R, D = S[keep], R[keep], D[keep]
+        pids = paths.relay_pids(S, R, D)
+    else:
+        # CSR-driven assembly: one row per candidate, never the n^3 grid
+        pair = np.repeat(np.arange(n * n, dtype=np.int64), relay_set.counts)
+        S, D = pair // n, pair % n
+        R = relay_set.relay_ids.astype(np.int64)
+        pids = n * n + np.arange(relay_set.nnz, dtype=np.int64)
+    for lo in range(0, len(pids), 4 * PathTable.BATCH_CHUNK):
+        hi = min(lo + 4 * PathTable.BATCH_CHUNK, len(pids))
+        s, r, d = S[lo:hi], R[lo:hi], D[lo:hi]
+        relay_segs = np.stack(
+            [
+                acc_out_sid[s],
+                isp_sid[s],
+                trunk_sid[region_idx[s], region_idx[r]],
+                middle_sid[s, r],
+                isp_sid[r],
+                acc_in_sid[r],
+                acc_out_sid[r],
+                trunk_sid[region_idx[r], region_idx[d]],
+                middle_sid[r, d],
+                isp_sid[d],
+                acc_in_sid[d],
+            ],
+            axis=1,
+        )
+        paths.set_paths_batch(
+            pids[lo:hi],
+            relay_segs,
+            seg_prop,
+            forward_loss=fwd_loss_host[r],
+            forward_delay=config.forward_delay_ms * MILLISECOND,
+            relay_host=r,
+            forward_after=5,  # after the relay's ACCESS_IN
+        )
 
     return Topology(
         hosts=hosts,
@@ -427,4 +531,5 @@ def build_topology(
         circuitous=circuitous,
         chronic_loss=chronic_loss,
         config=config,
+        relay_set=relay_set,
     )

@@ -28,6 +28,7 @@ from repro.netsim.config import (
     config_2003,
 )
 from repro.netsim.topology import HostSpec
+from repro.relaysets import RelayPolicySpec
 from repro.testbed.datasets import DatasetSpec, register_dataset, unregister_dataset
 from repro.netsim.units import DAY
 
@@ -77,6 +78,10 @@ class Scenario:
         ``"2002wide"``.
     probe_methods / mode:
         the probe catalogue and probing mode, as in any dataset.
+    relay_policy:
+        optional :class:`repro.relaysets.RelayPolicySpec` compiled into
+        the dataset — sparse relay candidate sets for interdomain-scale
+        topologies; ``None`` keeps the dense all-relays mesh.
     """
 
     name: str
@@ -88,6 +93,7 @@ class Scenario:
     )
     mode: str = "oneway"
     paper_duration_s: float = DAY
+    relay_policy: RelayPolicySpec | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -112,6 +118,8 @@ class Scenario:
             raise ValueError(f"mode must be 'oneway' or 'rtt', got {self.mode!r}")
         if self.paper_duration_s <= 0:
             raise ValueError("paper_duration_s must be positive")
+        if self.relay_policy is not None and not isinstance(self.relay_policy, RelayPolicySpec):
+            raise TypeError("relay_policy must be a RelayPolicySpec or None")
 
     # ------------------------------------------------------------------
     # the three DatasetSpec levers
@@ -160,6 +168,7 @@ class Scenario:
             paper_duration_s=self.paper_duration_s,
             paper_samples=0,
             events_fn=_ScenarioFn(self, "events") if has_events else None,
+            relay_policy=self.relay_policy,
         )
 
     def register(self, overwrite: bool = False) -> DatasetSpec:

@@ -118,10 +118,20 @@ class CollectionPlan:
 def _reverse_pids(
     paths: PathTable, src: np.ndarray, dst: np.ndarray, relay: np.ndarray
 ) -> np.ndarray:
-    """Path ids of the reverse route (same relay, opposite direction)."""
-    direct = paths.direct_pids(dst, src)
-    via = paths.relay_pids(dst, np.maximum(relay, 0), src)
-    return np.where(relay < 0, direct, via)
+    """Path ids of the reverse route (same relay, opposite direction).
+
+    Relay pids are only looked up where a relay was actually used:
+    candidate-set tables are strict about membership, and the sets are
+    symmetric by construction, so every forward relay is also a valid
+    reverse-direction candidate.
+    """
+    pids = np.asarray(paths.direct_pids(dst, src), dtype=np.int64).copy()
+    via_rows = relay >= 0
+    if via_rows.any():
+        pids[via_rows] = paths.relay_pids(
+            dst[via_rows], relay[via_rows].astype(np.int64), src[via_rows]
+        )
+    return pids
 
 
 def _eval_oneway(
@@ -215,7 +225,15 @@ def prepare_collection_base(
             seed=seed,
             substrate=substrate,
             max_cached_segments=max_cached_segments,
+            relay_policy=spec.relay_policy,
         )
+    else:
+        built = network.relay_set.spec if network.relay_set is not None else None
+        if built != spec.relay_policy:
+            raise ValueError(
+                f"prebuilt network was built with relay policy {built!r}, "
+                f"but dataset {spec.name!r} specifies {spec.relay_policy!r}"
+            )
     methods = tuple(METHODS.lookup(name) for name in spec.probe_methods)
 
     sched_rng = rngs.stream("schedule")
@@ -287,7 +305,9 @@ def prepare_collection(
             else:
                 series = probing.run(plan.network, cfg.probing, rngs)
         with telemetry.span("tables", cat="stage", hosts=plan.n_hosts):
-            tables = build_routing_tables(series, cfg.probing)
+            tables = build_routing_tables(
+                series, cfg.probing, relay_set=plan.network.paths.relay_set
+            )
         plan = replace(plan, tables=tables)
     return plan
 

@@ -29,6 +29,7 @@ from repro.netsim.config import MajorEvent, NetworkConfig
 from repro.netsim.config import config_2002, config_2002_wide, config_2003, ron2003_events
 from repro.netsim.topology import HostSpec
 from repro.netsim.units import DAY
+from repro.relaysets import RelayPolicySpec
 
 from .hosts import hosts_2002, hosts_2003
 
@@ -56,10 +57,15 @@ class DatasetSpec:
     paper_duration_s: float
     paper_samples: int
     events_fn: Callable[[float], tuple[MajorEvent, ...]] | None = None
+    #: relay candidate-set policy; ``None`` keeps the dense all-relays
+    #: path table (and the byte-identical committed goldens).
+    relay_policy: RelayPolicySpec | None = None
 
     def __post_init__(self) -> None:
         if self.mode not in ("oneway", "rtt"):
             raise ValueError(f"mode must be 'oneway' or 'rtt', got {self.mode!r}")
+        if self.relay_policy is not None and not isinstance(self.relay_policy, RelayPolicySpec):
+            raise TypeError("relay_policy must be a RelayPolicySpec or None")
 
     def hosts(self) -> list[HostSpec]:
         return self.hosts_fn()

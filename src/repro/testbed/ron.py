@@ -103,6 +103,9 @@ class Overlay:
         self.params = params or network.topology.config.probing
         self.loop = EventLoop()
         self.n = network.topology.n_hosts
+        #: relay candidate sets, inherited from the network's path table;
+        #: None means the dense all-relays overlay.
+        self.relay_set = network.paths.relay_set
         self.nodes = [OverlayNode(i, self.n, self.params) for i in range(self.n)]
         self._rngs = RngFactory(seed)
         self._probe_rng = self._rngs.stream("overlay", "probes")
@@ -195,7 +198,9 @@ class Overlay:
         if criterion not in ("loss", "lat"):
             raise ValueError("criterion must be 'loss' or 'lat'")
         loss, lat, failed = self.estimates()
-        tables = select_paths(loss, lat, failed, self.params.selection_margin)
+        tables = select_paths(
+            loss, lat, failed, self.params.selection_margin, relay_set=self.relay_set
+        )
         table = tables.loss_best if criterion == "loss" else tables.lat_best
         decision = RouteDecision(
             time=self.loop.now,
@@ -248,13 +253,26 @@ class Overlay:
         if kind == RouteKind.DIRECT:
             return DIRECT
         if kind == RouteKind.RAND:
+            if self.relay_set is None:
+                while True:
+                    r = int(self._data_rng.integers(0, self.n))
+                    if r not in (src, dst) and (avoid is None or r != avoid):
+                        return r
+            cand = self.relay_set.candidates(src, dst)
+            if len(cand) < (2 if avoid is not None else 1):
+                raise ValueError(
+                    f"pair (src={src}, dst={dst}) has only {len(cand)} relay "
+                    f"candidate(s) under policy {self.relay_set.spec.policy!r}"
+                )
             while True:
-                r = int(self._data_rng.integers(0, self.n))
-                if r not in (src, dst) and (avoid is None or r != avoid):
+                r = int(cand[int(self._data_rng.integers(0, len(cand)))])
+                if avoid is None or r != avoid:
                     return r
         criterion = "lat" if kind == RouteKind.LAT else "loss"
         loss, lat, failed = self.estimates()
-        tables = select_paths(loss, lat, failed, self.params.selection_margin)
+        tables = select_paths(
+            loss, lat, failed, self.params.selection_margin, relay_set=self.relay_set
+        )
         best = tables.lat_best if criterion == "lat" else tables.loss_best
         second = tables.lat_second if criterion == "lat" else tables.loss_second
         choice = int(best[src, dst])

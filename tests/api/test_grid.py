@@ -68,6 +68,25 @@ class TestSpecGrid:
         with pytest.raises(TypeError, match="dataset"):
             spec_grid(duration_s=[300.0])
 
+    def test_relay_policy_axis_labels_by_token(self):
+        from repro.api import RelayPolicySpec
+
+        specs = spec_grid(
+            dataset=["ronnarrow"],
+            relays=[
+                None,
+                RelayPolicySpec(policy="k_nearest", k=4),
+                RelayPolicySpec(policy="k_nearest", k=8),
+            ],
+            duration_s=300.0,
+        )
+        assert [s.label for s in specs] == [
+            "dataset=ronnarrow,relays=None",
+            "dataset=ronnarrow,relays=k_nearest-4",
+            "dataset=ronnarrow,relays=k_nearest-8",
+        ]
+        assert specs[1].relays == RelayPolicySpec(policy="k_nearest", k=4)
+
 
 class TestScenarioGridDeterminism:
     """PR 1 guaranteed thread fan-out == sequential collect on the canned

@@ -4,7 +4,7 @@ import dataclasses
 
 import pytest
 
-from repro.api import ExperimentSpec, FecSpec
+from repro.api import ExperimentSpec, FecSpec, RelayPolicySpec
 from repro.fec import DuplicationCode, ReedSolomonCode
 from repro.testbed import RON2003, RONWIDE
 
@@ -90,6 +90,51 @@ class TestExperimentSpec:
     def test_name_label(self):
         assert ExperimentSpec("ron2003", duration_s=60.0, label="abc").name == "abc"
         assert "ron2003" in ExperimentSpec("ron2003", duration_s=60.0).name
+
+
+class TestRelayPolicyOnSpec:
+    """The relay-policy spec axis: serializable, resolved into the
+    dataset, and absent by default (keeping every existing spec
+    value-equal and every golden fingerprint byte-identical)."""
+
+    def test_default_is_dense_and_untouched(self):
+        spec = ExperimentSpec("ronnarrow", duration_s=60.0)
+        assert spec.relays is None
+        assert spec.resolved_dataset().relay_policy is None
+
+    def test_round_trip(self):
+        spec = ExperimentSpec(
+            "ronnarrow",
+            duration_s=60.0,
+            relays=RelayPolicySpec(policy="k_nearest", k=8),
+        )
+        assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+        assert ExperimentSpec.from_json(spec.to_json()) == spec
+
+    def test_dict_value_coerced(self):
+        spec = ExperimentSpec(
+            "ronnarrow",
+            duration_s=60.0,
+            relays={"policy": "random_k", "k": 4, "seed": 2},
+        )
+        assert spec.relays == RelayPolicySpec(policy="random_k", k=4, seed=2)
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(TypeError):
+            ExperimentSpec("ronnarrow", duration_s=60.0, relays="all")
+        with pytest.raises(ValueError):
+            ExperimentSpec(
+                "ronnarrow", duration_s=60.0, relays={"policy": "teleport"}
+            )
+
+    def test_resolved_dataset_carries_policy(self):
+        policy = RelayPolicySpec(policy="random_k", k=3, seed=1)
+        spec = ExperimentSpec("ronnarrow", duration_s=60.0, relays=policy)
+        assert spec.resolved_dataset().relay_policy == policy
+        # the registered dataset itself stays dense
+        from repro.testbed import dataset
+
+        assert dataset("ronnarrow").relay_policy is None
 
 
 class TestFecSpec:

@@ -21,6 +21,7 @@ import pytest
 from repro import telemetry
 from repro.engine import ShardedCollector
 from repro.engine.sharding import run_shards
+from repro.relaysets import RelayPolicySpec
 from repro.scenarios import quiet_wide_area
 from repro.testbed import collect, dataset
 from repro.testbed.collection import collect_rows, prepare_collection
@@ -109,6 +110,62 @@ class TestPipelinedEquivalence:
         )
         assert col.tables is None
         assert_traces_equal(col.trace, ref.trace)
+
+
+@pytest.fixture(scope="module")
+def sparse_sequential():
+    """A candidate-set (k_nearest) variant of the zoo's canned dataset."""
+    ds = replace(
+        dataset("ronnarrow"),
+        relay_policy=RelayPolicySpec(policy="k_nearest", k=4),
+    )
+    return ds, collect(ds, DURATION, seed=SEED)
+
+
+class TestSparsePipelinedEquivalence:
+    """The ISSUE-10 zoo entry: sparse relay candidate sets ride the
+    sharded and pipelined engines unchanged — every shard carries the
+    RelaySet read-only, and the shard layout still cannot move a byte."""
+
+    @pytest.mark.parametrize("executor", ["serial", "thread"])
+    @pytest.mark.parametrize("n_shards", [1, 2, 17])
+    def test_in_ram_matches_sequential(self, sparse_sequential, executor, n_shards):
+        ds, seq = sparse_sequential
+        col = ShardedCollector(
+            n_shards=n_shards, executor=executor, pipeline=True
+        ).collect(ds, DURATION, seed=SEED, network=seq.network)
+        assert trace_fingerprint(col.trace) == trace_fingerprint(seq.trace)
+        assert_traces_equal(col.trace, seq.trace)
+
+    def test_barrier_engine_matches_sequential(self, sparse_sequential):
+        ds, seq = sparse_sequential
+        col = ShardedCollector(n_shards=4, executor="thread").collect(
+            ds, DURATION, seed=SEED, network=seq.network
+        )
+        assert_traces_equal(col.trace, seq.trace)
+        assert col.tables.fingerprint() == seq.tables.fingerprint()
+
+    @pytest.mark.skipif(not hasattr(os, "fork"), reason="process executor needs fork()")
+    def test_process_executor_matches_sequential(self, sparse_sequential):
+        ds, seq = sparse_sequential
+        col = ShardedCollector(
+            n_shards=3, executor="process", max_workers=2, pipeline=True
+        ).collect(ds, DURATION, seed=SEED, network=seq.network)
+        assert_traces_equal(col.trace, seq.trace)
+
+    def test_spilled_matches_in_ram_bytes(self, sparse_sequential, tmp_path):
+        ds, seq = sparse_sequential
+        pipe = ShardedCollector(
+            n_shards=4, executor="thread", spill_dir=tmp_path / "pipe", pipeline=True
+        ).collect(ds, DURATION, seed=SEED, network=seq.network)
+        barrier = ShardedCollector(
+            n_shards=4, executor="thread", spill_dir=tmp_path / "barrier"
+        ).collect(ds, DURATION, seed=SEED, network=seq.network)
+        assert_traces_equal(pipe.trace, seq.trace)
+        for name in Trace.ARRAY_FIELDS:
+            a = np.load(pipe.spill_dir / "merged" / f"{name}.npy")
+            b = np.load(barrier.spill_dir / "merged" / f"{name}.npy")
+            assert a.tobytes() == b.tobytes(), name
 
 
 class TestStreamingMerge:

@@ -261,9 +261,10 @@ class TestRunnerIntegration:
 SPILL_RSS_BUDGET_MB = 1300
 
 _SPILL_RSS_SCRIPT = """
-import resource, sys
+import sys
 from repro.engine import EngineConfig, ShardedCollector
 from repro.scenarios import stress_mesh
+from repro.telemetry.clock import peak_rss_bytes
 from repro.testbed import dataset
 
 sc = stress_mesh(n_hosts=100, seed=1)
@@ -278,7 +279,9 @@ col = ShardedCollector(
         max_resident_shards=1,
     )
 ).collect(ds, 45.0, seed=1)
-peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+# VmHWM, not ru_maxrss: the latter survives fork+exec on some kernels,
+# so it would report the *parent* pytest process's suite-wide peak
+peak_kb = peak_rss_bytes() // 1024
 print(f"rows={len(col.trace)} peak_kb={peak_kb}")
 """
 

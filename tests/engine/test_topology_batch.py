@@ -43,9 +43,18 @@ def test_batch_matches_scalar_relay_with_forwarding(segs):
     rng = np.random.default_rng(11)
     rows = rng.integers(0, len(segs), size=(64, 11))
     fwd_loss = rng.uniform(0.0, 0.05, 64)
-    relays = rng.integers(0, 8, 64).astype(np.int32)
     a, b = PathTable(8), PathTable(8)
-    pids = np.arange(100, 164)
+    # relay rows now validate relay_host against the pid's decoded
+    # (src, dst) endpoints, so write canonical non-degenerate triples
+    triples = [
+        (s, r, d)
+        for s in range(8)
+        for r in range(8)
+        for d in range(8)
+        if s != d and r not in (s, d)
+    ][:64]
+    pids = np.array([a.relay_pid(s, r, d) for s, r, d in triples])
+    relays = np.array([r for _, r, _ in triples], dtype=np.int32)
     for pid, row, fl, r in zip(pids, rows, fwd_loss, relays):
         a.set_path(
             int(pid),
